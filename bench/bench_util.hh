@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ *
+ * Every bench accepts `--trials N` / `--reps N` style overrides so the
+ * full suite can be dialed up for smoother curves or down for smoke
+ * runs; the defaults keep the whole suite within a few minutes.
+ */
+
+#ifndef DNASTORE_BENCH_BENCH_UTIL_HH
+#define DNASTORE_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace dnastore::bench {
+
+/** Parse `--name value` integer flags from argv, with a default. */
+inline size_t
+flagValue(int argc, char **argv, const char *name, size_t def)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return size_t(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+    return def;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *figure, const char *description)
+{
+    std::printf("# === %s ===\n# %s\n", figure, description);
+}
+
+} // namespace dnastore::bench
+
+#endif // DNASTORE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 6: the skew is fundamental — positional error of the OPTIMAL
+ * (brute-force constrained edit-distance median) reconstruction with
+ * adversarial tie-breaking, binary alphabet, L=20, p=20%,
+ * N in {2, 4, 8, 16}.
+ *
+ * Expected shape: higher N lowers the peak, but the middle bump never
+ * disappears, even though ties are broken *against* the skew.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "consensus/profiler.hh"
+
+using namespace dnastore;
+
+int
+main(int argc, char **argv)
+{
+    const size_t trials = bench::flagValue(argc, argv, "--trials", 1500);
+    const size_t len = 20;
+    const double p = 0.20;
+
+    bench::banner("Figure 6",
+                  "optimal (brute-force) reconstruction, binary, "
+                  "L=20, p=20%, adversarial tie-break");
+
+    std::printf("N,position,error_probability\n");
+    for (size_t coverage : { 2u, 4u, 8u, 16u }) {
+        auto profile = profileOptimalMedianError(len, coverage, p,
+                                                 trials,
+                                                 606 + coverage);
+        for (size_t i = 0; i < len; ++i)
+            std::printf("%zu,%zu,%.5f\n", coverage, i + 1,
+                        profile.errorRate[i]);
+        double ends =
+            (profile.errorRate[0] + profile.errorRate[len - 1]) / 2.0;
+        double mid = (profile.errorRate[len / 2 - 1] +
+                      profile.errorRate[len / 2]) /
+            2.0;
+        std::printf("# summary: N=%zu trials=%zu ends=%.4f mid=%.4f "
+                    "peak=%.4f\n",
+                    coverage, profile.trials, ends, mid,
+                    profile.peak());
+    }
+    std::printf("# expectation: peak shrinks with N but the "
+                "middle bump persists for every N.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 11: number of errors detected and corrected per codeword,
+ * baseline vs Gini, at error rate 9% and sequencing coverage 20.
+ *
+ * Expected shape: the baseline's per-codeword error counts form a
+ * pronounced peak for the middle rows; Gini's are flat. The total
+ * (area under the curves) is similar — Gini redistributes errors, it
+ * does not remove them.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "pipeline/quality.hh"
+#include "pipeline/simulator.hh"
+#include "util/stats.hh"
+
+using namespace dnastore;
+
+int
+main(int argc, char **argv)
+{
+    const size_t reps = bench::flagValue(argc, argv, "--reps", 3);
+    const size_t coverage = bench::flagValue(argc, argv, "--coverage", 20);
+    const double p = 0.09;
+    auto cfg = StorageConfig::benchScale();
+
+    bench::banner("Figure 11",
+                  "errors corrected per codeword, baseline vs Gini, "
+                  "error rate 9%, coverage 20");
+
+    auto workload = makeImageWorkloadForCapacity(cfg.capacityBits(), 80,
+                                                 1111);
+    auto bundle = workload.bundle.encrypted(0x11);
+
+    std::vector<std::vector<double>> counts(2);
+    const LayoutScheme schemes[2] = { LayoutScheme::Baseline,
+                                      LayoutScheme::Gini };
+    for (int s = 0; s < 2; ++s) {
+        counts[s].assign(cfg.rows, 0.0);
+        for (size_t rep = 0; rep < reps; ++rep) {
+            StorageSimulator sim(cfg, schemes[s], ErrorModel::uniform(p),
+                                 1100 + rep);
+            sim.store(bundle, coverage);
+            auto result = sim.retrieve(coverage);
+            const auto &per_cw =
+                result.decoded.stats.errorsPerCodeword;
+            for (size_t j = 0; j < per_cw.size(); ++j)
+                counts[s][j] += double(per_cw[j]) / double(reps);
+        }
+    }
+
+    std::printf("codeword,baseline_errors,gini_errors\n");
+    for (size_t j = 0; j < cfg.rows; ++j)
+        std::printf("%zu,%.1f,%.1f\n", j, counts[0][j], counts[1][j]);
+
+    double base_total = 0, gini_total = 0, base_peak = 0, gini_peak = 0;
+    for (size_t j = 0; j < cfg.rows; ++j) {
+        base_total += counts[0][j];
+        gini_total += counts[1][j];
+        base_peak = std::max(base_peak, counts[0][j]);
+        gini_peak = std::max(gini_peak, counts[1][j]);
+    }
+    std::printf("# summary: totals baseline=%.0f gini=%.0f (similar "
+                "area); peaks baseline=%.0f gini=%.0f; gini index "
+                "baseline=%.3f gini=%.3f (flat curve -> near 0)\n",
+                base_total, gini_total, base_peak, gini_peak,
+                giniIndex(counts[0]), giniIndex(counts[1]));
+    return 0;
+}

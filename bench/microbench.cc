@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the performance-critical
+ * substrates: GF arithmetic, Reed-Solomon coding, the IDS channel,
+ * consensus reconstruction, and the image codec.
+ *
+ * These are not paper figures; they document the cost model of the
+ * library and catch performance regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "channel/ids_channel.hh"
+#include "consensus/bma.hh"
+#include "consensus/median_bnb.hh"
+#include "consensus/realign.hh"
+#include "consensus/two_sided.hh"
+#include "ecc/gf.hh"
+#include "ecc/rs.hh"
+#include "media/sjpeg.hh"
+#include "media/synth.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+void
+BM_GfMultiply(benchmark::State &state)
+{
+    GaloisField gf(unsigned(state.range(0)));
+    Rng rng(1);
+    uint32_t a = 1 + uint32_t(rng.nextBelow(gf.order()));
+    uint32_t b = 1 + uint32_t(rng.nextBelow(gf.order()));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a = gf.mul(a, b) | 1);
+    }
+}
+BENCHMARK(BM_GfMultiply)->Arg(8)->Arg(10)->Arg(16);
+
+void
+BM_RsEncode(benchmark::State &state)
+{
+    GaloisField gf(unsigned(state.range(0)));
+    size_t parity = gf.order() / 5;
+    ReedSolomon rs(gf, parity);
+    Rng rng(2);
+    std::vector<uint32_t> data(rs.k());
+    for (auto &d : data)
+        d = uint32_t(rng.nextBelow(gf.size()));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rs.encode(data));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rs.n()));
+}
+BENCHMARK(BM_RsEncode)->Arg(8)->Arg(10);
+
+void
+BM_RsDecodeErrors(benchmark::State &state)
+{
+    GaloisField gf(10);
+    ReedSolomon rs(gf, 188);
+    Rng rng(3);
+    std::vector<uint32_t> data(rs.k());
+    for (auto &d : data)
+        d = uint32_t(rng.nextBelow(gf.size()));
+    auto clean = rs.encode(data);
+    size_t n_err = size_t(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto noisy = clean;
+        for (size_t e = 0; e < n_err; ++e)
+            noisy[rng.nextBelow(noisy.size())] ^= 1;
+        state.ResumeTiming();
+        auto result = rs.decode(noisy);
+        benchmark::DoNotOptimize(result.success);
+    }
+}
+BENCHMARK(BM_RsDecodeErrors)->Arg(0)->Arg(10)->Arg(90);
+
+void
+BM_IdsChannel(benchmark::State &state)
+{
+    IdsChannel channel(ErrorModel::uniform(0.09));
+    Rng rng(4);
+    Strand strand(455);
+    for (auto &b : strand)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(channel.transmit(strand, rng));
+    state.SetItemsProcessed(int64_t(state.iterations()) * 455);
+}
+BENCHMARK(BM_IdsChannel);
+
+void
+BM_ConsensusTwoSided(benchmark::State &state)
+{
+    const size_t len = 455;
+    const size_t coverage = size_t(state.range(0));
+    IdsChannel channel(ErrorModel::uniform(0.09));
+    Rng rng(5);
+    Strand strand(len);
+    for (auto &b : strand)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    auto reads = channel.transmitCluster(strand, coverage, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(reconstructTwoSided(reads, len));
+}
+BENCHMARK(BM_ConsensusTwoSided)->Arg(5)->Arg(10)->Arg(20);
+
+void
+BM_ConsensusIterative(benchmark::State &state)
+{
+    const size_t len = 200;
+    IdsChannel channel(ErrorModel::uniform(0.09));
+    Rng rng(6);
+    Strand strand(len);
+    for (auto &b : strand)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    auto reads = channel.transmitCluster(strand, 5, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(reconstructIterative(reads, len));
+}
+BENCHMARK(BM_ConsensusIterative);
+
+void
+BM_OptimalMedianL20(benchmark::State &state)
+{
+    Rng rng(7);
+    const size_t len = 20;
+    Seq original(len);
+    for (auto &c : original)
+        c = uint8_t(rng.nextBelow(2));
+    std::vector<Seq> traces;
+    for (int t = 0; t < int(state.range(0)); ++t) {
+        Seq noisy;
+        for (uint8_t c : original) {
+            double u = rng.nextDouble();
+            if (u < 0.0667) {
+                noisy.push_back(uint8_t(rng.nextBelow(2)));
+                noisy.push_back(c);
+            } else if (u < 0.1333) {
+            } else if (u < 0.2) {
+                noisy.push_back(uint8_t(1 - c));
+            } else {
+                noisy.push_back(c);
+            }
+        }
+        traces.push_back(std::move(noisy));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(constrainedMedian(traces, len, 2));
+}
+BENCHMARK(BM_OptimalMedianL20)->Arg(4)->Arg(16);
+
+void
+BM_SjpegEncode(benchmark::State &state)
+{
+    Image img = generateSyntheticPhoto(128, 128, 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sjpegEncode(img, 80));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(img.pixelCount()));
+}
+BENCHMARK(BM_SjpegEncode);
+
+void
+BM_SjpegDecode(benchmark::State &state)
+{
+    Image img = generateSyntheticPhoto(128, 128, 9);
+    auto file = sjpegEncode(img, 80);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sjpegDecode(file));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(file.size()));
+}
+BENCHMARK(BM_SjpegDecode);
+
+} // namespace
+} // namespace dnastore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Approximate storage of encrypted images with DnaMapper.
+ *
+ * The paper's headline use case (sections 5 and 7.2): images are
+ * compressed, encrypted, and stored with priority-based mapping; as
+ * sequencing coverage (= reading cost) drops, image quality degrades
+ * gracefully instead of collapsing. Writes the retrieved images as
+ * PGM files so the degradation can be inspected visually, like the
+ * paper's Figure 15.
+ */
+
+#include <cstdio>
+
+#include "media/sjpeg.hh"
+#include "pipeline/quality.hh"
+#include "pipeline/simulator.hh"
+
+using namespace dnastore;
+
+int
+main()
+{
+    StorageConfig cfg = StorageConfig::benchScale();
+    const uint64_t key_seed = 0xDEC0DE;
+
+    // A bundle of synthetic photos, compressed and encrypted.
+    ImageWorkload workload =
+        makeImageWorkloadForCapacity(cfg.capacityBits(), 80, 99);
+    FileBundle stored = workload.bundle.encrypted(key_seed);
+    std::printf("storing %zu encrypted images (%zu bytes) in one "
+                "DNA unit with DnaMapper\n",
+                stored.fileCount(), stored.totalBytes());
+
+    StorageSimulator sim(cfg, LayoutScheme::DnaMapper,
+                         ErrorModel::uniform(0.09), /*seed=*/7);
+    sim.store(stored, /*max_coverage=*/18);
+
+    std::printf("coverage,mean_loss_db,max_loss_db,undecodable\n");
+    for (size_t coverage : { 18u, 16u, 15u, 14u, 13u, 12u, 11u }) {
+        RetrievalResult result = sim.retrieve(coverage);
+        FileBundle plain = result.decoded.bundleOk
+            ? result.decoded.bundle.encrypted(key_seed)
+            : FileBundle{};
+        QualityReport report = evaluateImageQuality(workload, plain);
+        std::printf("%zu,%.2f,%.2f,%zu\n", coverage, report.meanLossDb,
+                    report.maxLossDb, report.undecodable);
+
+        // Save the first image at each coverage for visual inspection.
+        if (const NamedFile *f = plain.find(workload.names[0])) {
+            Image img = sjpegDecodeOrGray(
+                f->data, workload.cleanDecodes[0].width(),
+                workload.cleanDecodes[0].height());
+            char path[64];
+            std::snprintf(path, sizeof(path),
+                          "approx_cov%02zu.pgm", coverage);
+            savePgm(img, path);
+            std::printf("  wrote %s\n", path);
+        }
+    }
+    std::printf("note: quality falls gradually with coverage -- "
+                "graceful degradation -- instead of the baseline's "
+                "cliff; up to ~1 dB of loss is visually "
+                "unnoticeable.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Gini vs the baseline layout: reading-cost savings at a glance.
+ *
+ * Stores the same data under both layouts and reports, per error
+ * rate, the minimum sequencing coverage each needs for error-free
+ * retrieval — the cost model behind the paper's Figure 12 — plus the
+ * per-codeword error distribution that explains *why* (Figure 11).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "pipeline/simulator.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+using namespace dnastore;
+
+int
+main()
+{
+    StorageConfig cfg = StorageConfig::benchScale();
+    Rng rng(1);
+    FileBundle bundle;
+    std::vector<uint8_t> blob(cfg.capacityBytes() - 600);
+    for (auto &b : blob)
+        b = uint8_t(rng.next());
+    bundle.add("archive.bin", std::move(blob));
+
+    std::printf("%zu molecules/unit, %.1f%% redundancy, payload %zu "
+                "bytes\n\n",
+                cfg.codewordLen(), 100.0 * cfg.redundancyFraction(),
+                bundle.totalBytes());
+
+    std::printf("error_rate,baseline_min_cov,gini_min_cov,saving\n");
+    for (double p : { 0.06, 0.09 }) {
+        size_t mins[2];
+        const LayoutScheme schemes[2] = { LayoutScheme::Baseline,
+                                          LayoutScheme::Gini };
+        for (int s = 0; s < 2; ++s) {
+            StorageSimulator sim(cfg, schemes[s],
+                                 ErrorModel::uniform(p), 11);
+            sim.store(bundle, 24);
+            mins[s] = sim.minCoverageForExact(2, 24).value_or(25);
+        }
+        std::printf("%.0f%%,%zu,%zu,%.0f%%\n", p * 100, mins[0],
+                    mins[1],
+                    100.0 * (1.0 - double(mins[1]) / double(mins[0])));
+    }
+
+    // Why: per-codeword error concentration at 9% error, coverage 20.
+    std::printf("\nper-codeword error spread at 9%% error, "
+                "coverage 20:\n");
+    for (LayoutScheme scheme : { LayoutScheme::Baseline,
+                                 LayoutScheme::Gini }) {
+        StorageSimulator sim(cfg, scheme, ErrorModel::uniform(0.09),
+                             12);
+        sim.store(bundle, 20);
+        auto result = sim.retrieve(20);
+        const auto &per_cw = result.decoded.stats.errorsPerCodeword;
+        std::vector<double> counts(per_cw.begin(), per_cw.end());
+        std::printf("  %-9s total=%5zu peak=%4.0f gini_index=%.3f\n",
+                    layoutSchemeName(scheme),
+                    result.decoded.stats.totalCorrected(),
+                    *std::max_element(counts.begin(), counts.end()),
+                    giniIndex(counts));
+    }
+    std::printf("\nthe baseline concentrates middle-of-molecule "
+                "errors in a few codewords (high Gini index); Gini "
+                "spreads them evenly and so needs less coverage.\n");
+    return 0;
+}

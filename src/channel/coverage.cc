@@ -1,0 +1,34 @@
+#include "channel/coverage.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dnastore {
+
+CoverageModel
+CoverageModel::fixed(size_t n)
+{
+    if (n == 0)
+        throw std::invalid_argument("CoverageModel: fixed coverage of 0");
+    return CoverageModel(true, double(n), 0.0);
+}
+
+CoverageModel
+CoverageModel::gamma(double mean, double shape)
+{
+    if (mean <= 0.0 || shape <= 0.0)
+        throw std::invalid_argument("CoverageModel: bad gamma params");
+    return CoverageModel(false, mean, shape);
+}
+
+size_t
+CoverageModel::sample(Rng &rng) const
+{
+    if (fixed_)
+        return size_t(std::llround(mean_));
+    double draw = rng.nextGamma(shape_, mean_ / shape_);
+    long long n = std::llround(draw);
+    return size_t(n < 1 ? 1 : n);
+}
+
+} // namespace dnastore

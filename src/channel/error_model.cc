@@ -1,0 +1,51 @@
+#include "channel/error_model.hh"
+
+namespace dnastore {
+
+ErrorModel
+ErrorModel::uniform(double p)
+{
+    return { p / 3.0, p / 3.0, p / 3.0 };
+}
+
+ErrorModel
+ErrorModel::substitutionOnly(double p)
+{
+    return { 0.0, 0.0, p };
+}
+
+ErrorModel
+ErrorModel::indelOnly(double p)
+{
+    return { p / 2.0, p / 2.0, 0.0 };
+}
+
+ErrorModel
+ErrorModel::custom(double ins, double del, double sub)
+{
+    return { ins, del, sub };
+}
+
+ErrorModel
+ErrorModel::ngs(double p)
+{
+    // ~27% indels (midpoint of the 25-30% reported in the paper).
+    const double indel = 0.27 * p;
+    return { indel / 2.0, indel / 2.0, p - indel };
+}
+
+ErrorModel
+ErrorModel::nanopore(double p)
+{
+    const double indel = 0.60 * p;
+    return { indel / 2.0, indel / 2.0, p - indel };
+}
+
+bool
+ErrorModel::valid() const
+{
+    return insertion >= 0.0 && deletion >= 0.0 && substitution >= 0.0 &&
+        total() <= 1.0;
+}
+
+} // namespace dnastore

@@ -1,0 +1,59 @@
+#include "channel/ids_channel.hh"
+
+#include <stdexcept>
+
+namespace dnastore {
+
+IdsChannel::IdsChannel(const ErrorModel &model)
+    : model_(model)
+{
+    if (!model.valid())
+        throw std::invalid_argument("IdsChannel: invalid error model");
+}
+
+Strand
+IdsChannel::transmit(const Strand &input, Rng &rng,
+                     ChannelEvents *events) const
+{
+    Strand out;
+    out.reserve(input.size() + 8);
+    const double p_ins = model_.insertion;
+    const double p_del = p_ins + model_.deletion;
+    const double p_sub = p_del + model_.substitution;
+
+    for (Base b : input) {
+        double u = rng.nextDouble();
+        if (u < p_ins) {
+            // Insert a uniform base before position i; the original
+            // base is kept, matching the paper's channel definition.
+            out.push_back(baseFromBits(unsigned(rng.nextBelow(4))));
+            out.push_back(b);
+            if (events)
+                ++events->insertions;
+        } else if (u < p_del) {
+            if (events)
+                ++events->deletions;
+        } else if (u < p_sub) {
+            // Replace with one of the three other bases.
+            unsigned offset = 1u + unsigned(rng.nextBelow(3));
+            out.push_back(baseFromBits(bitsFromBase(b) + offset));
+            if (events)
+                ++events->substitutions;
+        } else {
+            out.push_back(b);
+        }
+    }
+    return out;
+}
+
+std::vector<Strand>
+IdsChannel::transmitCluster(const Strand &input, size_t n, Rng &rng) const
+{
+    std::vector<Strand> reads;
+    reads.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        reads.push_back(transmit(input, rng));
+    return reads;
+}
+
+} // namespace dnastore

@@ -1,0 +1,41 @@
+#include "channel/read_pool.hh"
+
+#include <stdexcept>
+
+namespace dnastore {
+
+ReadPool::ReadPool(const std::vector<Strand> &references,
+                   const IdsChannel &channel, size_t max_coverage,
+                   Rng &rng)
+    : maxCoverage_(max_coverage)
+{
+    pools_.reserve(references.size());
+    for (const Strand &ref : references)
+        pools_.push_back(channel.transmitCluster(ref, max_coverage, rng));
+}
+
+std::vector<Strand>
+ReadPool::reads(size_t cluster, size_t coverage) const
+{
+    if (cluster >= pools_.size())
+        throw std::out_of_range("ReadPool: bad cluster index");
+    if (coverage > maxCoverage_)
+        throw std::out_of_range("ReadPool: coverage exceeds pool size");
+    const auto &pool = pools_[cluster];
+    return std::vector<Strand>(pool.begin(),
+                               pool.begin() + long(coverage));
+}
+
+std::vector<size_t>
+ReadPool::sampleCounts(const CoverageModel &model, Rng &rng) const
+{
+    std::vector<size_t> counts;
+    counts.reserve(pools_.size());
+    for (size_t i = 0; i < pools_.size(); ++i) {
+        size_t n = model.sample(rng);
+        counts.push_back(n > maxCoverage_ ? maxCoverage_ : n);
+    }
+    return counts;
+}
+
+} // namespace dnastore

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Pre-generated pools of noisy reads for progressive coverage sweeps.
+ *
+ * The paper's methodology (section 6.1.2) generates a large pool of
+ * noisy strands per original string, starts at low coverage, and
+ * progressively adds more reads from the pool for each coverage point.
+ * Re-using the same pool across coverage points makes the sweep
+ * monotone in information content, exactly as in the paper.
+ */
+
+#ifndef DNASTORE_CHANNEL_READ_POOL_HH
+#define DNASTORE_CHANNEL_READ_POOL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/coverage.hh"
+#include "channel/ids_channel.hh"
+#include "dna/strand.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+
+/** Noisy-read pools for a set of reference strands. */
+class ReadPool
+{
+  public:
+    /**
+     * Generate pools.
+     *
+     * @param references   One original strand per cluster.
+     * @param channel      The IDS channel to sample reads from.
+     * @param max_coverage Reads generated per cluster.
+     * @param rng          Randomness source.
+     */
+    ReadPool(const std::vector<Strand> &references,
+             const IdsChannel &channel, size_t max_coverage, Rng &rng);
+
+    /** Number of clusters. */
+    size_t clusters() const { return pools_.size(); }
+
+    /** Maximum coverage available per cluster. */
+    size_t maxCoverage() const { return maxCoverage_; }
+
+    /**
+     * The first @p coverage reads of cluster @p cluster.
+     *
+     * @throws std::out_of_range if coverage exceeds maxCoverage().
+     */
+    std::vector<Strand> reads(size_t cluster, size_t coverage) const;
+
+    /**
+     * Per-cluster read counts for a mean coverage under a coverage
+     * distribution: draws one count per cluster (capped by the pool
+     * size) so sweeps can model Gamma-distributed cluster sizes.
+     */
+    std::vector<size_t> sampleCounts(const CoverageModel &model,
+                                     Rng &rng) const;
+
+  private:
+    std::vector<std::vector<Strand>> pools_;
+    size_t maxCoverage_;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_CHANNEL_READ_POOL_HH

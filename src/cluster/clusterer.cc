@@ -1,0 +1,191 @@
+#include "cluster/clusterer.hh"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace dnastore {
+
+size_t
+bandedEditDistance(const Strand &a, const Strand &b, size_t limit,
+                   size_t band)
+{
+    const size_t n = a.size(), m = b.size();
+    size_t len_gap = n > m ? n - m : m - n;
+    if (len_gap > limit)
+        return limit + 1;
+    const size_t inf = std::numeric_limits<size_t>::max() / 2;
+
+    // Rolling rows restricted to |i - j| <= band.
+    std::vector<size_t> prev(m + 1, inf), cur(m + 1, inf);
+    for (size_t j = 0; j <= std::min(m, band); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= n; ++i) {
+        size_t lo = i > band ? i - band : 0;
+        size_t hi = std::min(m, i + band);
+        std::fill(cur.begin(), cur.end(), inf);
+        if (lo == 0)
+            cur[0] = i;
+        size_t row_min = inf;
+        for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+            size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+            size_t best = prev[j - 1] + cost;
+            if (prev[j] + 1 < best)
+                best = prev[j] + 1;
+            if (cur[j - 1] + 1 < best)
+                best = cur[j - 1] + 1;
+            cur[j] = best;
+            row_min = std::min(row_min, best);
+        }
+        if (lo == 0)
+            row_min = std::min(row_min, cur[0]);
+        if (row_min > limit)
+            return limit + 1;
+        std::swap(prev, cur);
+    }
+    return std::min(prev[m], limit + 1);
+}
+
+namespace {
+
+/** Cheap 64-bit mix for q-gram hashing. */
+uint64_t
+mix(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * Sorted unique q-gram hashes of a read, optionally truncated to the
+ * @p cap smallest (minhash). Representatives are indexed with all
+ * their grams; queries use a capped subset, which keeps lookups cheap
+ * while making a shared gram between a noisy read and its cluster's
+ * representative overwhelmingly likely.
+ */
+std::vector<uint64_t>
+signature(const Strand &read, const ClusterParams &params, size_t cap)
+{
+    std::vector<uint64_t> hashes;
+    if (read.size() < params.qgram)
+        return hashes;
+    uint64_t gram = 0;
+    const uint64_t mask =
+        (uint64_t(1) << (2 * params.qgram)) - 1;
+    for (size_t i = 0; i < read.size(); ++i) {
+        gram = ((gram << 2) | bitsFromBase(read[i])) & mask;
+        if (i + 1 >= params.qgram)
+            hashes.push_back(mix(gram));
+    }
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()),
+                 hashes.end());
+    if (hashes.size() > cap)
+        hashes.resize(cap);
+    return hashes;
+}
+
+} // namespace
+
+Clustering
+clusterReads(const std::vector<Strand> &reads,
+             const ClusterParams &params)
+{
+    Clustering out;
+    out.clusterOf.assign(reads.size(), 0);
+
+    // Representatives of formed clusters and a q-gram hash index over
+    // their signatures.
+    std::vector<size_t> representative; // cluster -> read index
+    std::unordered_map<uint64_t, std::vector<size_t>> index;
+
+    const size_t query_cap =
+        std::max<size_t>(params.signatureSize, 24);
+    for (size_t r = 0; r < reads.size(); ++r) {
+        const Strand &read = reads[r];
+        auto sig = signature(read, params, query_cap);
+
+        // Candidate clusters sharing at least two query hashes with a
+        // representative (one shared gram happens by chance; two is a
+        // strong hint).
+        std::vector<size_t> hits;
+        for (uint64_t h : sig) {
+            auto it = index.find(h);
+            if (it == index.end())
+                continue;
+            for (size_t cluster : it->second)
+                hits.push_back(cluster);
+        }
+        std::sort(hits.begin(), hits.end());
+        std::vector<size_t> candidates;
+        for (size_t i = 0; i < hits.size();) {
+            size_t j = i;
+            while (j < hits.size() && hits[j] == hits[i])
+                ++j;
+            if (j - i >= 2 || sig.size() < 4)
+                candidates.push_back(hits[i]);
+            i = j;
+        }
+
+        // Verify against representatives with banded edit distance.
+        size_t best_cluster = size_t(-1);
+        size_t best_dist = size_t(-1);
+        size_t limit = size_t(params.maxDistanceFrac *
+                              double(read.size()));
+        size_t band = std::max<size_t>(
+            4, size_t(params.bandFrac * double(read.size())));
+        for (size_t cluster : candidates) {
+            const Strand &rep = reads[representative[cluster]];
+            size_t d = bandedEditDistance(read, rep, limit, band);
+            if (d <= limit && d < best_dist) {
+                best_dist = d;
+                best_cluster = cluster;
+            }
+        }
+
+        if (best_cluster == size_t(-1)) {
+            best_cluster = out.members.size();
+            out.members.emplace_back();
+            representative.push_back(r);
+            // Index the representative with ALL its grams so future
+            // noisy reads still find it.
+            auto full = signature(read, params, size_t(-1));
+            for (uint64_t h : full)
+                index[h].push_back(best_cluster);
+        }
+        out.clusterOf[r] = best_cluster;
+        out.members[best_cluster].push_back(r);
+    }
+    return out;
+}
+
+ClusterQuality
+scoreClustering(const Clustering &clustering,
+                const std::vector<size_t> &truth)
+{
+    // Pairwise counting over all read pairs, O(n^2) but only used by
+    // tests and diagnostics.
+    const auto &pred = clustering.clusterOf;
+    size_t same_both = 0, same_pred = 0, same_truth = 0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        for (size_t j = i + 1; j < pred.size(); ++j) {
+            bool p = pred[i] == pred[j];
+            bool t = truth[i] == truth[j];
+            same_both += (p && t);
+            same_pred += p;
+            same_truth += t;
+        }
+    }
+    ClusterQuality q;
+    q.precision = same_pred ? double(same_both) / double(same_pred)
+                            : 1.0;
+    q.recall = same_truth ? double(same_both) / double(same_truth)
+                          : 1.0;
+    return q;
+}
+
+} // namespace dnastore

@@ -1,0 +1,124 @@
+#include "consensus/bma.hh"
+
+#include <array>
+
+namespace dnastore {
+
+namespace {
+
+/** Majority base among the given votes; ties break to the lowest. */
+int
+majority(const std::array<int, kNumBases> &votes)
+{
+    int best = 0;
+    for (int b = 1; b < kNumBases; ++b)
+        if (votes[b] > votes[best])
+            best = b;
+    return best;
+}
+
+/** Lookahead window used to classify an outlier's error type. */
+constexpr size_t kWindow = 3;
+
+} // namespace
+
+Strand
+reconstructOneWay(const std::vector<Strand> &reads, size_t target_len)
+{
+    const size_t n = reads.size();
+    std::vector<size_t> cursor(n, 0);
+    Strand out;
+    out.reserve(target_len);
+
+    Base last_consensus = Base::A;
+    for (size_t pos = 0; pos < target_len; ++pos) {
+        // Vote on the current base across active reads.
+        std::array<int, kNumBases> votes{};
+        size_t active = 0;
+        for (size_t r = 0; r < n; ++r) {
+            if (cursor[r] < reads[r].size()) {
+                ++votes[bitsFromBase(reads[r][cursor[r]])];
+                ++active;
+            }
+        }
+        if (active == 0) {
+            // All reads exhausted: pad with the last consensus base.
+            out.push_back(last_consensus);
+            continue;
+        }
+        Base c = baseFromBits(unsigned(majority(votes)));
+
+        // Estimate the next kWindow consensus bases from the reads
+        // that agree at the current position. These drive the
+        // error-type classification below, mirroring the Figure 2
+        // reasoning ("the next two characters are GT in most
+        // sequences...").
+        std::array<Base, kWindow> next{};
+        std::array<bool, kWindow> have_next{};
+        for (size_t w = 0; w < kWindow; ++w) {
+            std::array<int, kNumBases> nv{};
+            int voters = 0;
+            for (size_t r = 0; r < n; ++r) {
+                size_t cur = cursor[r];
+                if (cur < reads[r].size() && reads[r][cur] == c &&
+                    cur + w + 1 < reads[r].size()) {
+                    ++nv[bitsFromBase(reads[r][cur + w + 1])];
+                    ++voters;
+                }
+            }
+            have_next[w] = voters > 0;
+            next[w] = baseFromBits(unsigned(majority(nv)));
+        }
+
+        // Classify each outlier read by scoring the three hypotheses
+        // over the lookahead window and resynchronize its cursor.
+        for (size_t r = 0; r < n; ++r) {
+            size_t cur = cursor[r];
+            if (cur >= reads[r].size())
+                continue;
+            if (reads[r][cur] == c) {
+                cursor[r] = cur + 1;
+                continue;
+            }
+            const Strand &read = reads[r];
+            auto read_at = [&read](size_t i, Base expect) {
+                return i < read.size() && read[i] == expect;
+            };
+            // Score each hypothesis with the same number of evidence
+            // terms (kWindow) so no hypothesis is favored merely by
+            // having more chances to match (this matters on repeated
+            // bases, where an asymmetric insertion score would win
+            // spuriously and desynchronize the read).
+            //
+            // Substitution: read[cur] is a corrupted c; the window
+            // after it should match the upcoming consensus.
+            int score_sub = 0;
+            // Insertion: read[cur] is an extra base; c and then the
+            // upcoming consensus follow it.
+            int score_ins = read_at(cur + 1, c) ? 1 : 0;
+            // Deletion: the read lost c; read[cur] itself should
+            // match the upcoming consensus.
+            int score_del = 0;
+            for (size_t w = 0; w < kWindow; ++w) {
+                if (!have_next[w])
+                    continue;
+                score_sub += read_at(cur + 1 + w, next[w]) ? 1 : 0;
+                if (w + 1 < kWindow)
+                    score_ins += read_at(cur + 2 + w, next[w]) ? 1 : 0;
+                score_del += read_at(cur + w, next[w]) ? 1 : 0;
+            }
+            if (score_sub >= score_ins && score_sub >= score_del) {
+                cursor[r] = cur + 1; // substitution
+            } else if (score_ins >= score_del) {
+                cursor[r] = cur + 2; // insertion: skip it, consume c
+            } else {
+                // deletion: c is missing from the read; keep cursor.
+            }
+        }
+        out.push_back(c);
+        last_consensus = c;
+    }
+    return out;
+}
+
+} // namespace dnastore

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * One-way Bitwise/Base-wise Majority Alignment (BMA) consensus.
+ *
+ * Implements the left-to-right lookahead-majority reconstruction the
+ * paper walks through in Figure 2: at each output position the reads
+ * vote on the consensus base; disagreeing reads are classified as
+ * having suffered an insertion, deletion, or substitution by looking
+ * ahead, and their cursors are re-synchronized accordingly. Errors in
+ * this classification propagate towards the end of the strand, which
+ * is the root cause of the reliability skew (section 3.1).
+ */
+
+#ifndef DNASTORE_CONSENSUS_BMA_HH
+#define DNASTORE_CONSENSUS_BMA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dna/strand.hh"
+
+namespace dnastore {
+
+/**
+ * Reconstruct a strand of known length from noisy reads, scanning
+ * left to right.
+ *
+ * @param reads      Noisy copies of the original strand.
+ * @param target_len Known length L of the original strand.
+ * @return The consensus estimate, exactly @p target_len bases long.
+ */
+Strand reconstructOneWay(const std::vector<Strand> &reads,
+                         size_t target_len);
+
+} // namespace dnastore
+
+#endif // DNASTORE_CONSENSUS_BMA_HH

@@ -1,0 +1,131 @@
+#include "consensus/profiler.hh"
+
+#include <algorithm>
+
+#include "channel/ids_channel.hh"
+#include "consensus/median_bnb.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+
+double
+SkewProfile::peak() const
+{
+    double p = 0.0;
+    for (double e : errorRate)
+        p = std::max(p, e);
+    return p;
+}
+
+double
+SkewProfile::mean() const
+{
+    if (errorRate.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double e : errorRate)
+        sum += e;
+    return sum / double(errorRate.size());
+}
+
+SkewProfile
+profilePositionalError(const Reconstructor &reconstruct,
+                       size_t strand_len, size_t coverage,
+                       const ErrorModel &model, size_t trials,
+                       uint64_t seed)
+{
+    Rng rng(seed);
+    IdsChannel channel(model);
+    std::vector<size_t> wrong(strand_len, 0);
+    size_t used = 0, excluded = 0;
+
+    for (size_t t = 0; t < trials; ++t) {
+        Strand original(strand_len);
+        for (auto &b : original)
+            b = baseFromBits(unsigned(rng.nextBelow(4)));
+        auto reads = channel.transmitCluster(original, coverage, rng);
+        Strand estimate = reconstruct(reads, strand_len);
+        if (estimate.size() != strand_len) {
+            ++excluded;
+            continue;
+        }
+        ++used;
+        for (size_t i = 0; i < strand_len; ++i)
+            if (estimate[i] != original[i])
+                ++wrong[i];
+    }
+
+    SkewProfile profile;
+    profile.trials = used;
+    profile.excluded = excluded;
+    profile.errorRate.resize(strand_len, 0.0);
+    if (used > 0)
+        for (size_t i = 0; i < strand_len; ++i)
+            profile.errorRate[i] = double(wrong[i]) / double(used);
+    return profile;
+}
+
+namespace {
+
+/** Apply the binary IDS channel (p/3 each) to a bit string. */
+Seq
+distortBits(const Seq &original, double p, Rng &rng)
+{
+    Seq out;
+    out.reserve(original.size() + 4);
+    const double p_ins = p / 3.0;
+    const double p_del = 2.0 * p / 3.0;
+    for (uint8_t bit : original) {
+        double u = rng.nextDouble();
+        if (u < p_ins) {
+            out.push_back(uint8_t(rng.nextBelow(2)));
+            out.push_back(bit);
+        } else if (u < p_del) {
+            // deleted
+        } else if (u < p) {
+            out.push_back(uint8_t(1 - bit));
+        } else {
+            out.push_back(bit);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SkewProfile
+profileOptimalMedianError(size_t bit_len, size_t coverage, double p,
+                          size_t trials, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<size_t> wrong(bit_len, 0);
+    size_t used = 0;
+
+    for (size_t t = 0; t < trials; ++t) {
+        Seq original(bit_len);
+        for (auto &bit : original)
+            bit = uint8_t(rng.nextBelow(2));
+        std::vector<Seq> traces;
+        traces.reserve(coverage);
+        for (size_t r = 0; r < coverage; ++r)
+            traces.push_back(distortBits(original, p, rng));
+
+        MedianResult median = constrainedMedian(traces, bit_len, 2);
+        Seq picked = adversarialPick(median.optima, original);
+        ++used;
+        for (size_t i = 0; i < bit_len; ++i)
+            if (picked[i] != original[i])
+                ++wrong[i];
+    }
+
+    SkewProfile profile;
+    profile.trials = used;
+    profile.excluded = 0;
+    profile.errorRate.resize(bit_len, 0.0);
+    if (used > 0)
+        for (size_t i = 0; i < bit_len; ++i)
+            profile.errorRate[i] = double(wrong[i]) / double(used);
+    return profile;
+}
+
+} // namespace dnastore

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Positional-error profilers: measure the reliability skew.
+ *
+ * These drive Figures 3, 4, 5, and 6 of the paper: generate random
+ * original strands, push clusters of noisy copies through a
+ * reconstruction algorithm, and record the probability of an incorrect
+ * base/bit at each position.
+ */
+
+#ifndef DNASTORE_CONSENSUS_PROFILER_HH
+#define DNASTORE_CONSENSUS_PROFILER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "channel/error_model.hh"
+#include "dna/strand.hh"
+
+namespace dnastore {
+
+/** Any strand reconstructor: reads + known length -> estimate. */
+using Reconstructor =
+    std::function<Strand(const std::vector<Strand> &, size_t)>;
+
+/** Measured positional error profile. */
+struct SkewProfile
+{
+    /** errorRate[i] = P(reconstructed base i is wrong). */
+    std::vector<double> errorRate;
+
+    /** Trials that produced a usable (correct-length) estimate. */
+    size_t trials = 0;
+
+    /**
+     * Trials excluded because the reconstructor returned the wrong
+     * length (the paper excludes those too; see Figure 5, footnote 2).
+     */
+    size_t excluded = 0;
+
+    /** Largest per-position error rate (the peak of the skew curve). */
+    double peak() const;
+
+    /** Mean per-position error rate. */
+    double mean() const;
+};
+
+/**
+ * Profile a reconstructor's positional error over random DNA strands.
+ *
+ * @param reconstruct Algorithm under test.
+ * @param strand_len  Original strand length L.
+ * @param coverage    Reads per cluster N.
+ * @param model       IDS channel error model.
+ * @param trials      Number of random original strands.
+ * @param seed        RNG seed.
+ */
+SkewProfile profilePositionalError(const Reconstructor &reconstruct,
+                                   size_t strand_len, size_t coverage,
+                                   const ErrorModel &model, size_t trials,
+                                   uint64_t seed);
+
+/**
+ * Profile the *optimal* reconstruction over a binary alphabet with the
+ * adversarial tie-break of section 3.2 (Figure 6). The channel applies
+ * insertions, deletions, and substitutions with total probability
+ * @p p, one third each.
+ *
+ * @param bit_len  Original bit-string length (paper: 20).
+ * @param coverage Traces per cluster N.
+ * @param p        Total per-position error probability (paper: 0.2).
+ * @param trials   Number of random original strings.
+ * @param seed     RNG seed.
+ */
+SkewProfile profileOptimalMedianError(size_t bit_len, size_t coverage,
+                                      double p, size_t trials,
+                                      uint64_t seed);
+
+} // namespace dnastore
+
+#endif // DNASTORE_CONSENSUS_PROFILER_HH

@@ -1,0 +1,224 @@
+#include "consensus/realign.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+namespace dnastore {
+
+void
+alignToReference(const Strand &reference, const Strand &read,
+                 std::vector<int> *aligned,
+                 std::vector<std::vector<Base>> *ins_after)
+{
+    const size_t n = reference.size();
+    const size_t m = read.size();
+
+    // Full DP matrix with traceback. Moves: 0 = diagonal (match/sub),
+    // 1 = up (delete reference base), 2 = left (insert read base).
+    std::vector<uint16_t> dist((n + 1) * (m + 1));
+    std::vector<uint8_t> move((n + 1) * (m + 1));
+    auto at = [m](size_t i, size_t j) { return i * (m + 1) + j; };
+
+    for (size_t j = 0; j <= m; ++j) {
+        dist[at(0, j)] = uint16_t(j);
+        move[at(0, j)] = 2;
+    }
+    for (size_t i = 1; i <= n; ++i) {
+        dist[at(i, 0)] = uint16_t(i);
+        move[at(i, 0)] = 1;
+        for (size_t j = 1; j <= m; ++j) {
+            uint16_t diag = dist[at(i - 1, j - 1)] +
+                (reference[i - 1] == read[j - 1] ? 0 : 1);
+            uint16_t up = dist[at(i - 1, j)] + 1;
+            uint16_t left = dist[at(i, j - 1)] + 1;
+            // Prefer diagonal moves on ties for alignment stability.
+            if (diag <= up && diag <= left) {
+                dist[at(i, j)] = diag;
+                move[at(i, j)] = 0;
+            } else if (up <= left) {
+                dist[at(i, j)] = up;
+                move[at(i, j)] = 1;
+            } else {
+                dist[at(i, j)] = left;
+                move[at(i, j)] = 2;
+            }
+        }
+    }
+
+    aligned->assign(n, -1);
+    ins_after->assign(n + 1, {});
+    size_t i = n, j = m;
+    while (i > 0 || j > 0) {
+        uint8_t mv = move[at(i, j)];
+        if (i > 0 && j > 0 && mv == 0) {
+            (*aligned)[i - 1] = int(bitsFromBase(read[j - 1]));
+            --i;
+            --j;
+        } else if (i > 0 && (j == 0 || mv == 1)) {
+            --i; // reference base deleted in the read
+        } else {
+            (*ins_after)[i].push_back(read[j - 1]);
+            --j;
+        }
+    }
+}
+
+Strand
+reconstructIterative(const std::vector<Strand> &reads, size_t target_len,
+                     size_t iterations)
+{
+    if (reads.empty())
+        return Strand(target_len, Base::A);
+
+    // Initial estimate: the read whose length is closest to the target.
+    size_t best_read = 0;
+    size_t best_gap = size_t(-1);
+    for (size_t r = 0; r < reads.size(); ++r) {
+        size_t gap = size_t(std::llabs(
+            static_cast<long long>(reads[r].size()) -
+            static_cast<long long>(target_len)));
+        if (gap < best_gap) {
+            best_gap = gap;
+            best_read = r;
+        }
+    }
+    Strand estimate = reads[best_read];
+    if (estimate.empty())
+        estimate = Strand(target_len, Base::A);
+
+    const size_t n_reads = reads.size();
+    for (size_t iter = 0; iter < iterations; ++iter) {
+        const size_t len = estimate.size();
+        // Per-position base votes, deletion votes, and insertion votes.
+        std::vector<std::array<int, kNumBases>> votes(
+            len, std::array<int, kNumBases>{});
+        std::vector<int> del_votes(len, 0);
+        std::vector<std::array<int, kNumBases>> ins_votes(
+            len + 1, std::array<int, kNumBases>{});
+        std::vector<int> ins_total(len + 1, 0);
+
+        std::vector<int> aligned;
+        std::vector<std::vector<Base>> ins_after;
+        for (const Strand &read : reads) {
+            alignToReference(estimate, read, &aligned, &ins_after);
+            for (size_t i = 0; i < len; ++i) {
+                if (aligned[i] >= 0)
+                    ++votes[i][size_t(aligned[i])];
+                else
+                    ++del_votes[i];
+            }
+            for (size_t i = 0; i <= len; ++i) {
+                for (Base b : ins_after[i]) {
+                    ++ins_votes[i][bitsFromBase(b)];
+                    ++ins_total[i];
+                }
+            }
+        }
+
+        // Rebuild: emit insertion consensus where a majority of reads
+        // inserted, drop positions a majority deleted, otherwise take
+        // the plurality base.
+        Strand next;
+        next.reserve(len + 2);
+        auto emit_insertions = [&](size_t gap) {
+            if (size_t(ins_total[gap]) * 2 > n_reads) {
+                int best = 0;
+                for (int b = 1; b < kNumBases; ++b)
+                    if (ins_votes[gap][b] > ins_votes[gap][best])
+                        best = b;
+                next.push_back(baseFromBits(unsigned(best)));
+            }
+        };
+        for (size_t i = 0; i < len; ++i) {
+            emit_insertions(i);
+            int aligned_votes = 0;
+            int best = 0;
+            for (int b = 0; b < kNumBases; ++b) {
+                aligned_votes += votes[i][b];
+                if (votes[i][b] > votes[i][best])
+                    best = b;
+            }
+            if (del_votes[i] > aligned_votes)
+                continue;
+            next.push_back(baseFromBits(unsigned(best)));
+        }
+        emit_insertions(len);
+
+        if (next == estimate)
+            break;
+        estimate = std::move(next);
+        if (estimate.empty()) {
+            estimate = Strand(target_len, Base::A);
+            break;
+        }
+    }
+
+    // Length correction: when the estimate missed the known length,
+    // delete the weakest-supported positions or insert the strongest
+    // insertion candidates until it fits (the length-aware step of
+    // practical reconstructors).
+    if (estimate.size() != target_len && !estimate.empty()) {
+        const size_t len = estimate.size();
+        std::vector<std::array<int, kNumBases>> votes(
+            len, std::array<int, kNumBases>{});
+        std::vector<std::array<int, kNumBases>> ins_votes(
+            len + 1, std::array<int, kNumBases>{});
+        std::vector<int> ins_total(len + 1, 0);
+        std::vector<int> aligned;
+        std::vector<std::vector<Base>> ins_after;
+        for (const Strand &read : reads) {
+            alignToReference(estimate, read, &aligned, &ins_after);
+            for (size_t i = 0; i < len; ++i)
+                if (aligned[i] >= 0)
+                    ++votes[i][size_t(aligned[i])];
+            for (size_t i = 0; i <= len; ++i) {
+                for (Base b : ins_after[i]) {
+                    ++ins_votes[i][bitsFromBase(b)];
+                    ++ins_total[i];
+                }
+            }
+        }
+        if (estimate.size() > target_len) {
+            // Support of a position = votes for its current base.
+            std::vector<std::pair<int, size_t>> support;
+            for (size_t i = 0; i < len; ++i)
+                support.emplace_back(
+                    votes[i][bitsFromBase(estimate[i])], i);
+            std::sort(support.begin(), support.end());
+            std::vector<bool> drop(len, false);
+            for (size_t k = 0; k < len - target_len; ++k)
+                drop[support[k].second] = true;
+            Strand fixed;
+            fixed.reserve(target_len);
+            for (size_t i = 0; i < len; ++i)
+                if (!drop[i])
+                    fixed.push_back(estimate[i]);
+            estimate = std::move(fixed);
+        } else {
+            // Insert at the gaps with the most insertion votes.
+            std::vector<std::pair<int, size_t>> gaps;
+            for (size_t i = 0; i <= len; ++i)
+                gaps.emplace_back(-ins_total[i], i);
+            std::sort(gaps.begin(), gaps.end());
+            std::vector<std::pair<size_t, Base>> inserts;
+            for (size_t k = 0; k < target_len - len; ++k) {
+                size_t gap = gaps[k % gaps.size()].second;
+                int best = 0;
+                for (int b = 1; b < kNumBases; ++b)
+                    if (ins_votes[gap][b] > ins_votes[gap][best])
+                        best = b;
+                inserts.emplace_back(gap, baseFromBits(unsigned(best)));
+            }
+            std::sort(inserts.begin(), inserts.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first > b.first;
+                      });
+            for (const auto &[gap, base] : inserts)
+                estimate.insert(estimate.begin() + long(gap), base);
+        }
+    }
+    return estimate;
+}
+
+} // namespace dnastore

@@ -1,0 +1,28 @@
+#include "consensus/two_sided.hh"
+
+#include "consensus/bma.hh"
+
+namespace dnastore {
+
+Strand
+reconstructTwoSided(const std::vector<Strand> &reads, size_t target_len)
+{
+    Strand forward = reconstructOneWay(reads, target_len);
+
+    std::vector<Strand> rev_reads;
+    rev_reads.reserve(reads.size());
+    for (const Strand &r : reads)
+        rev_reads.push_back(reversed(r));
+    Strand backward = reversed(reconstructOneWay(rev_reads, target_len));
+
+    // Best of both worlds: the forward pass is most accurate near the
+    // beginning, the backward pass near the end.
+    Strand out;
+    out.reserve(target_len);
+    size_t half = target_len / 2;
+    out.insert(out.end(), forward.begin(), forward.begin() + long(half));
+    out.insert(out.end(), backward.begin() + long(half), backward.end());
+    return out;
+}
+
+} // namespace dnastore

@@ -1,0 +1,116 @@
+#include "crypto/chacha20.hh"
+
+namespace dnastore {
+
+namespace {
+
+uint32_t
+rotl32(uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+void
+quarterRound(uint32_t &a, uint32_t &b, uint32_t &c, uint32_t &d)
+{
+    a += b; d ^= a; d = rotl32(d, 16);
+    c += d; b ^= c; b = rotl32(b, 12);
+    a += b; d ^= a; d = rotl32(d, 8);
+    c += d; b ^= c; b = rotl32(b, 7);
+}
+
+uint32_t
+load32(const uint8_t *p)
+{
+    return uint32_t(p[0]) | (uint32_t(p[1]) << 8) |
+        (uint32_t(p[2]) << 16) | (uint32_t(p[3]) << 24);
+}
+
+} // namespace
+
+ChaCha20::ChaCha20(const std::array<uint8_t, 32> &key,
+                   const std::array<uint8_t, 12> &nonce, uint32_t counter)
+{
+    // "expand 32-byte k" constants.
+    state_[0] = 0x61707865;
+    state_[1] = 0x3320646e;
+    state_[2] = 0x79622d32;
+    state_[3] = 0x6b206574;
+    for (int i = 0; i < 8; ++i)
+        state_[4 + i] = load32(key.data() + 4 * i);
+    state_[12] = counter;
+    for (int i = 0; i < 3; ++i)
+        state_[13 + i] = load32(nonce.data() + 4 * i);
+}
+
+void
+ChaCha20::refill()
+{
+    std::array<uint32_t, 16> x = state_;
+    for (int round = 0; round < 10; ++round) {
+        quarterRound(x[0], x[4], x[8], x[12]);
+        quarterRound(x[1], x[5], x[9], x[13]);
+        quarterRound(x[2], x[6], x[10], x[14]);
+        quarterRound(x[3], x[7], x[11], x[15]);
+        quarterRound(x[0], x[5], x[10], x[15]);
+        quarterRound(x[1], x[6], x[11], x[12]);
+        quarterRound(x[2], x[7], x[8], x[13]);
+        quarterRound(x[3], x[4], x[9], x[14]);
+    }
+    for (int i = 0; i < 16; ++i) {
+        uint32_t word = x[i] + state_[i];
+        block_[4 * i + 0] = uint8_t(word);
+        block_[4 * i + 1] = uint8_t(word >> 8);
+        block_[4 * i + 2] = uint8_t(word >> 16);
+        block_[4 * i + 3] = uint8_t(word >> 24);
+    }
+    ++state_[12];
+    blockPos_ = 0;
+}
+
+void
+ChaCha20::apply(std::vector<uint8_t> &data)
+{
+    for (auto &byte : data) {
+        if (blockPos_ >= block_.size())
+            refill();
+        byte ^= block_[blockPos_++];
+    }
+}
+
+std::vector<uint8_t>
+ChaCha20::applied(std::vector<uint8_t> data)
+{
+    apply(data);
+    return data;
+}
+
+std::array<uint8_t, 32>
+ChaCha20::deriveKey(uint64_t seed)
+{
+    std::array<uint8_t, 32> key{};
+    uint64_t x = seed;
+    for (size_t i = 0; i < key.size(); ++i) {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        key[i] = uint8_t((x * 0x2545f4914f6cdd1dULL) >> 56);
+    }
+    return key;
+}
+
+std::array<uint8_t, 12>
+ChaCha20::deriveNonce(uint64_t seed)
+{
+    std::array<uint8_t, 12> nonce{};
+    uint64_t x = seed ^ 0x9e3779b97f4a7c15ULL;
+    for (size_t i = 0; i < nonce.size(); ++i) {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        nonce[i] = uint8_t((x * 0x2545f4914f6cdd1dULL) >> 56);
+    }
+    return nonce;
+}
+
+} // namespace dnastore

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ChaCha20 stream cipher (RFC 8439 core).
+ *
+ * The paper stores end-to-end encrypted files (section 6.1) and argues
+ * that DnaMapper's content-agnostic, position-based bit ranking is the
+ * reason approximate storage still works on ciphertext: a stream
+ * cipher XORs a keystream, so bit i of the ciphertext corrupts exactly
+ * bit i of the plaintext — position (and thus priority) survives
+ * encryption. This module provides that substrate.
+ */
+
+#ifndef DNASTORE_CRYPTO_CHACHA20_HH
+#define DNASTORE_CRYPTO_CHACHA20_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnastore {
+
+/** ChaCha20 keystream generator / XOR cipher. */
+class ChaCha20
+{
+  public:
+    /**
+     * @param key     256-bit key.
+     * @param nonce   96-bit nonce.
+     * @param counter Initial block counter (RFC 8439 uses 1 for AEAD;
+     *                0 is fine for pure stream encryption).
+     */
+    ChaCha20(const std::array<uint8_t, 32> &key,
+             const std::array<uint8_t, 12> &nonce, uint32_t counter = 0);
+
+    /**
+     * XOR the keystream into @p data in place. Encryption and
+     * decryption are the same operation; a fresh ChaCha20 object (same
+     * key/nonce/counter) must be used for each.
+     */
+    void apply(std::vector<uint8_t> &data);
+
+    /** Convenience: encrypted copy of @p data. */
+    std::vector<uint8_t> applied(std::vector<uint8_t> data);
+
+    /** Derive a key deterministically from a 64-bit seed (tests/demo). */
+    static std::array<uint8_t, 32> deriveKey(uint64_t seed);
+
+    /** Derive a nonce deterministically from a 64-bit seed. */
+    static std::array<uint8_t, 12> deriveNonce(uint64_t seed);
+
+  private:
+    void refill();
+
+    std::array<uint32_t, 16> state_;
+    std::array<uint8_t, 64> block_;
+    size_t blockPos_ = 64; // forces refill on first use
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_CRYPTO_CHACHA20_HH

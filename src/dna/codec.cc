@@ -1,0 +1,64 @@
+#include "dna/codec.hh"
+
+#include <stdexcept>
+
+namespace dnastore {
+
+Strand
+encodeBytes(const std::vector<uint8_t> &bytes)
+{
+    Strand out;
+    out.reserve(bytes.size() * 4);
+    for (uint8_t byte : bytes) {
+        for (int shift = 6; shift >= 0; shift -= 2)
+            out.push_back(baseFromBits(byte >> shift));
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+decodeBytes(const Strand &s)
+{
+    std::vector<uint8_t> out;
+    out.reserve(s.size() / 4);
+    for (size_t i = 0; i + 4 <= s.size(); i += 4) {
+        uint8_t byte = 0;
+        for (size_t j = 0; j < 4; ++j)
+            byte = uint8_t((byte << 2) | bitsFromBase(s[i + j]));
+        out.push_back(byte);
+    }
+    return out;
+}
+
+Strand
+encodeUint(uint64_t value, int n_bits)
+{
+    Strand out;
+    appendUint(out, value, n_bits);
+    return out;
+}
+
+void
+appendUint(Strand &out, uint64_t value, int n_bits)
+{
+    if (n_bits % 2 != 0)
+        throw std::invalid_argument("appendUint: n_bits must be even");
+    for (int shift = n_bits - 2; shift >= 0; shift -= 2)
+        out.push_back(baseFromBits(unsigned(value >> shift)));
+}
+
+uint64_t
+decodeUint(const Strand &s, size_t base_offset, int n_bits)
+{
+    if (n_bits % 2 != 0)
+        throw std::invalid_argument("decodeUint: n_bits must be even");
+    uint64_t v = 0;
+    for (int i = 0; i < n_bits / 2; ++i) {
+        size_t idx = base_offset + size_t(i);
+        unsigned bits = idx < s.size() ? bitsFromBase(s[idx]) : 0u;
+        v = (v << 2) | bits;
+    }
+    return v;
+}
+
+} // namespace dnastore

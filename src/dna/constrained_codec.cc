@@ -1,0 +1,107 @@
+#include "dna/constrained_codec.hh"
+
+#include <cmath>
+
+namespace dnastore {
+
+namespace {
+
+/** The three bases different from @p prev, in canonical order. */
+void
+alternatives(Base prev, Base out[3])
+{
+    int k = 0;
+    for (unsigned v = 0; v < 4; ++v) {
+        Base b = baseFromBits(v);
+        if (b != prev)
+            out[k++] = b;
+    }
+}
+
+/** Index of @p b among the three alternatives to @p prev; -1 if b==prev. */
+int
+tritOf(Base prev, Base b)
+{
+    if (b == prev)
+        return -1;
+    Base alt[3];
+    alternatives(prev, alt);
+    for (int t = 0; t < 3; ++t)
+        if (alt[t] == b)
+            return t;
+    return -1;
+}
+
+constexpr size_t kTritsPerByte = 6; // 3^6 = 729 >= 256
+
+} // namespace
+
+Strand
+encodeConstrained(const std::vector<uint8_t> &bytes, Base start)
+{
+    Strand out;
+    out.reserve(bytes.size() * kTritsPerByte);
+    Base prev = start;
+    for (uint8_t byte : bytes) {
+        // Base-3 digits of the byte, most significant first.
+        int digits[kTritsPerByte];
+        unsigned v = byte;
+        for (size_t i = kTritsPerByte; i-- > 0;) {
+            digits[i] = int(v % 3);
+            v /= 3;
+        }
+        for (int digit : digits) {
+            Base alt[3];
+            alternatives(prev, alt);
+            Base b = alt[digit];
+            out.push_back(b);
+            prev = b;
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+decodeConstrained(const Strand &s, Base start, bool *ok)
+{
+    if (ok)
+        *ok = true;
+    std::vector<uint8_t> out;
+    if (s.size() % kTritsPerByte != 0) {
+        if (ok)
+            *ok = false;
+        return out;
+    }
+    out.reserve(s.size() / kTritsPerByte);
+    Base prev = start;
+    for (size_t i = 0; i < s.size(); i += kTritsPerByte) {
+        unsigned value = 0;
+        for (size_t j = 0; j < kTritsPerByte; ++j) {
+            int trit = tritOf(prev, s[i + j]);
+            if (trit < 0) {
+                // Constraint violated: a repeated base proves an
+                // error at this position (paper section 2.1).
+                if (ok)
+                    *ok = false;
+                return out;
+            }
+            value = value * 3 + unsigned(trit);
+            prev = s[i + j];
+        }
+        if (value > 0xff) {
+            if (ok)
+                *ok = false;
+            return out;
+        }
+        out.push_back(uint8_t(value));
+    }
+    return out;
+}
+
+double
+constrainedDensity()
+{
+    return std::log2(3.0);
+}
+
+} // namespace dnastore

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Homopolymer-avoiding rotation codec (the Goldman-style constraint
+ * coding of paper section 2.1).
+ *
+ * Some sequencing chemistries misread runs of identical bases, so
+ * practical encoders avoid homopolymers at the cost of information
+ * density. This codec maps each 1.58-bit symbol (a ternary digit) to
+ * one base by *rotating* away from the previously emitted base: the
+ * three possible digits select among the three bases different from
+ * the previous one, so no two consecutive bases are ever equal.
+ *
+ * The paper's evaluation uses the maximum-density 2-bit/base mapping
+ * "without loss of generality"; this codec exists so the library
+ * covers the constrained regime too, and so the constraint-violation
+ * detection trick (a homopolymer in a read *proves* an error there)
+ * is available.
+ */
+
+#ifndef DNASTORE_DNA_CONSTRAINED_CODEC_HH
+#define DNASTORE_DNA_CONSTRAINED_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dna/strand.hh"
+
+namespace dnastore {
+
+/**
+ * Encode bytes into a homopolymer-free strand.
+ *
+ * The byte stream is re-expressed in base 3 (5 trits per byte, since
+ * 3^5 = 243 < 256 a 6th trit carries the overflow — concretely each
+ * byte maps to 6 trits of its base-3 representation, capacity
+ * 3^6 = 729 >= 256) and each trit rotates the base selection.
+ *
+ * @param bytes Input payload.
+ * @param start Base preceding the strand (defaults to A; the first
+ *              emitted base differs from it).
+ */
+Strand encodeConstrained(const std::vector<uint8_t> &bytes,
+                         Base start = Base::A);
+
+/**
+ * Decode a homopolymer-free strand back to bytes.
+ *
+ * @param s     Encoded strand (length must be a multiple of 6).
+ * @param start Must match the value given to encodeConstrained.
+ * @param ok    Set to false if the strand violates the constraint
+ *              (two equal consecutive bases) or has a bad length —
+ *              which, per the paper, doubles as error *detection*.
+ */
+std::vector<uint8_t> decodeConstrained(const Strand &s,
+                                       Base start = Base::A,
+                                       bool *ok = nullptr);
+
+/** Bits-per-base information density of this codec (log2(3) ~ 1.58). */
+double constrainedDensity();
+
+} // namespace dnastore
+
+#endif // DNASTORE_DNA_CONSTRAINED_CODEC_HH

@@ -1,0 +1,36 @@
+#include "dna/nucleotide.hh"
+
+namespace dnastore {
+
+char
+baseToChar(Base b)
+{
+    static constexpr char chars[kNumBases] = { 'A', 'C', 'G', 'T' };
+    return chars[static_cast<uint8_t>(b) & 3u];
+}
+
+Base
+charToBase(char c, bool *ok)
+{
+    if (ok)
+        *ok = true;
+    switch (c) {
+      case 'A': case 'a': return Base::A;
+      case 'C': case 'c': return Base::C;
+      case 'G': case 'g': return Base::G;
+      case 'T': case 't': return Base::T;
+      default:
+        if (ok)
+            *ok = false;
+        return Base::A;
+    }
+}
+
+Base
+complement(Base b)
+{
+    // A(00)<->T(11), C(01)<->G(10): complement is bitwise NOT in 2 bits.
+    return static_cast<Base>(~static_cast<uint8_t>(b) & 3u);
+}
+
+} // namespace dnastore

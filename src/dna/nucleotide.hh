@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Nucleotide base type and conversions.
+ */
+
+#ifndef DNASTORE_DNA_NUCLEOTIDE_HH
+#define DNASTORE_DNA_NUCLEOTIDE_HH
+
+#include <cstdint>
+
+namespace dnastore {
+
+/**
+ * One DNA base. The numeric values implement the paper's maximum-
+ * density coding scheme directly: 00=A, 01=C, 10=G, 11=T.
+ */
+enum class Base : uint8_t { A = 0, C = 1, G = 2, T = 3 };
+
+/** Number of distinct bases (alphabet size). */
+inline constexpr int kNumBases = 4;
+
+/** Convert a base to its character ('A', 'C', 'G', 'T'). */
+char baseToChar(Base b);
+
+/**
+ * Convert a character to a base.
+ *
+ * @param c One of "ACGTacgt".
+ * @param ok Set to false if @p c is not a valid base character.
+ */
+Base charToBase(char c, bool *ok = nullptr);
+
+/** Watson-Crick complement (A<->T, C<->G). */
+Base complement(Base b);
+
+/** Base from the low two bits of @p v. */
+inline Base
+baseFromBits(unsigned v)
+{
+    return static_cast<Base>(v & 3u);
+}
+
+/** Two-bit value of a base. */
+inline unsigned
+bitsFromBase(Base b)
+{
+    return static_cast<unsigned>(b);
+}
+
+} // namespace dnastore
+
+#endif // DNASTORE_DNA_NUCLEOTIDE_HH

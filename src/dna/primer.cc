@@ -1,0 +1,86 @@
+#include "dna/primer.hh"
+
+#include <algorithm>
+
+#include "util/rng.hh"
+
+namespace dnastore {
+
+namespace {
+
+/** Generate one primer satisfying GC and homopolymer constraints. */
+Strand
+generatePrimer(Rng &rng, size_t primer_len)
+{
+    for (;;) {
+        Strand p;
+        p.reserve(primer_len);
+        for (size_t i = 0; i < primer_len; ++i)
+            p.push_back(baseFromBits(unsigned(rng.nextBelow(4))));
+        double gc = gcContent(p);
+        if (primer_len >= 4 && (gc < 0.4 || gc > 0.6))
+            continue;
+        if (maxHomopolymerRun(p) > 3)
+            continue;
+        return p;
+    }
+}
+
+/** Edit distance between a strand window and a primer. */
+size_t
+windowDistance(const Strand &read, size_t begin, size_t len,
+               const Strand &primer)
+{
+    size_t end = std::min(read.size(), begin + len);
+    Strand window(read.begin() + long(begin), read.begin() + long(end));
+    return editDistance(window, primer);
+}
+
+} // namespace
+
+PrimerPair
+makePrimerPair(uint64_t key_id, size_t primer_len)
+{
+    // Mix the key id so that adjacent ids give unrelated primers.
+    Rng rng(key_id * 0x2545f4914f6cdd1dULL + 0x632be59bd9b4e019ULL);
+    PrimerPair pair;
+    pair.forward = generatePrimer(rng, primer_len);
+    pair.backward = generatePrimer(rng, primer_len);
+    return pair;
+}
+
+Strand
+attachPrimers(const PrimerPair &pair, const Strand &payload)
+{
+    Strand out;
+    out.reserve(pair.forward.size() + payload.size() +
+                pair.backward.size());
+    out.insert(out.end(), pair.forward.begin(), pair.forward.end());
+    out.insert(out.end(), payload.begin(), payload.end());
+    out.insert(out.end(), pair.backward.begin(), pair.backward.end());
+    return out;
+}
+
+bool
+stripPrimers(const PrimerPair &pair, const Strand &read,
+             size_t max_edits, Strand *payload)
+{
+    const size_t flen = pair.forward.size();
+    const size_t blen = pair.backward.size();
+    if (read.size() < flen + blen)
+        return false;
+
+    if (windowDistance(read, 0, flen, pair.forward) > max_edits)
+        return false;
+    if (windowDistance(read, read.size() - blen, blen, pair.backward) >
+        max_edits) {
+        return false;
+    }
+    if (payload) {
+        payload->assign(read.begin() + long(flen),
+                        read.end() - long(blen));
+    }
+    return true;
+}
+
+} // namespace dnastore

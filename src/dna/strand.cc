@@ -1,0 +1,109 @@
+#include "dna/strand.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnastore {
+
+std::string
+strandToString(const Strand &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (Base b : s)
+        out.push_back(baseToChar(b));
+    return out;
+}
+
+Strand
+strandFromString(const std::string &str)
+{
+    Strand out;
+    out.reserve(str.size());
+    for (char c : str) {
+        bool ok = false;
+        Base b = charToBase(c, &ok);
+        if (!ok)
+            throw std::invalid_argument("invalid base character in strand");
+        out.push_back(b);
+    }
+    return out;
+}
+
+Strand
+reversed(const Strand &s)
+{
+    return Strand(s.rbegin(), s.rend());
+}
+
+Strand
+reverseComplement(const Strand &s)
+{
+    Strand out;
+    out.reserve(s.size());
+    for (auto it = s.rbegin(); it != s.rend(); ++it)
+        out.push_back(complement(*it));
+    return out;
+}
+
+double
+gcContent(const Strand &s)
+{
+    if (s.empty())
+        return 0.0;
+    size_t gc = 0;
+    for (Base b : s)
+        if (b == Base::G || b == Base::C)
+            ++gc;
+    return double(gc) / double(s.size());
+}
+
+size_t
+maxHomopolymerRun(const Strand &s)
+{
+    size_t best = s.empty() ? 0 : 1;
+    size_t run = 1;
+    for (size_t i = 1; i < s.size(); ++i) {
+        if (s[i] == s[i - 1]) {
+            ++run;
+            best = std::max(best, run);
+        } else {
+            run = 1;
+        }
+    }
+    return best;
+}
+
+size_t
+editDistance(const Strand &a, const Strand &b)
+{
+    const size_t n = a.size(), m = b.size();
+    std::vector<size_t> row(m + 1);
+    for (size_t j = 0; j <= m; ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= n; ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= m; ++j) {
+            size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+            size_t best = std::min({ row[j] + 1, row[j - 1] + 1,
+                                     diag + cost });
+            diag = row[j];
+            row[j] = best;
+        }
+    }
+    return row[m];
+}
+
+size_t
+hammingDistance(const Strand &a, const Strand &b)
+{
+    size_t n = std::min(a.size(), b.size());
+    size_t d = 0;
+    for (size_t i = 0; i < n; ++i)
+        if (a[i] != b[i])
+            ++d;
+    return d;
+}
+
+} // namespace dnastore

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * DNA strand container and sequence-level utilities.
+ */
+
+#ifndef DNASTORE_DNA_STRAND_HH
+#define DNASTORE_DNA_STRAND_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dna/nucleotide.hh"
+
+namespace dnastore {
+
+/** A synthetic DNA strand: an ordered sequence of bases. */
+using Strand = std::vector<Base>;
+
+/** Render a strand as an ACGT string. */
+std::string strandToString(const Strand &s);
+
+/**
+ * Parse an ACGT string into a strand.
+ *
+ * @throws std::invalid_argument on any non-ACGT character.
+ */
+Strand strandFromString(const std::string &str);
+
+/** Reverse of a strand (no complementing). */
+Strand reversed(const Strand &s);
+
+/** Reverse complement, the form a strand takes on the opposite helix. */
+Strand reverseComplement(const Strand &s);
+
+/** Fraction of bases that are G or C, in [0, 1]; 0 for empty strands. */
+double gcContent(const Strand &s);
+
+/** Length of the longest run of a repeated base (homopolymer). */
+size_t maxHomopolymerRun(const Strand &s);
+
+/**
+ * Levenshtein edit distance between two strands (unit costs for
+ * insertion, deletion, and substitution).
+ */
+size_t editDistance(const Strand &a, const Strand &b);
+
+/** Number of positions where equal-length prefixes differ. */
+size_t hammingDistance(const Strand &a, const Strand &b);
+
+} // namespace dnastore
+
+#endif // DNASTORE_DNA_STRAND_HH

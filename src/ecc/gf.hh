@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Galois field GF(2^m) arithmetic, m = 2..16, table based.
+ *
+ * The paper's storage architecture uses Reed-Solomon codes over
+ * GF(2^16) (65535-symbol codewords); the benchmark-scale configuration
+ * uses GF(2^10). This class supports the whole range with log/antilog
+ * tables built from standard primitive polynomials.
+ */
+
+#ifndef DNASTORE_ECC_GF_HH
+#define DNASTORE_ECC_GF_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnastore {
+
+/** Finite field GF(2^m) with multiplication via log/antilog tables. */
+class GaloisField
+{
+  public:
+    /**
+     * Construct GF(2^m).
+     *
+     * @param m Field degree in [2, 16].
+     * @throws std::invalid_argument for unsupported degrees.
+     */
+    explicit GaloisField(unsigned m);
+
+    /** Field degree m (bits per symbol). */
+    unsigned degree() const { return m_; }
+
+    /** Number of nonzero elements, 2^m - 1 (= max codeword length). */
+    uint32_t order() const { return n_; }
+
+    /** Field size 2^m. */
+    uint32_t size() const { return n_ + 1; }
+
+    /** Add (= subtract) two elements. */
+    static uint32_t add(uint32_t a, uint32_t b) { return a ^ b; }
+
+    /** Multiply two elements. */
+    uint32_t
+    mul(uint32_t a, uint32_t b) const
+    {
+        if (a == 0 || b == 0)
+            return 0;
+        return exp_[log_[a] + log_[b]];
+    }
+
+    /** Divide a by b; b must be nonzero. */
+    uint32_t div(uint32_t a, uint32_t b) const;
+
+    /** Multiplicative inverse of a nonzero element. */
+    uint32_t inverse(uint32_t a) const;
+
+    /** a raised to integer power e (e may exceed the group order). */
+    uint32_t pow(uint32_t a, uint64_t e) const;
+
+    /** alpha^e for the canonical primitive element alpha. */
+    uint32_t
+    alphaPow(uint64_t e) const
+    {
+        return exp_[e % n_];
+    }
+
+    /** Discrete log base alpha of a nonzero element. */
+    uint32_t logOf(uint32_t a) const;
+
+    /** The primitive polynomial used (bit i = coefficient of x^i). */
+    uint32_t primitivePoly() const { return poly_; }
+
+  private:
+    unsigned m_;
+    uint32_t n_;
+    uint32_t poly_;
+    std::vector<uint32_t> exp_; // exp_[i] = alpha^i, length 2n
+    std::vector<uint32_t> log_; // log_[a] = i with alpha^i = a
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_ECC_GF_HH

@@ -1,0 +1,273 @@
+#include "ecc/rs.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnastore {
+
+namespace {
+
+/** Polynomial product, coefficients low-order first. */
+std::vector<uint32_t>
+polyMul(const GaloisField &gf, const std::vector<uint32_t> &a,
+        const std::vector<uint32_t> &b)
+{
+    std::vector<uint32_t> out(a.size() + b.size() - 1, 0);
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == 0)
+            continue;
+        for (size_t j = 0; j < b.size(); ++j)
+            out[i + j] ^= gf.mul(a[i], b[j]);
+    }
+    return out;
+}
+
+/** Evaluate a polynomial (low-first coefficients) at x. */
+uint32_t
+polyEval(const GaloisField &gf, const std::vector<uint32_t> &p,
+         uint32_t x)
+{
+    uint32_t acc = 0;
+    for (size_t i = p.size(); i-- > 0;)
+        acc = gf.mul(acc, x) ^ p[i];
+    return acc;
+}
+
+/** Formal derivative over GF(2^m): odd-degree terms survive. */
+std::vector<uint32_t>
+polyDerivative(const std::vector<uint32_t> &p)
+{
+    std::vector<uint32_t> d;
+    if (p.size() <= 1)
+        return { 0 };
+    d.resize(p.size() - 1, 0);
+    for (size_t i = 1; i < p.size(); ++i)
+        d[i - 1] = (i & 1) ? p[i] : 0;
+    return d;
+}
+
+} // namespace
+
+ReedSolomon::ReedSolomon(const GaloisField &gf, size_t n_par)
+    : gf_(gf), n_(gf.order()), nPar_(n_par)
+{
+    if (n_par == 0 || n_par >= n_)
+        throw std::invalid_argument("ReedSolomon: bad parity count");
+
+    // Generator g(x) = prod_{i=1}^{E} (x - alpha^i); roots at
+    // alpha^1 .. alpha^E so the Forney formula needs no position
+    // exponent correction (fcr = 1).
+    generator_ = { 1 };
+    for (size_t i = 1; i <= nPar_; ++i)
+        generator_ = polyMul(gf_, generator_, { gf_.alphaPow(i), 1 });
+}
+
+std::vector<uint32_t>
+ReedSolomon::encode(const std::vector<uint32_t> &data) const
+{
+    if (data.size() != k())
+        throw std::invalid_argument("ReedSolomon: data size != k");
+
+    // Systematic encoding: remainder of data * x^E divided by g(x).
+    // Work with the data high-order first for the long division.
+    std::vector<uint32_t> rem(nPar_, 0);
+    for (size_t i = data.size(); i-- > 0;) {
+        uint32_t feedback = data[i] ^ rem[nPar_ - 1];
+        for (size_t j = nPar_; j-- > 1;) {
+            rem[j] = rem[j - 1] ^
+                (feedback ? gf_.mul(feedback, generator_[j]) : 0);
+        }
+        rem[0] = feedback ? gf_.mul(feedback, generator_[0]) : 0;
+    }
+
+    std::vector<uint32_t> codeword;
+    codeword.reserve(n_);
+    codeword.insert(codeword.end(), data.begin(), data.end());
+    // Parity symbols: codeword positions k..n-1.
+    for (size_t j = 0; j < nPar_; ++j)
+        codeword.push_back(rem[j]);
+    return codeword;
+}
+
+std::vector<uint32_t>
+ReedSolomon::computeSyndromes(const std::vector<uint32_t> &cw) const
+{
+    // The codeword polynomial c(x) maps position i to the coefficient
+    // of x^i; we store data at positions [0, k) and parity at [k, n).
+    // Encoding guarantees c(alpha^j) = 0 for j = 1..E when the
+    // codeword polynomial is data * x^E + parity, i.e., coefficient
+    // order (parity low, data high). Build syndromes accordingly.
+    std::vector<uint32_t> syn(nPar_);
+    for (size_t j = 0; j < nPar_; ++j) {
+        const uint32_t a = gf_.alphaPow(j + 1);
+        uint32_t acc = 0;
+        // Horner over coefficients high-to-low: data (high part) first.
+        for (size_t i = k(); i-- > 0;)
+            acc = gf_.mul(acc, a) ^ cw[i];
+        for (size_t i = n_; i-- > k();)
+            acc = gf_.mul(acc, a) ^ cw[i];
+        syn[j] = acc;
+    }
+    return syn;
+}
+
+RsDecodeResult
+ReedSolomon::decode(std::vector<uint32_t> &codeword,
+                    const std::vector<size_t> &erasures) const
+{
+    RsDecodeResult result;
+    if (codeword.size() != n_)
+        return result;
+    if (erasures.size() > nPar_)
+        return result;
+
+    // Map external position (data index i, parity index) to the
+    // exponent of its coefficient in the codeword polynomial:
+    // data position i  -> degree E + i, parity position k+j -> degree j.
+    auto degree_of = [this](size_t pos) {
+        return pos < k() ? nPar_ + pos : pos - k();
+    };
+
+    // Zero out erased symbols so their (unknown) values do not
+    // contaminate the syndromes.
+    std::vector<uint32_t> work = codeword;
+    for (size_t pos : erasures) {
+        if (pos >= n_)
+            return result;
+        work[pos] = 0;
+    }
+
+    std::vector<uint32_t> syn = computeSyndromes(work);
+    bool all_zero = std::all_of(syn.begin(), syn.end(),
+                                [](uint32_t s) { return s == 0; });
+    if (all_zero && erasures.empty()) {
+        result.success = true;
+        return result;
+    }
+    if (all_zero) {
+        // Erased values happened to be zero already; accept.
+        codeword = work;
+        result.success = true;
+        result.erasuresCorrected = erasures.size();
+        return result;
+    }
+
+    // Erasure locator Gamma(x) = prod (1 - X_k x).
+    std::vector<uint32_t> gamma = { 1 };
+    for (size_t pos : erasures) {
+        uint32_t xk = gf_.alphaPow(degree_of(pos));
+        gamma = polyMul(gf_, gamma, { 1, xk });
+    }
+
+    // Modified syndromes T(x) = S(x) * Gamma(x) mod x^E.
+    std::vector<uint32_t> modified(nPar_, 0);
+    for (size_t i = 0; i < nPar_; ++i) {
+        uint32_t acc = 0;
+        for (size_t j = 0; j <= i && j < gamma.size(); ++j)
+            acc ^= gf_.mul(gamma[j], syn[i - j]);
+        modified[i] = acc;
+    }
+
+    // Berlekamp-Massey on the modified syndromes for the error locator.
+    const size_t rho = erasures.size();
+    std::vector<uint32_t> lambda = { 1 };
+    std::vector<uint32_t> prev = { 1 };
+    size_t l = 0;
+    for (size_t r = 0; r + rho < nPar_; ++r) {
+        uint32_t delta = modified[r + rho];
+        for (size_t i = 1; i < lambda.size() && i <= r + rho; ++i)
+            delta ^= gf_.mul(lambda[i], modified[r + rho - i]);
+        prev.insert(prev.begin(), 0); // prev *= x
+        if (delta != 0) {
+            if (2 * l <= r) {
+                std::vector<uint32_t> tmp = lambda;
+                // lambda -= delta * prev ; prev = old lambda / delta
+                if (prev.size() > lambda.size())
+                    lambda.resize(prev.size(), 0);
+                for (size_t i = 0; i < prev.size(); ++i)
+                    lambda[i] ^= gf_.mul(delta, prev[i]);
+                prev = tmp;
+                uint32_t inv = gf_.inverse(delta);
+                for (auto &c : prev)
+                    c = gf_.mul(c, inv);
+                l = r + 1 - l;
+            } else {
+                if (prev.size() > lambda.size())
+                    lambda.resize(prev.size(), 0);
+                for (size_t i = 0; i < prev.size(); ++i)
+                    lambda[i] ^= gf_.mul(delta, prev[i]);
+            }
+        }
+    }
+    while (!lambda.empty() && lambda.back() == 0)
+        lambda.pop_back();
+    if (lambda.empty())
+        return result;
+    const size_t n_errors = lambda.size() - 1;
+    if (2 * n_errors + rho > nPar_)
+        return result;
+
+    // Combined locator Psi = Lambda * Gamma; roots give all bad
+    // positions (errors + erasures).
+    std::vector<uint32_t> psi = polyMul(gf_, lambda, gamma);
+
+    // Chien search: position with degree d is bad iff
+    // Psi(alpha^{-d}) == 0.
+    std::vector<size_t> bad_positions;
+    std::vector<uint32_t> bad_x; // X_k = alpha^{d_k}
+    for (size_t pos = 0; pos < n_; ++pos) {
+        size_t d = degree_of(pos);
+        uint32_t x_inv = gf_.alphaPow(gf_.order() - (d % gf_.order()));
+        if (polyEval(gf_, psi, x_inv) == 0) {
+            bad_positions.push_back(pos);
+            bad_x.push_back(gf_.alphaPow(d));
+        }
+    }
+    if (bad_positions.size() != psi.size() - 1)
+        return result; // locator degree mismatch: decoding failure
+
+    // Error evaluator Omega(x) = S(x) * Psi(x) mod x^E.
+    std::vector<uint32_t> omega(nPar_, 0);
+    for (size_t i = 0; i < nPar_; ++i) {
+        uint32_t acc = 0;
+        for (size_t j = 0; j <= i && j < psi.size(); ++j)
+            acc ^= gf_.mul(psi[j], syn[i - j]);
+        omega[i] = acc;
+    }
+    std::vector<uint32_t> psi_deriv = polyDerivative(psi);
+
+    // Forney: e_k = Omega(X_k^{-1}) / Psi'(X_k^{-1})  (fcr = 1).
+    for (size_t idx = 0; idx < bad_positions.size(); ++idx) {
+        uint32_t x_inv = gf_.inverse(bad_x[idx]);
+        uint32_t num = polyEval(gf_, omega, x_inv);
+        uint32_t den = polyEval(gf_, psi_deriv, x_inv);
+        if (den == 0)
+            return result;
+        work[bad_positions[idx]] ^= gf_.div(num, den);
+    }
+
+    // Verify the correction actually produced a codeword.
+    std::vector<uint32_t> check = computeSyndromes(work);
+    if (!std::all_of(check.begin(), check.end(),
+                     [](uint32_t s) { return s == 0; })) {
+        return result;
+    }
+
+    codeword = work;
+    result.success = true;
+    result.erasuresCorrected = rho;
+    result.errorsCorrected = n_errors;
+    return result;
+}
+
+bool
+ReedSolomon::isCodeword(const std::vector<uint32_t> &codeword) const
+{
+    if (codeword.size() != n_)
+        return false;
+    auto syn = computeSyndromes(codeword);
+    return std::all_of(syn.begin(), syn.end(),
+                       [](uint32_t s) { return s == 0; });
+}
+
+} // namespace dnastore

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reed-Solomon codec with full errors-and-erasures decoding.
+ *
+ * Systematic RS(n, k) over GF(2^m) with n = 2^m - 1, exactly the
+ * construction of the paper's baseline storage architecture (Figure 1):
+ * each codeword row holds M = k data symbols and E = n - k redundancy
+ * symbols; the decoder corrects up to E erasures, or up to E/2 errors,
+ * or any mix with (2 * errors + erasures) <= E.
+ *
+ * Decoding is classical: syndromes, erasure-modified Berlekamp-Massey,
+ * Chien search, Forney's algorithm.
+ */
+
+#ifndef DNASTORE_ECC_RS_HH
+#define DNASTORE_ECC_RS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ecc/gf.hh"
+
+namespace dnastore {
+
+/** Outcome of a codeword decode. */
+struct RsDecodeResult
+{
+    bool success = false;          //!< True if decoding converged.
+    size_t errorsCorrected = 0;    //!< Unknown-location errors fixed.
+    size_t erasuresCorrected = 0;  //!< Erasure positions repaired.
+};
+
+/**
+ * Systematic Reed-Solomon codec over GF(2^m).
+ *
+ * Codewords are laid out data-first: positions [0, k) hold the data
+ * symbols, positions [k, n) the parity symbols.
+ */
+class ReedSolomon
+{
+  public:
+    /**
+     * @param gf    Field; codewords have n = gf.order() symbols.
+     * @param n_par Number of parity symbols E (0 < E < n).
+     */
+    ReedSolomon(const GaloisField &gf, size_t n_par);
+
+    /** Codeword length n. */
+    size_t n() const { return n_; }
+
+    /** Data symbols per codeword k = n - E. */
+    size_t k() const { return n_ - nPar_; }
+
+    /** Parity symbols per codeword E. */
+    size_t parity() const { return nPar_; }
+
+    /**
+     * Encode @p data (k symbols) into a codeword of n symbols.
+     *
+     * @throws std::invalid_argument if data.size() != k().
+     */
+    std::vector<uint32_t> encode(const std::vector<uint32_t> &data) const;
+
+    /**
+     * Decode a codeword in place.
+     *
+     * @param codeword  n received symbols; corrected on success.
+     * @param erasures  Known-bad positions (each in [0, n)); their
+     *                  symbol values are ignored.
+     * @return Decode status and correction counts. On failure the
+     *         codeword is left unmodified.
+     */
+    RsDecodeResult decode(std::vector<uint32_t> &codeword,
+                          const std::vector<size_t> &erasures = {}) const;
+
+    /** True if @p codeword is a valid codeword (all syndromes zero). */
+    bool isCodeword(const std::vector<uint32_t> &codeword) const;
+
+    /** The field this code is defined over. */
+    const GaloisField &field() const { return gf_; }
+
+  private:
+    std::vector<uint32_t> computeSyndromes(
+        const std::vector<uint32_t> &codeword) const;
+
+    const GaloisField &gf_;
+    size_t n_;
+    size_t nPar_;
+    std::vector<uint32_t> generator_; // generator polynomial, low-first
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_ECC_RS_HH

@@ -1,0 +1,118 @@
+#include "layout/codeword_map.hh"
+
+#include <stdexcept>
+
+namespace dnastore {
+
+CodewordMap::CodewordMap(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols)
+{
+    if (rows == 0 || cols == 0)
+        throw std::invalid_argument("CodewordMap: empty shape");
+}
+
+std::vector<uint32_t>
+CodewordMap::gather(const SymbolMatrix &m, size_t j) const
+{
+    std::vector<uint32_t> out(cols_);
+    for (size_t t = 0; t < cols_; ++t) {
+        MatrixPos p = position(j, t);
+        out[t] = m.at(p.row, p.col);
+    }
+    return out;
+}
+
+void
+CodewordMap::scatter(SymbolMatrix &m, size_t j,
+                     const std::vector<uint32_t> &symbols) const
+{
+    if (symbols.size() != cols_)
+        throw std::invalid_argument("CodewordMap: bad codeword length");
+    for (size_t t = 0; t < cols_; ++t) {
+        MatrixPos p = position(j, t);
+        m.at(p.row, p.col) = symbols[t];
+    }
+}
+
+BaselineMap::BaselineMap(size_t rows, size_t cols)
+    : CodewordMap(rows, cols)
+{
+}
+
+MatrixPos
+BaselineMap::position(size_t j, size_t t) const
+{
+    return { j, t };
+}
+
+CodewordPos
+BaselineMap::locate(size_t row, size_t col) const
+{
+    return { row, col };
+}
+
+GiniMap::GiniMap(size_t rows, size_t cols)
+    : CodewordMap(rows, cols)
+{
+}
+
+MatrixPos
+GiniMap::position(size_t j, size_t t) const
+{
+    return { (j + t) % rows_, t };
+}
+
+CodewordPos
+GiniMap::locate(size_t row, size_t col) const
+{
+    return { (row + rows_ - (col % rows_)) % rows_, col };
+}
+
+GiniClassMap::GiniClassMap(size_t rows, size_t cols,
+                           const std::vector<size_t> &reserved_rows)
+    : CodewordMap(rows, cols), reserved_(reserved_rows),
+      classOfRow_(rows, 0), isReserved_(rows, false)
+{
+    if (reserved_.size() >= rows)
+        throw std::invalid_argument(
+            "GiniClassMap: all rows reserved, nothing to interleave");
+    for (size_t i = 0; i < reserved_.size(); ++i) {
+        size_t row = reserved_[i];
+        if (row >= rows)
+            throw std::invalid_argument("GiniClassMap: bad reserved row");
+        if (isReserved_[row])
+            throw std::invalid_argument(
+                "GiniClassMap: duplicate reserved row");
+        isReserved_[row] = true;
+        classOfRow_[row] = i;
+    }
+    for (size_t row = 0; row < rows; ++row) {
+        if (!isReserved_[row]) {
+            classOfRow_[row] = interleaved_.size();
+            interleaved_.push_back(row);
+        }
+    }
+}
+
+MatrixPos
+GiniClassMap::position(size_t j, size_t t) const
+{
+    if (j < reserved_.size())
+        return { reserved_[j], t };
+    size_t jj = j - reserved_.size();
+    size_t n_inter = interleaved_.size();
+    return { interleaved_[(jj + t) % n_inter], t };
+}
+
+CodewordPos
+GiniClassMap::locate(size_t row, size_t col) const
+{
+    if (isReserved_[row])
+        return { classOfRow_[row], col };
+    size_t n_inter = interleaved_.size();
+    size_t local = classOfRow_[row];
+    size_t jj = (local + n_inter - (col % n_inter)) % n_inter;
+    return { reserved_.size() + jj, col };
+}
+
+} // namespace dnastore

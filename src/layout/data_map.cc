@@ -1,0 +1,63 @@
+#include "layout/data_map.hh"
+
+#include <stdexcept>
+
+#include "layout/row_rank.hh"
+
+namespace dnastore {
+
+MatrixPos
+dataSlotPosition(size_t p, size_t rows, size_t data_cols,
+                 DataPlacement placement)
+{
+    if (p >= rows * data_cols)
+        throw std::out_of_range("dataSlotPosition: slot out of range");
+    switch (placement) {
+      case DataPlacement::Baseline:
+        // Column-major: fill molecule 0 top to bottom, then molecule 1.
+        return { p % rows, p / rows };
+      case DataPlacement::Priority: {
+        static thread_local std::vector<size_t> cached_order;
+        static thread_local size_t cached_rows = 0;
+        if (cached_rows != rows) {
+            cached_order = rowReliabilityOrder(rows);
+            cached_rows = rows;
+        }
+        return { cached_order[p / data_cols], p % data_cols };
+      }
+    }
+    throw std::logic_error("dataSlotPosition: bad placement");
+}
+
+void
+placeData(SymbolMatrix &m, const std::vector<uint32_t> &symbols,
+          size_t data_cols, DataPlacement placement)
+{
+    if (data_cols > m.cols())
+        throw std::invalid_argument("placeData: data_cols > matrix cols");
+    if (symbols.size() != m.rows() * data_cols)
+        throw std::invalid_argument("placeData: bad symbol count");
+    for (size_t p = 0; p < symbols.size(); ++p) {
+        MatrixPos pos = dataSlotPosition(p, m.rows(), data_cols,
+                                         placement);
+        m.at(pos.row, pos.col) = symbols[p];
+    }
+}
+
+std::vector<uint32_t>
+extractData(const SymbolMatrix &m, size_t data_cols,
+            DataPlacement placement)
+{
+    if (data_cols > m.cols())
+        throw std::invalid_argument(
+            "extractData: data_cols > matrix cols");
+    std::vector<uint32_t> out(m.rows() * data_cols);
+    for (size_t p = 0; p < out.size(); ++p) {
+        MatrixPos pos = dataSlotPosition(p, m.rows(), data_cols,
+                                         placement);
+        out[p] = m.at(pos.row, pos.col);
+    }
+    return out;
+}
+
+} // namespace dnastore

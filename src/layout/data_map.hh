@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Data-to-matrix placement schemes.
+ *
+ * The data region of the encoding matrix is the first M columns (the
+ * remaining E columns hold parity molecules created per codeword after
+ * placement; see Figure 1). Two placements are provided:
+ *
+ *  - Baseline (Figure 1): symbols fill column by column, so each file
+ *    chunk maps to one molecule, oblivious to the reliability skew.
+ *  - Priority / DnaMapper (Figure 9): symbols arrive sorted from the
+ *    most to the least reliability-demanding; slot p goes to row
+ *    rowReliabilityOrder[p / M], column p % M, so the most demanding
+ *    M symbols stripe across the most reliable row, and so on zig-zag
+ *    towards the fragile middle rows.
+ */
+
+#ifndef DNASTORE_LAYOUT_DATA_MAP_HH
+#define DNASTORE_LAYOUT_DATA_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "layout/codeword_map.hh"
+#include "layout/matrix.hh"
+
+namespace dnastore {
+
+/** Placement policies for the data region. */
+enum class DataPlacement
+{
+    Baseline, //!< Column-major file order (Figure 1).
+    Priority, //!< Reliability-ranked zig-zag (Figure 9, DnaMapper).
+};
+
+/**
+ * Place @p symbols into the data region (columns [0, data_cols)).
+ *
+ * @param m         Target matrix.
+ * @param symbols   Exactly rows * data_cols symbols. For Priority
+ *                  placement they must be sorted by descending
+ *                  reliability need.
+ * @param data_cols Number of data columns M.
+ * @param placement Placement policy.
+ */
+void placeData(SymbolMatrix &m, const std::vector<uint32_t> &symbols,
+               size_t data_cols, DataPlacement placement);
+
+/**
+ * Inverse of placeData: read the data region back into symbol order.
+ */
+std::vector<uint32_t> extractData(const SymbolMatrix &m, size_t data_cols,
+                                  DataPlacement placement);
+
+/**
+ * The matrix cell of data slot @p p under a placement (exposed for
+ * tests and for per-slot reliability accounting).
+ */
+MatrixPos dataSlotPosition(size_t p, size_t rows, size_t data_cols,
+                           DataPlacement placement);
+
+} // namespace dnastore
+
+#endif // DNASTORE_LAYOUT_DATA_MAP_HH

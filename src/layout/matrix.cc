@@ -1,0 +1,47 @@
+#include "layout/matrix.hh"
+
+#include <stdexcept>
+
+namespace dnastore {
+
+SymbolMatrix::SymbolMatrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0)
+{
+    if (rows == 0 || cols == 0)
+        throw std::invalid_argument("SymbolMatrix: empty dimensions");
+}
+
+std::vector<uint32_t>
+SymbolMatrix::column(size_t col) const
+{
+    if (col >= cols_)
+        throw std::out_of_range("SymbolMatrix: column out of range");
+    std::vector<uint32_t> out(rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        out[r] = at(r, col);
+    return out;
+}
+
+void
+SymbolMatrix::setColumn(size_t col, const std::vector<uint32_t> &values)
+{
+    if (col >= cols_)
+        throw std::out_of_range("SymbolMatrix: column out of range");
+    if (values.size() != rows_)
+        throw std::invalid_argument("SymbolMatrix: bad column height");
+    for (size_t r = 0; r < rows_; ++r)
+        at(r, col) = values[r];
+}
+
+size_t
+SymbolMatrix::diffCount(const SymbolMatrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        throw std::invalid_argument("SymbolMatrix: shape mismatch");
+    size_t diff = 0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        diff += (data_[i] != other.data_[i]);
+    return diff;
+}
+
+} // namespace dnastore

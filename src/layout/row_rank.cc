@@ -1,0 +1,31 @@
+#include "layout/row_rank.hh"
+
+namespace dnastore {
+
+std::vector<size_t>
+rowReliabilityOrder(size_t rows)
+{
+    std::vector<size_t> order;
+    order.reserve(rows);
+    size_t lo = 0, hi = rows;
+    // The index sits before row 0, so the far end (last row) is the
+    // most reliable *data* location; alternate ends inward.
+    while (lo < hi) {
+        order.push_back(--hi);
+        if (lo < hi)
+            order.push_back(lo++);
+    }
+    return order;
+}
+
+std::vector<size_t>
+rowReliabilityRank(size_t rows)
+{
+    auto order = rowReliabilityOrder(rows);
+    std::vector<size_t> rank(rows, 0);
+    for (size_t r = 0; r < rows; ++r)
+        rank[order[r]] = r;
+    return rank;
+}
+
+} // namespace dnastore

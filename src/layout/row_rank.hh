@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Row reliability ranking for DnaMapper.
+ *
+ * After two-sided consensus the error probability is lowest at the two
+ * ends of a molecule and highest in the middle (Figure 4), and the
+ * ordering index occupies the very beginning. DnaMapper (Figure 9)
+ * therefore ranks the matrix rows zig-zag from the outside in: the
+ * last row is the most reliable data location, then the first, then
+ * the second-to-last, then the second, and so on; the middle rows
+ * come last. Crucially, only this *ranking* is needed — it is stable
+ * across sequencing technologies even though the skew magnitude is not
+ * (section 5.1).
+ */
+
+#ifndef DNASTORE_LAYOUT_ROW_RANK_HH
+#define DNASTORE_LAYOUT_ROW_RANK_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dnastore {
+
+/**
+ * Reliability ranking of matrix rows.
+ *
+ * @param rows Number of matrix rows S.
+ * @return Permutation `order` of [0, S): order[r] is the row holding
+ *         the r-th most reliable data class. order[0] = S-1 (last
+ *         row), order[1] = 0, order[2] = S-2, order[3] = 1, ...
+ */
+std::vector<size_t> rowReliabilityOrder(size_t rows);
+
+/**
+ * Inverse ranking: rank[row] = reliability rank of that row
+ * (0 = most reliable).
+ */
+std::vector<size_t> rowReliabilityRank(size_t rows);
+
+} // namespace dnastore
+
+#endif // DNASTORE_LAYOUT_ROW_RANK_HH

@@ -1,0 +1,97 @@
+#include "layout/uneven.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dnastore {
+
+std::vector<size_t>
+provisionUneven(const std::vector<double> &weights, size_t total_parity,
+                size_t row_len, size_t min_parity)
+{
+    const size_t rows = weights.size();
+    if (rows == 0)
+        throw std::invalid_argument("provisionUneven: no rows");
+    double sum = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            throw std::invalid_argument(
+                "provisionUneven: negative weight");
+        sum += w;
+    }
+    if (sum <= 0.0)
+        throw std::invalid_argument("provisionUneven: zero total weight");
+    const size_t max_parity = row_len - 1;
+    if (total_parity < rows * min_parity ||
+        total_parity > rows * max_parity) {
+        throw std::invalid_argument(
+            "provisionUneven: budget outside feasible range");
+    }
+
+    // Largest-remainder apportionment above the per-row floor.
+    const size_t spread = total_parity - rows * min_parity;
+    std::vector<size_t> parity(rows, min_parity);
+    std::vector<std::pair<double, size_t>> remainders;
+    size_t assigned = 0;
+    for (size_t r = 0; r < rows; ++r) {
+        double share = double(spread) * weights[r] / sum;
+        size_t base = size_t(share);
+        parity[r] += base;
+        assigned += base;
+        remainders.emplace_back(share - double(base), r);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    for (size_t i = 0; assigned < spread && i < remainders.size(); ++i) {
+        ++parity[remainders[i].second];
+        ++assigned;
+    }
+
+    // Clamp any row that overflowed its codeword and push the excess
+    // to the rows with the highest weights that still have room.
+    size_t excess = 0;
+    for (size_t r = 0; r < rows; ++r) {
+        if (parity[r] > max_parity) {
+            excess += parity[r] - max_parity;
+            parity[r] = max_parity;
+        }
+    }
+    while (excess > 0) {
+        size_t best = rows;
+        double best_w = -1.0;
+        for (size_t r = 0; r < rows; ++r) {
+            if (parity[r] < max_parity && weights[r] > best_w) {
+                best_w = weights[r];
+                best = r;
+            }
+        }
+        if (best == rows)
+            throw std::logic_error("provisionUneven: cannot place budget");
+        ++parity[best];
+        --excess;
+    }
+    return parity;
+}
+
+std::vector<double>
+syntheticSkewWeights(size_t rows, double peak_ratio)
+{
+    if (rows == 0)
+        throw std::invalid_argument("syntheticSkewWeights: no rows");
+    if (peak_ratio < 1.0)
+        throw std::invalid_argument(
+            "syntheticSkewWeights: peak_ratio must be >= 1");
+    std::vector<double> w(rows);
+    const double mid = double(rows - 1) / 2.0;
+    for (size_t r = 0; r < rows; ++r) {
+        // Raised-cosine bump peaking at the middle row.
+        double x = mid > 0.0 ? (double(r) - mid) / mid : 0.0;
+        double bump = 0.5 * (1.0 + std::cos(x * M_PI)); // 0 ends, 1 mid
+        w[r] = 1.0 + (peak_ratio - 1.0) * bump;
+    }
+    return w;
+}
+
+} // namespace dnastore

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unequal error correction (the straw-man of section 4.1, Figure 7).
+ *
+ * Uneven ECC provisions a different amount of Reed-Solomon redundancy
+ * per matrix row, proportional to an *assumed* skew profile: middle
+ * rows (least reliable after two-sided consensus) get more parity,
+ * outer rows less. The paper's argument — which the ablation bench
+ * reproduces — is that the skew magnitude depends on coverage and
+ * sequencing technology, neither of which is knowable at encoding
+ * time, so any static provisioning is brittle: provisioned-for-N
+ * redundancy fails when the data is read at N-1.
+ */
+
+#ifndef DNASTORE_LAYOUT_UNEVEN_HH
+#define DNASTORE_LAYOUT_UNEVEN_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dnastore {
+
+/**
+ * Split a total parity budget across rows proportionally to weights.
+ *
+ * @param weights      Per-row expected error weight (e.g., a measured
+ *                     or assumed skew profile); must be non-negative
+ *                     with a positive sum.
+ * @param total_parity Total parity symbols to distribute (the same
+ *                     budget the even scheme would spend: S * E).
+ * @param row_len      Codeword length n of each row; each row receives
+ *                     at least @p min_parity and at most row_len - 1.
+ * @param min_parity   Floor per row (default 2).
+ * @return Per-row parity counts summing to @p total_parity (up to
+ *         rounding pushed into the largest-weight rows).
+ */
+std::vector<size_t> provisionUneven(const std::vector<double> &weights,
+                                    size_t total_parity, size_t row_len,
+                                    size_t min_parity = 2);
+
+/**
+ * A symmetric skew-profile template: weight grows from the ends
+ * towards the middle following the shape of the two-sided consensus
+ * error curve. @p peak_ratio is the middle-to-end weight ratio.
+ */
+std::vector<double> syntheticSkewWeights(size_t rows, double peak_ratio);
+
+} // namespace dnastore
+
+#endif // DNASTORE_LAYOUT_UNEVEN_HH

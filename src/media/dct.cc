@@ -1,0 +1,154 @@
+#include "media/dct.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnastore {
+
+namespace {
+
+/** cosTable[u][x] = cos((2x+1) u pi / 16) * scale(u). */
+struct DctTables
+{
+    double basis[8][8];
+
+    DctTables()
+    {
+        for (int u = 0; u < 8; ++u) {
+            double scale = (u == 0) ? std::sqrt(1.0 / 8.0)
+                                    : std::sqrt(2.0 / 8.0);
+            for (int x = 0; x < 8; ++x) {
+                basis[u][x] = scale *
+                    std::cos((2.0 * x + 1.0) * u * M_PI / 16.0);
+            }
+        }
+    }
+};
+
+const DctTables &
+tables()
+{
+    static const DctTables t;
+    return t;
+}
+
+/** Standard JPEG luminance quantization table (Annex K), raster order. */
+constexpr uint16_t kBaseQuant[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+};
+
+} // namespace
+
+Block
+forwardDct(const Block &spatial)
+{
+    const auto &t = tables();
+    // Separable transform: rows, then columns.
+    Block tmp{};
+    for (int y = 0; y < 8; ++y) {
+        for (int u = 0; u < 8; ++u) {
+            double acc = 0.0;
+            for (int x = 0; x < 8; ++x)
+                acc += spatial[y * 8 + x] * t.basis[u][x];
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    Block out{};
+    for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+            double acc = 0.0;
+            for (int y = 0; y < 8; ++y)
+                acc += tmp[y * 8 + u] * t.basis[v][y];
+            out[v * 8 + u] = acc;
+        }
+    }
+    return out;
+}
+
+Block
+inverseDct(const Block &freq)
+{
+    const auto &t = tables();
+    Block tmp{};
+    for (int u = 0; u < 8; ++u) {
+        for (int y = 0; y < 8; ++y) {
+            double acc = 0.0;
+            for (int v = 0; v < 8; ++v)
+                acc += freq[v * 8 + u] * t.basis[v][y];
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    Block out{};
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            double acc = 0.0;
+            for (int u = 0; u < 8; ++u)
+                acc += tmp[y * 8 + u] * t.basis[u][x];
+            out[y * 8 + x] = acc;
+        }
+    }
+    return out;
+}
+
+std::array<uint16_t, 64>
+quantTable(int quality)
+{
+    if (quality < 1 || quality > 100)
+        throw std::invalid_argument("quantTable: quality not in [1,100]");
+    int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+    std::array<uint16_t, 64> out{};
+    for (int i = 0; i < 64; ++i) {
+        int q = (int(kBaseQuant[i]) * scale + 50) / 100;
+        out[i] = uint16_t(std::clamp(q, 1, 255));
+    }
+    return out;
+}
+
+QuantBlock
+quantize(const Block &freq, const std::array<uint16_t, 64> &table)
+{
+    QuantBlock out{};
+    for (int i = 0; i < 64; ++i)
+        out[i] = int16_t(std::lround(freq[i] / double(table[i])));
+    return out;
+}
+
+Block
+dequantize(const QuantBlock &q, const std::array<uint16_t, 64> &table)
+{
+    Block out{};
+    for (int i = 0; i < 64; ++i)
+        out[i] = double(q[i]) * double(table[i]);
+    return out;
+}
+
+const std::array<uint8_t, 64> &
+zigzagOrder()
+{
+    static const std::array<uint8_t, 64> order = [] {
+        std::array<uint8_t, 64> o{};
+        int idx = 0;
+        for (int s = 0; s < 15; ++s) {
+            if (s % 2 == 0) {
+                // Walk the anti-diagonal upwards.
+                for (int y = std::min(s, 7); y >= std::max(0, s - 7); --y)
+                    o[idx++] = uint8_t(y * 8 + (s - y));
+            } else {
+                for (int y = std::max(0, s - 7); y <= std::min(s, 7); ++y)
+                    o[idx++] = uint8_t(y * 8 + (s - y));
+            }
+        }
+        return o;
+    }();
+    return order;
+}
+
+} // namespace dnastore

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * 8x8 block DCT, quantization tables, and zig-zag scan.
+ *
+ * The transform stage of the JPEG-like codec: type-II DCT on level-
+ * shifted 8x8 blocks, quantization by the standard JPEG luminance
+ * table scaled with the conventional quality formula, and the JPEG
+ * zig-zag coefficient order.
+ */
+
+#ifndef DNASTORE_MEDIA_DCT_HH
+#define DNASTORE_MEDIA_DCT_HH
+
+#include <array>
+#include <cstdint>
+
+namespace dnastore {
+
+/** One 8x8 block of spatial samples or DCT coefficients. */
+using Block = std::array<double, 64>;
+
+/** Quantized coefficients of a block. */
+using QuantBlock = std::array<int16_t, 64>;
+
+/** Forward 8x8 DCT-II of a (level-shifted) spatial block. */
+Block forwardDct(const Block &spatial);
+
+/** Inverse 8x8 DCT (DCT-III) back to the spatial domain. */
+Block inverseDct(const Block &freq);
+
+/**
+ * The quantization table for a quality setting in [1, 100], derived
+ * from the standard JPEG luminance table with the usual scaling
+ * (quality 50 = the table itself; higher is finer).
+ */
+std::array<uint16_t, 64> quantTable(int quality);
+
+/** Quantize DCT coefficients (round to nearest). */
+QuantBlock quantize(const Block &freq,
+                    const std::array<uint16_t, 64> &table);
+
+/** Dequantize back to coefficient space. */
+Block dequantize(const QuantBlock &q,
+                 const std::array<uint16_t, 64> &table);
+
+/** Zig-zag scan order: zigzagOrder()[i] = raster index of scan slot i. */
+const std::array<uint8_t, 64> &zigzagOrder();
+
+} // namespace dnastore
+
+#endif // DNASTORE_MEDIA_DCT_HH

@@ -1,0 +1,118 @@
+#include "media/huffman.hh"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace dnastore {
+
+HuffmanCode::HuffmanCode(const std::vector<uint64_t> &freqs)
+{
+    const size_t n = freqs.size();
+    if (n < 2)
+        throw std::invalid_argument("HuffmanCode: need >= 2 symbols");
+
+    // Standard Huffman tree construction over (weight, node) pairs;
+    // zero frequencies are bumped to 1 so every symbol is encodable.
+    struct Node
+    {
+        uint64_t weight;
+        int left = -1, right = -1; // children, or -1 for leaves
+        size_t symbol = 0;
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(2 * n);
+    using HeapItem = std::pair<uint64_t, int>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<>> heap;
+    for (size_t s = 0; s < n; ++s) {
+        nodes.push_back({ std::max<uint64_t>(freqs[s], 1), -1, -1, s });
+        heap.emplace(nodes.back().weight, int(s));
+    }
+    while (heap.size() > 1) {
+        auto [wa, a] = heap.top();
+        heap.pop();
+        auto [wb, b] = heap.top();
+        heap.pop();
+        nodes.push_back({ wa + wb, a, b, 0 });
+        heap.emplace(wa + wb, int(nodes.size() - 1));
+    }
+
+    // Depth-first walk to collect code lengths.
+    lengths_.assign(n, 0);
+    std::vector<std::pair<int, int>> stack{ { heap.top().second, 0 } };
+    while (!stack.empty()) {
+        auto [idx, depth] = stack.back();
+        stack.pop_back();
+        const Node &node = nodes[size_t(idx)];
+        if (node.left < 0) {
+            lengths_[node.symbol] = std::max(depth, 1);
+        } else {
+            stack.push_back({ node.left, depth + 1 });
+            stack.push_back({ node.right, depth + 1 });
+        }
+    }
+
+    // Canonicalize: sort symbols by (length, symbol), assign
+    // consecutive codes per length.
+    maxLen_ = *std::max_element(lengths_.begin(), lengths_.end());
+    symbolByRank_.resize(n);
+    for (size_t s = 0; s < n; ++s)
+        symbolByRank_[s] = uint32_t(s);
+    std::sort(symbolByRank_.begin(), symbolByRank_.end(),
+              [this](uint32_t a, uint32_t b) {
+                  if (lengths_[a] != lengths_[b])
+                      return lengths_[a] < lengths_[b];
+                  return a < b;
+              });
+
+    countAtLen_.assign(size_t(maxLen_) + 1, 0);
+    for (size_t s = 0; s < n; ++s)
+        ++countAtLen_[size_t(lengths_[s])];
+
+    firstCode_.assign(size_t(maxLen_) + 1, 0);
+    firstIndex_.assign(size_t(maxLen_) + 1, 0);
+    uint32_t code = 0;
+    uint32_t index = 0;
+    for (int len = 1; len <= maxLen_; ++len) {
+        firstCode_[size_t(len)] = code;
+        firstIndex_[size_t(len)] = index;
+        code = (code + countAtLen_[size_t(len)]) << 1;
+        index += countAtLen_[size_t(len)];
+    }
+
+    codes_.assign(n, 0);
+    for (size_t rank = 0; rank < n; ++rank) {
+        uint32_t sym = symbolByRank_[rank];
+        int len = lengths_[sym];
+        codes_[sym] = firstCode_[size_t(len)] +
+            (uint32_t(rank) - firstIndex_[size_t(len)]);
+    }
+}
+
+void
+HuffmanCode::encode(BitWriter &w, size_t symbol) const
+{
+    w.writeBits(codes_[symbol], lengths_[symbol]);
+}
+
+int
+HuffmanCode::decode(BitReader &r) const
+{
+    uint32_t code = 0;
+    for (int len = 1; len <= maxLen_; ++len) {
+        code = (code << 1) | uint32_t(r.readBit());
+        if (r.exhausted())
+            return -1;
+        uint32_t count = countAtLen_[size_t(len)];
+        if (count > 0 && code >= firstCode_[size_t(len)] &&
+            code < firstCode_[size_t(len)] + count) {
+            uint32_t rank = firstIndex_[size_t(len)] +
+                (code - firstCode_[size_t(len)]);
+            return int(symbolByRank_[rank]);
+        }
+    }
+    return -1; // no code of any length matches: corrupt stream
+}
+
+} // namespace dnastore

@@ -1,0 +1,126 @@
+#include "media/image.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace dnastore {
+
+Image::Image(size_t width, size_t height, uint8_t fill)
+    : width_(width), height_(height), pixels_(width * height, fill)
+{
+}
+
+uint8_t
+Image::atClamped(long x, long y) const
+{
+    if (empty())
+        return 0;
+    long cx = std::clamp(x, 0L, long(width_) - 1);
+    long cy = std::clamp(y, 0L, long(height_) - 1);
+    return at(size_t(cx), size_t(cy));
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        throw std::invalid_argument("psnr: shape mismatch");
+    if (a.empty())
+        throw std::invalid_argument("psnr: empty images");
+    double sse = 0.0;
+    const auto &pa = a.pixels();
+    const auto &pb = b.pixels();
+    for (size_t i = 0; i < pa.size(); ++i) {
+        double d = double(pa[i]) - double(pb[i]);
+        sse += d * d;
+    }
+    if (sse == 0.0)
+        return std::numeric_limits<double>::infinity();
+    double mse = sse / double(pa.size());
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double
+psnrCapped(const Image &a, const Image &b, double cap_db)
+{
+    return std::min(psnr(a, b), cap_db);
+}
+
+double
+qualityLossDb(const Image &reference, const Image &test, double cap_db)
+{
+    return cap_db - psnrCapped(reference, test, cap_db);
+}
+
+std::vector<uint8_t>
+writePgm(const Image &img)
+{
+    char header[64];
+    int n = std::snprintf(header, sizeof(header), "P5\n%zu %zu\n255\n",
+                          img.width(), img.height());
+    std::vector<uint8_t> out(header, header + n);
+    out.insert(out.end(), img.pixels().begin(), img.pixels().end());
+    return out;
+}
+
+void
+savePgm(const Image &img, const std::string &path)
+{
+    auto bytes = writePgm(img);
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("savePgm: cannot open " + path);
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            std::streamsize(bytes.size()));
+    if (!f)
+        throw std::runtime_error("savePgm: write failed for " + path);
+}
+
+Image
+readPgm(const std::vector<uint8_t> &bytes)
+{
+    size_t pos = 0;
+    auto skip_space = [&]() {
+        while (pos < bytes.size() &&
+               (bytes[pos] == ' ' || bytes[pos] == '\n' ||
+                bytes[pos] == '\t' || bytes[pos] == '\r')) {
+            ++pos;
+        }
+    };
+    auto read_int = [&]() -> size_t {
+        skip_space();
+        size_t v = 0;
+        bool any = false;
+        while (pos < bytes.size() && bytes[pos] >= '0' &&
+               bytes[pos] <= '9') {
+            v = v * 10 + size_t(bytes[pos] - '0');
+            ++pos;
+            any = true;
+        }
+        if (!any)
+            throw std::invalid_argument("readPgm: bad integer");
+        return v;
+    };
+
+    if (bytes.size() < 2 || bytes[0] != 'P' || bytes[1] != '5')
+        throw std::invalid_argument("readPgm: not a P5 PGM");
+    pos = 2;
+    size_t w = read_int();
+    size_t h = read_int();
+    size_t maxval = read_int();
+    if (maxval != 255)
+        throw std::invalid_argument("readPgm: only maxval 255 supported");
+    ++pos; // single whitespace after maxval
+    if (bytes.size() - pos < w * h)
+        throw std::invalid_argument("readPgm: truncated pixel data");
+    Image img(w, h);
+    std::copy(bytes.begin() + long(pos),
+              bytes.begin() + long(pos + w * h), img.pixels().begin());
+    return img;
+}
+
+} // namespace dnastore

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Grayscale image container, PSNR, and PGM I/O.
+ */
+
+#ifndef DNASTORE_MEDIA_IMAGE_HH
+#define DNASTORE_MEDIA_IMAGE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnastore {
+
+/** An 8-bit grayscale image. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Create a @p width x @p height image filled with @p fill. */
+    Image(size_t width, size_t height, uint8_t fill = 0);
+
+    size_t width() const { return width_; }
+    size_t height() const { return height_; }
+    size_t pixelCount() const { return width_ * height_; }
+    bool empty() const { return pixelCount() == 0; }
+
+    /** Pixel access (row-major). */
+    uint8_t &
+    at(size_t x, size_t y)
+    {
+        return pixels_[y * width_ + x];
+    }
+
+    uint8_t
+    at(size_t x, size_t y) const
+    {
+        return pixels_[y * width_ + x];
+    }
+
+    /**
+     * Clamped read: coordinates outside the image read the nearest
+     * edge pixel (used for block padding).
+     */
+    uint8_t atClamped(long x, long y) const;
+
+    /** Raw pixel buffer. */
+    const std::vector<uint8_t> &pixels() const { return pixels_; }
+    std::vector<uint8_t> &pixels() { return pixels_; }
+
+  private:
+    size_t width_ = 0;
+    size_t height_ = 0;
+    std::vector<uint8_t> pixels_;
+};
+
+/**
+ * Peak signal-to-noise ratio between two same-shape images, in dB.
+ * Identical images give +infinity.
+ *
+ * @throws std::invalid_argument on shape mismatch.
+ */
+double psnr(const Image &a, const Image &b);
+
+/**
+ * PSNR capped at @p cap_db, so "identical" compares as cap_db and
+ * quality loss (cap - psnrCapped) is 0 for a perfect retrieval. The
+ * paper treats up to 1 dB of loss as unnoticeable (section 7.2).
+ */
+double psnrCapped(const Image &a, const Image &b, double cap_db = 60.0);
+
+/** Quality loss of @p test relative to @p reference, in dB (>= 0). */
+double qualityLossDb(const Image &reference, const Image &test,
+                     double cap_db = 60.0);
+
+/** Serialize as binary PGM (P5). */
+std::vector<uint8_t> writePgm(const Image &img);
+
+/** Write a PGM file to disk. @throws std::runtime_error on failure. */
+void savePgm(const Image &img, const std::string &path);
+
+/**
+ * Parse a binary PGM (P5) buffer.
+ *
+ * @throws std::invalid_argument on malformed input.
+ */
+Image readPgm(const std::vector<uint8_t> &bytes);
+
+} // namespace dnastore
+
+#endif // DNASTORE_MEDIA_IMAGE_HH

@@ -1,0 +1,59 @@
+#include "media/ranking.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "media/sjpeg.hh"
+#include "util/bitio.hh"
+
+namespace dnastore {
+
+std::vector<double>
+bitFlipQualityLoss(const std::vector<uint8_t> &file, size_t stride,
+                   double cap_db)
+{
+    if (stride == 0)
+        throw std::invalid_argument("bitFlipQualityLoss: zero stride");
+    SjpegDecodeResult clean = sjpegDecode(file);
+    if (!clean.complete)
+        throw std::invalid_argument(
+            "bitFlipQualityLoss: reference file does not decode");
+    const Image &reference = clean.image;
+
+    const size_t n_bits = file.size() * 8;
+    std::vector<double> loss;
+    loss.reserve(n_bits / stride + 1);
+    std::vector<uint8_t> work = file;
+    for (size_t bit = 0; bit < n_bits; bit += stride) {
+        flipBit(work, bit);
+        Image decoded = sjpegDecodeOrGray(work, reference.width(),
+                                          reference.height());
+        loss.push_back(qualityLossDb(reference, decoded, cap_db));
+        flipBit(work, bit); // restore
+    }
+    return loss;
+}
+
+std::vector<size_t>
+positionBitRanking(size_t n_bits)
+{
+    std::vector<size_t> rank(n_bits);
+    std::iota(rank.begin(), rank.end(), size_t(0));
+    return rank;
+}
+
+std::vector<size_t>
+oracleBitRanking(const std::vector<uint8_t> &file, double cap_db)
+{
+    std::vector<double> loss = bitFlipQualityLoss(file, 1, cap_db);
+    std::vector<size_t> rank(loss.size());
+    std::iota(rank.begin(), rank.end(), size_t(0));
+    std::stable_sort(rank.begin(), rank.end(),
+                     [&loss](size_t a, size_t b) {
+                         return loss[a] > loss[b];
+                     });
+    return rank;
+}
+
+} // namespace dnastore

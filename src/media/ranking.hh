@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bit-priority ranking methods for image files.
+ *
+ * DnaMapper needs data bits ranked by how much damage their corruption
+ * causes. Two rankings are provided, matching the paper:
+ *
+ *  - Position heuristic (section 5.3): earlier file bits matter more.
+ *    It needs no metadata, never looks at the content (so it works on
+ *    ciphertext), and costs nothing.
+ *  - Oracle (section 7.3): flip every bit, decode, measure the PSNR
+ *    loss, and sort. Exhaustive, content-dependent, storage-hungry —
+ *    the upper-bound comparison of Figure 16.
+ */
+
+#ifndef DNASTORE_MEDIA_RANKING_HH
+#define DNASTORE_MEDIA_RANKING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnastore {
+
+/**
+ * PSNR quality loss caused by flipping each bit of an encoded image
+ * file (the measurement behind Figure 10).
+ *
+ * The loss reference is the clean decode of @p file; a flip that makes
+ * the file undecodable scores the full capped loss.
+ *
+ * @param file   An SJPG-encoded image.
+ * @param stride Measure every stride-th bit (1 = all bits).
+ * @param cap_db PSNR cap defining the loss scale.
+ * @return loss[i] = quality loss (dB) of flipping bit i * stride.
+ */
+std::vector<double> bitFlipQualityLoss(const std::vector<uint8_t> &file,
+                                       size_t stride = 1,
+                                       double cap_db = 60.0);
+
+/**
+ * Position-based priority ranking: bit i has priority rank i.
+ * Returned explicitly for symmetry with the oracle.
+ */
+std::vector<size_t> positionBitRanking(size_t n_bits);
+
+/**
+ * Oracle ranking: bits sorted by descending single-flip quality loss
+ * (ties keep file order). Exhaustive: decodes the file once per bit.
+ */
+std::vector<size_t> oracleBitRanking(const std::vector<uint8_t> &file,
+                                     double cap_db = 60.0);
+
+} // namespace dnastore
+
+#endif // DNASTORE_MEDIA_RANKING_HH

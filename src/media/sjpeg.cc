@@ -1,0 +1,286 @@
+#include "media/sjpeg.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "media/dct.hh"
+#include "media/huffman.hh"
+#include "util/bitio.hh"
+
+namespace dnastore {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = { 'S', 'J', 'P', 'G' };
+constexpr size_t kHeaderBytes = 4 + 2 + 2 + 1; // magic, w, h, quality
+
+constexpr int kMaxCategory = 12;  // DC difference categories 0..12
+constexpr int kEob = 0x00;        // AC end-of-block symbol (run=0,size=0)
+constexpr int kZrl = 0xf0;        // AC 16-zero run symbol (run=15,size=0)
+
+/** Static DC-category frequencies: small differences dominate. */
+const HuffmanCode &
+dcCode()
+{
+    static const HuffmanCode code([] {
+        std::vector<uint64_t> f(kMaxCategory + 1);
+        for (int cat = 0; cat <= kMaxCategory; ++cat)
+            f[size_t(cat)] = uint64_t(1) << (kMaxCategory + 2 -
+                                             std::min(cat, kMaxCategory));
+        return f;
+    }());
+    return code;
+}
+
+/**
+ * Static AC (run, size) frequencies: low run and small size dominate,
+ * EOB is the most common symbol. Symbols are run * 16 + size with
+ * size in [1, 10], plus EOB and ZRL.
+ */
+const HuffmanCode &
+acCode()
+{
+    static const HuffmanCode code([] {
+        std::vector<uint64_t> f(256, 0);
+        f[kEob] = 1u << 20;
+        f[kZrl] = 1u << 8;
+        for (int run = 0; run <= 15; ++run) {
+            for (int size = 1; size <= 10; ++size) {
+                double w = double(1u << 18) /
+                    ((run + 1.0) * (run + 1.0) * double(1u << size));
+                f[size_t(run * 16 + size)] =
+                    std::max<uint64_t>(1, uint64_t(w));
+            }
+        }
+        return f;
+    }());
+    return code;
+}
+
+/** JPEG magnitude category: number of bits to represent |v|. */
+int
+category(int v)
+{
+    int a = std::abs(v);
+    int bits = 0;
+    while (a) {
+        ++bits;
+        a >>= 1;
+    }
+    return bits;
+}
+
+/** JPEG-style magnitude bits: negatives are stored one's-complement. */
+uint32_t
+magnitudeBits(int v, int cat)
+{
+    if (v >= 0)
+        return uint32_t(v);
+    return uint32_t(v + (1 << cat) - 1);
+}
+
+int
+magnitudeValue(uint32_t bits, int cat)
+{
+    if (cat == 0)
+        return 0;
+    if (bits < (1u << (cat - 1)))
+        return int(bits) - (1 << cat) + 1;
+    return int(bits);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+sjpegEncode(const Image &img, int quality)
+{
+    if (img.empty())
+        throw std::invalid_argument("sjpegEncode: empty image");
+    if (img.width() > 0xffff || img.height() > 0xffff)
+        throw std::invalid_argument("sjpegEncode: image too large");
+
+    const auto qtable = quantTable(quality);
+    const auto &zz = zigzagOrder();
+    const size_t bw = (img.width() + 7) / 8;
+    const size_t bh = (img.height() + 7) / 8;
+
+    BitWriter w;
+    for (uint8_t m : kMagic)
+        w.writeBits(m, 8);
+    w.writeBits(uint32_t(img.width()), 16);
+    w.writeBits(uint32_t(img.height()), 16);
+    w.writeBits(uint32_t(quality), 8);
+
+    int prev_dc = 0;
+    for (size_t by = 0; by < bh; ++by) {
+        for (size_t bx = 0; bx < bw; ++bx) {
+            Block spatial{};
+            for (int y = 0; y < 8; ++y)
+                for (int x = 0; x < 8; ++x)
+                    spatial[size_t(y * 8 + x)] =
+                        double(img.atClamped(long(bx * 8 + size_t(x)),
+                                             long(by * 8 + size_t(y)))) -
+                        128.0;
+            QuantBlock q = quantize(forwardDct(spatial), qtable);
+
+            // DC difference.
+            int diff = q[0] - prev_dc;
+            prev_dc = q[0];
+            int cat = category(diff);
+            dcCode().encode(w, size_t(cat));
+            if (cat > 0)
+                w.writeBits(magnitudeBits(diff, cat), cat);
+
+            // AC run-length coding in zig-zag order.
+            int run = 0;
+            for (int i = 1; i < 64; ++i) {
+                int v = q[zz[size_t(i)]];
+                if (v == 0) {
+                    ++run;
+                    continue;
+                }
+                while (run >= 16) {
+                    acCode().encode(w, kZrl);
+                    run -= 16;
+                }
+                int size = category(v);
+                // Clamp to the representable size range (10 bits is
+                // plenty for quality <= 100 coefficients).
+                size = std::min(size, 10);
+                int clamped = std::clamp(v, -(1 << size) + 1,
+                                         (1 << size) - 1);
+                acCode().encode(w, size_t(run * 16 + size));
+                w.writeBits(magnitudeBits(clamped, size), size);
+                run = 0;
+            }
+            if (run > 0)
+                acCode().encode(w, kEob);
+        }
+    }
+    return w.take();
+}
+
+SjpegDecodeResult
+sjpegDecode(const std::vector<uint8_t> &bytes)
+{
+    SjpegDecodeResult result;
+    if (bytes.size() < kHeaderBytes)
+        return result;
+
+    BitReader r(bytes);
+    for (uint8_t m : kMagic)
+        if (r.readBits(8) != m)
+            return result;
+    size_t width = r.readBits(16);
+    size_t height = r.readBits(16);
+    int quality = int(r.readBits(8));
+    if (width == 0 || height == 0 || quality < 1 || quality > 100)
+        return result;
+
+    result.headerOk = true;
+    result.image = Image(width, height, 128);
+    const auto qtable = quantTable(quality);
+    const auto &zz = zigzagOrder();
+    const size_t bw = (width + 7) / 8;
+    const size_t bh = (height + 7) / 8;
+    result.blocksTotal = bw * bh;
+
+    int prev_dc = 0;
+    bool broken = false;
+    for (size_t b = 0; b < bw * bh && !broken; ++b) {
+        QuantBlock q{};
+        int cat = dcCode().decode(r);
+        if (cat < 0) {
+            broken = true;
+            break;
+        }
+        uint32_t mag = uint32_t(r.readBits(cat));
+        if (r.exhausted()) {
+            broken = true;
+            break;
+        }
+        prev_dc += magnitudeValue(mag, cat);
+        q[0] = int16_t(std::clamp(prev_dc, -32768, 32767));
+
+        int i = 1;
+        while (i < 64) {
+            int sym = acCode().decode(r);
+            if (sym < 0) {
+                broken = true;
+                break;
+            }
+            if (sym == kEob)
+                break;
+            int run = sym >> 4;
+            int size = sym & 0xf;
+            if (sym == kZrl) {
+                i += 16;
+                continue;
+            }
+            i += run;
+            if (i >= 64) {
+                // Run overflows the block: desynchronized stream.
+                broken = true;
+                break;
+            }
+            uint32_t bits = uint32_t(r.readBits(size));
+            if (r.exhausted()) {
+                broken = true;
+                break;
+            }
+            q[zz[size_t(i)]] = int16_t(magnitudeValue(bits, size));
+            ++i;
+        }
+        if (broken)
+            break;
+
+        Block spatial = inverseDct(dequantize(q, qtable));
+        size_t bx = b % bw, by = b / bw;
+        for (int y = 0; y < 8; ++y) {
+            for (int x = 0; x < 8; ++x) {
+                size_t px = bx * 8 + size_t(x);
+                size_t py = by * 8 + size_t(y);
+                if (px < width && py < height) {
+                    result.image.at(px, py) = uint8_t(std::clamp(
+                        spatial[size_t(y * 8 + x)] + 128.0, 0.0, 255.0));
+                }
+            }
+        }
+        ++result.blocksDecoded;
+    }
+
+    // Fill undecoded blocks by extending the last DC level, the
+    // gray-smear failure mode of real JPEG decoders.
+    if (result.blocksDecoded < result.blocksTotal) {
+        uint8_t fill = uint8_t(std::clamp(prev_dc + 128, 0, 255));
+        for (size_t b = result.blocksDecoded; b < bw * bh; ++b) {
+            size_t bx = b % bw, by = b / bw;
+            for (int y = 0; y < 8; ++y) {
+                for (int x = 0; x < 8; ++x) {
+                    size_t px = bx * 8 + size_t(x);
+                    size_t py = by * 8 + size_t(y);
+                    if (px < width && py < height)
+                        result.image.at(px, py) = fill;
+                }
+            }
+        }
+    }
+    result.complete = (result.blocksDecoded == result.blocksTotal) &&
+        result.headerOk;
+    return result;
+}
+
+Image
+sjpegDecodeOrGray(const std::vector<uint8_t> &bytes,
+                  size_t expected_width, size_t expected_height)
+{
+    SjpegDecodeResult result = sjpegDecode(bytes);
+    if (result.headerOk && result.image.width() == expected_width &&
+        result.image.height() == expected_height) {
+        return result.image;
+    }
+    return Image(expected_width, expected_height, 128);
+}
+
+} // namespace dnastore

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SJPG: a self-contained JPEG-like grayscale image codec.
+ *
+ * Encoding pipeline per 8x8 block: level shift, DCT-II, quantization
+ * (standard JPEG luminance table scaled by a quality factor), zig-zag
+ * scan, then entropy coding with DC-difference categories and AC
+ * (run, size) symbols under fixed canonical Huffman codes — the same
+ * structure as baseline JPEG.
+ *
+ * Like JPEG, the format has the two properties the paper's bit
+ * ranking heuristic rests on (section 5.3):
+ *  - each block depends on previously decoded blocks (DC prediction);
+ *  - entropy coding is error-prone: one corrupted bit usually makes
+ *    every later bit undecodable.
+ * The decoder is deliberately forgiving: on desynchronization it
+ * keeps whatever decoded so far and fills the rest of the image by
+ * extending the last DC value, which yields the "gray smear from the
+ * corruption point" look of damaged JPEGs (Figure 15).
+ */
+
+#ifndef DNASTORE_MEDIA_SJPEG_HH
+#define DNASTORE_MEDIA_SJPEG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "media/image.hh"
+
+namespace dnastore {
+
+/** Result of a decode attempt. */
+struct SjpegDecodeResult
+{
+    Image image;              //!< Best-effort decoded image.
+    bool headerOk = false;    //!< Magic/dimensions parsed successfully.
+    bool complete = false;    //!< All blocks decoded cleanly.
+    size_t blocksDecoded = 0; //!< Blocks recovered before giving up.
+    size_t blocksTotal = 0;   //!< Blocks in a clean encoding.
+};
+
+/**
+ * Encode a grayscale image.
+ *
+ * @param img     Source image (any size >= 1x1).
+ * @param quality JPEG-style quality in [1, 100].
+ */
+std::vector<uint8_t> sjpegEncode(const Image &img, int quality);
+
+/**
+ * Best-effort decode. Never throws on corrupt data; inspect
+ * SjpegDecodeResult::complete. If the header is unusable the image
+ * comes back empty and headerOk is false.
+ */
+SjpegDecodeResult sjpegDecode(const std::vector<uint8_t> &bytes);
+
+/**
+ * Decode and always return a comparable image: if the header is
+ * damaged, returns a mid-gray image of the expected shape so quality
+ * metrics remain computable (catastrophic loss).
+ *
+ * @param expected_width, expected_height Shape to fall back to.
+ */
+Image sjpegDecodeOrGray(const std::vector<uint8_t> &bytes,
+                        size_t expected_width, size_t expected_height);
+
+} // namespace dnastore
+
+#endif // DNASTORE_MEDIA_SJPEG_HH

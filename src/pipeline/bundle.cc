@@ -1,0 +1,270 @@
+#include "pipeline/bundle.hh"
+
+#include <queue>
+#include <stdexcept>
+
+#include "crypto/chacha20.hh"
+#include "util/bitio.hh"
+
+namespace dnastore {
+
+void
+FileBundle::add(const std::string &name, std::vector<uint8_t> data)
+{
+    if (name.empty() || name.size() > 255)
+        throw std::invalid_argument("FileBundle: bad file name");
+    if (find(name))
+        throw std::invalid_argument("FileBundle: duplicate name " + name);
+    files_.push_back({ name, std::move(data) });
+}
+
+const NamedFile *
+FileBundle::find(const std::string &name) const
+{
+    for (const auto &f : files_)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+size_t
+FileBundle::totalBytes() const
+{
+    size_t total = 0;
+    for (const auto &f : files_)
+        total += f.data.size();
+    return total;
+}
+
+std::vector<uint8_t>
+FileBundle::directoryBytes() const
+{
+    // Directory format: u16 count, then per file
+    // (u8 name length, name bytes, u32 size).
+    std::vector<uint8_t> out;
+    out.push_back(uint8_t(files_.size() >> 8));
+    out.push_back(uint8_t(files_.size()));
+    for (const auto &f : files_) {
+        out.push_back(uint8_t(f.name.size()));
+        out.insert(out.end(), f.name.begin(), f.name.end());
+        uint32_t size = uint32_t(f.data.size());
+        for (int shift = 24; shift >= 0; shift -= 8)
+            out.push_back(uint8_t(size >> shift));
+    }
+    return out;
+}
+
+size_t
+FileBundle::serializedBits() const
+{
+    return (4 + directoryBytes().size() + totalBytes()) * 8;
+}
+
+FileBundle
+FileBundle::encrypted(uint64_t key_seed) const
+{
+    FileBundle out;
+    for (size_t i = 0; i < files_.size(); ++i) {
+        ChaCha20 cipher(ChaCha20::deriveKey(key_seed),
+                        ChaCha20::deriveNonce(i));
+        out.add(files_[i].name, cipher.applied(files_[i].data));
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+FileBundle::serialize() const
+{
+    std::vector<uint8_t> dir = directoryBytes();
+    std::vector<uint8_t> out;
+    out.reserve(4 + dir.size() + totalBytes());
+    uint32_t dir_len = uint32_t(dir.size());
+    for (int shift = 24; shift >= 0; shift -= 8)
+        out.push_back(uint8_t(dir_len >> shift));
+    out.insert(out.end(), dir.begin(), dir.end());
+    for (const auto &f : files_)
+        out.insert(out.end(), f.data.begin(), f.data.end());
+    return out;
+}
+
+std::vector<uint32_t>
+FileBundle::proportionalOrder(const std::vector<size_t> &bit_sizes)
+{
+    // Deterministic proportional round-robin: at every step give the
+    // next bit to the file with the smallest (emitted + 1/2) / size
+    // fraction (compared exactly with cross-multiplication; ties to
+    // the lowest index). Every prefix of the merged stream then
+    // contains each file in proportion to its size. A min-heap keeps
+    // the merge O(total * log files).
+    struct Entry
+    {
+        uint64_t numerator; // 2 * emitted + 1
+        uint64_t size;
+        uint32_t file;
+    };
+    auto later = [](const Entry &a, const Entry &b) {
+        unsigned __int128 lhs =
+            (unsigned __int128)a.numerator * b.size;
+        unsigned __int128 rhs =
+            (unsigned __int128)b.numerator * a.size;
+        if (lhs != rhs)
+            return lhs > rhs;
+        return a.file > b.file;
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(later)>
+        heap(later);
+    size_t total = 0;
+    for (size_t i = 0; i < bit_sizes.size(); ++i) {
+        total += bit_sizes[i];
+        if (bit_sizes[i] > 0)
+            heap.push({ 1, bit_sizes[i], uint32_t(i) });
+    }
+    std::vector<uint32_t> order;
+    order.reserve(total);
+    std::vector<size_t> emitted(bit_sizes.size(), 0);
+    while (!heap.empty()) {
+        Entry e = heap.top();
+        heap.pop();
+        order.push_back(e.file);
+        size_t done = ++emitted[e.file];
+        if (done < bit_sizes[e.file])
+            heap.push({ 2 * done + 1, e.size, e.file });
+    }
+    return order;
+}
+
+std::vector<uint8_t>
+FileBundle::serializePriority() const
+{
+    std::vector<uint8_t> dir = directoryBytes();
+    BitWriter w;
+    uint32_t dir_len = uint32_t(dir.size());
+    w.writeBits(dir_len, 32);
+    for (uint8_t b : dir)
+        w.writeBits(b, 8);
+
+    std::vector<size_t> bit_sizes;
+    bit_sizes.reserve(files_.size());
+    for (const auto &f : files_)
+        bit_sizes.push_back(f.data.size() * 8);
+    auto order = proportionalOrder(bit_sizes);
+
+    std::vector<size_t> cursor(files_.size(), 0);
+    for (uint32_t file : order) {
+        size_t bit = cursor[file]++;
+        w.writeBit(getBit(files_[file].data, bit) != 0);
+    }
+    return w.take();
+}
+
+bool
+FileBundle::parseDirectory(const std::vector<uint8_t> &bytes,
+                           size_t *dir_end,
+                           std::vector<std::string> *names,
+                           std::vector<size_t> *sizes)
+{
+    if (bytes.size() < 4)
+        return false;
+    size_t dir_len = (size_t(bytes[0]) << 24) | (size_t(bytes[1]) << 16) |
+        (size_t(bytes[2]) << 8) | size_t(bytes[3]);
+    if (4 + dir_len > bytes.size())
+        return false;
+    size_t pos = 4;
+    const size_t end = 4 + dir_len;
+    if (pos + 2 > end)
+        return false;
+    size_t count = (size_t(bytes[pos]) << 8) | size_t(bytes[pos + 1]);
+    pos += 2;
+    for (size_t i = 0; i < count; ++i) {
+        if (pos + 1 > end)
+            return false;
+        size_t name_len = bytes[pos++];
+        if (name_len == 0 || pos + name_len + 4 > end)
+            return false;
+        names->emplace_back(bytes.begin() + long(pos),
+                            bytes.begin() + long(pos + name_len));
+        pos += name_len;
+        size_t size = 0;
+        for (int k = 0; k < 4; ++k)
+            size = (size << 8) | bytes[pos++];
+        sizes->push_back(size);
+    }
+    if (pos != end)
+        return false;
+    *dir_end = end;
+    return true;
+}
+
+FileBundle
+FileBundle::deserialize(const std::vector<uint8_t> &bytes, bool *ok)
+{
+    *ok = false;
+    FileBundle out;
+    size_t dir_end = 0;
+    std::vector<std::string> names;
+    std::vector<size_t> sizes;
+    if (!parseDirectory(bytes, &dir_end, &names, &sizes))
+        return out;
+    size_t pos = dir_end;
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (pos + sizes[i] > bytes.size())
+            return FileBundle{};
+        std::vector<uint8_t> data(bytes.begin() + long(pos),
+                                  bytes.begin() + long(pos + sizes[i]));
+        pos += sizes[i];
+        try {
+            out.add(names[i], std::move(data));
+        } catch (const std::invalid_argument &) {
+            return FileBundle{}; // duplicate/corrupt names
+        }
+    }
+    *ok = true;
+    return out;
+}
+
+FileBundle
+FileBundle::deserializePriority(const std::vector<uint8_t> &bytes,
+                                bool *ok)
+{
+    *ok = false;
+    FileBundle out;
+    size_t dir_end = 0;
+    std::vector<std::string> names;
+    std::vector<size_t> sizes;
+    if (!parseDirectory(bytes, &dir_end, &names, &sizes))
+        return out;
+
+    std::vector<size_t> bit_sizes;
+    size_t total_bits = 0;
+    for (size_t s : sizes) {
+        bit_sizes.push_back(s * 8);
+        total_bits += s * 8;
+    }
+    if (dir_end * 8 + total_bits > bytes.size() * 8)
+        return out;
+
+    auto order = proportionalOrder(bit_sizes);
+    std::vector<std::vector<uint8_t>> data(names.size());
+    for (size_t i = 0; i < names.size(); ++i)
+        data[i].assign(sizes[i], 0);
+    std::vector<size_t> cursor(names.size(), 0);
+    BitReader r(bytes);
+    r.readBits(32);
+    for (size_t i = 0; i < dir_end - 4; ++i)
+        r.readBits(8);
+    for (uint32_t file : order) {
+        int bit = r.readBit();
+        setBit(data[file], cursor[file]++, bit);
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+        try {
+            out.add(names[i], std::move(data[i]));
+        } catch (const std::invalid_argument &) {
+            return FileBundle{};
+        }
+    }
+    *ok = true;
+    return out;
+}
+
+} // namespace dnastore

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * File bundles: multiple named files stored in one encoding unit.
+ *
+ * The paper stores 10 images of different sizes plus a directory file
+ * in a single encoding matrix (section 6.1). This module provides the
+ * bundle container, the directory serialization, optional per-file
+ * stream encryption, and the two bit orderings:
+ *
+ *  - storage order (baseline/Gini): directory then files back to back;
+ *  - priority order (DnaMapper): the directory first (it gets the
+ *    highest priority, as in the paper), then the files' bits merged
+ *    by a proportional round-robin so every file owns a share of each
+ *    reliability class proportional to its size — the fairness
+ *    heuristic of section 6.1.1.
+ */
+
+#ifndef DNASTORE_PIPELINE_BUNDLE_HH
+#define DNASTORE_PIPELINE_BUNDLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnastore {
+
+/** One named file. */
+struct NamedFile
+{
+    std::string name;
+    std::vector<uint8_t> data;
+};
+
+/** A set of files that share one encoding unit. */
+class FileBundle
+{
+  public:
+    FileBundle() = default;
+
+    /** Add a file. Names must be non-empty, <= 255 bytes, unique. */
+    void add(const std::string &name, std::vector<uint8_t> data);
+
+    size_t fileCount() const { return files_.size(); }
+    const NamedFile &file(size_t i) const { return files_[i]; }
+    const std::vector<NamedFile> &files() const { return files_; }
+
+    /** Look up a file by name; nullptr if absent. */
+    const NamedFile *find(const std::string &name) const;
+
+    /** Total payload bytes across files (directory excluded). */
+    size_t totalBytes() const;
+
+    /**
+     * Serialized size in bits, directory included: what one encoding
+     * unit must be able to hold.
+     */
+    size_t serializedBits() const;
+
+    /**
+     * XOR every file's contents with a ChaCha20 keystream derived from
+     * @p key_seed and the file's index. Applying twice restores the
+     * plaintext; bit positions are preserved (stream cipher), which is
+     * what lets DnaMapper store ciphertext approximately.
+     */
+    FileBundle encrypted(uint64_t key_seed) const;
+
+    /**
+     * Serialize to the storage-order bit stream:
+     * [u32 directory length][directory][file 0][file 1]...
+     * The directory lists (name, size) for every file.
+     */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Serialize to the priority-order bit stream: directory prefix as
+     * in serialize(), then file bits merged proportionally by size.
+     */
+    std::vector<uint8_t> serializePriority() const;
+
+    /**
+     * Parse a storage-order stream. Returns an empty bundle with
+     * ok=false on malformed input (corrupt directory).
+     */
+    static FileBundle deserialize(const std::vector<uint8_t> &bytes,
+                                  bool *ok);
+
+    /** Parse a priority-order stream. */
+    static FileBundle deserializePriority(
+        const std::vector<uint8_t> &bytes, bool *ok);
+
+    /**
+     * The proportional merge order used by serializePriority():
+     * entry k identifies (file index) owning the k-th merged bit of
+     * the file region. Exposed for tests.
+     */
+    static std::vector<uint32_t> proportionalOrder(
+        const std::vector<size_t> &bit_sizes);
+
+  private:
+    std::vector<uint8_t> directoryBytes() const;
+    static bool parseDirectory(const std::vector<uint8_t> &bytes,
+                               size_t *dir_end,
+                               std::vector<std::string> *names,
+                               std::vector<size_t> *sizes);
+
+    std::vector<NamedFile> files_;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_PIPELINE_BUNDLE_HH

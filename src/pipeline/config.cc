@@ -1,0 +1,67 @@
+#include "pipeline/config.hh"
+
+#include <stdexcept>
+
+namespace dnastore {
+
+const char *
+layoutSchemeName(LayoutScheme scheme)
+{
+    switch (scheme) {
+      case LayoutScheme::Baseline:
+        return "baseline";
+      case LayoutScheme::Gini:
+        return "gini";
+      case LayoutScheme::DnaMapper:
+        return "dnamapper";
+    }
+    return "unknown";
+}
+
+void
+StorageConfig::validate() const
+{
+    if (symbolBits < 2 || symbolBits > 16)
+        throw std::invalid_argument("StorageConfig: symbolBits in [2,16]");
+    if (rows == 0)
+        throw std::invalid_argument("StorageConfig: rows must be > 0");
+    if (paritySymbols == 0 || paritySymbols >= codewordLen())
+        throw std::invalid_argument("StorageConfig: bad parity count");
+    if (primerLen == 0)
+        throw std::invalid_argument("StorageConfig: primerLen must be > 0");
+}
+
+StorageConfig
+StorageConfig::paperScale()
+{
+    StorageConfig cfg;
+    cfg.symbolBits = 16;
+    cfg.rows = 82;            // 82 symbols * 8 bases = 656 data bases
+    cfg.paritySymbols = 12058; // 18.4% of 65535
+    cfg.primerLen = 20;
+    return cfg;
+}
+
+StorageConfig
+StorageConfig::benchScale()
+{
+    StorageConfig cfg;
+    cfg.symbolBits = 10;
+    cfg.rows = 82;
+    cfg.paritySymbols = 188; // 18.38% of 1023
+    cfg.primerLen = 20;
+    return cfg;
+}
+
+StorageConfig
+StorageConfig::tinyTest()
+{
+    StorageConfig cfg;
+    cfg.symbolBits = 8;
+    cfg.rows = 12;
+    cfg.paritySymbols = 47; // ~18.4% of 255
+    cfg.primerLen = 10;
+    return cfg;
+}
+
+} // namespace dnastore

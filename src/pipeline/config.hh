@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Storage architecture configuration (the paper's section 6.1.1).
+ *
+ * A configuration fixes the Reed-Solomon field, the matrix geometry,
+ * and the strand framing. Three presets are provided:
+ *
+ *  - paperScale(): the exact geometry of the paper — GF(2^16), 65535
+ *    symbols per codeword, 82 rows, 18.4% redundancy, 750-base strands
+ *    (40 primer bases + 8 index bases + 656 data bases + padding).
+ *    Encoding/decoding one unit at this scale costs minutes; used by
+ *    tests that validate the geometry, not by the sweep benches.
+ *  - benchScale(): the proportionally scaled default used by the
+ *    benchmarks — GF(2^10), 1023 symbols per codeword, 82 rows, the
+ *    same 18.4% redundancy (E = 188), 455-base strands.
+ *  - tinyTest(): a small geometry for unit tests.
+ */
+
+#ifndef DNASTORE_PIPELINE_CONFIG_HH
+#define DNASTORE_PIPELINE_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dnastore {
+
+/** Codeword layout schemes evaluated in the paper. */
+enum class LayoutScheme
+{
+    Baseline,  //!< Row codewords, column-major data (Figure 1).
+    Gini,      //!< Diagonally interleaved codewords (section 4.2).
+    DnaMapper, //!< Row codewords, priority-mapped data (section 5).
+};
+
+/** Human-readable scheme name (for bench output). */
+const char *layoutSchemeName(LayoutScheme scheme);
+
+/** Geometry and framing of one encoding unit. */
+struct StorageConfig
+{
+    unsigned symbolBits = 10; //!< GF(2^m) degree; 16 in the paper.
+    size_t rows = 82;         //!< Symbols per molecule (matrix rows S).
+    size_t paritySymbols = 188; //!< E parity symbols per codeword.
+    size_t primerLen = 20;    //!< Bases per primer, one at each end.
+    uint64_t primerKey = 1;   //!< Key id the primer pair derives from.
+
+    /** Codeword length n = 2^m - 1 (= molecules per unit, M + E). */
+    size_t codewordLen() const { return (size_t(1) << symbolBits) - 1; }
+
+    /** Data molecules per unit, M = n - E. */
+    size_t dataCols() const { return codewordLen() - paritySymbols; }
+
+    /** Ordering-index width in bits (even, >= log2(M + E)). */
+    size_t
+    indexBits() const
+    {
+        return (size_t(symbolBits) + 1) & ~size_t(1);
+    }
+
+    /** Index field length in bases. */
+    size_t indexBases() const { return indexBits() / 2; }
+
+    /** Payload bases per strand (rows * symbolBits / 2, rounded up). */
+    size_t
+    payloadBases() const
+    {
+        return (rows * symbolBits + 1) / 2;
+    }
+
+    /** Total synthesized strand length, primers included. */
+    size_t
+    strandLen() const
+    {
+        return 2 * primerLen + indexBases() + payloadBases();
+    }
+
+    /** Data capacity of one unit, in bits. */
+    size_t capacityBits() const { return rows * dataCols() * symbolBits; }
+
+    /** Data capacity of one unit, in whole bytes. */
+    size_t capacityBytes() const { return capacityBits() / 8; }
+
+    /** Redundancy fraction E / n. */
+    double
+    redundancyFraction() const
+    {
+        return double(paritySymbols) / double(codewordLen());
+    }
+
+    /** Validate the configuration; throws std::invalid_argument. */
+    void validate() const;
+
+    /** The paper's exact geometry (see file comment). */
+    static StorageConfig paperScale();
+
+    /** The scaled default for benchmark sweeps. */
+    static StorageConfig benchScale();
+
+    /** A small geometry for fast unit tests. */
+    static StorageConfig tinyTest();
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_PIPELINE_CONFIG_HH

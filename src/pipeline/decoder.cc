@@ -1,0 +1,154 @@
+#include "pipeline/decoder.hh"
+
+#include <algorithm>
+
+#include "consensus/two_sided.hh"
+#include "dna/codec.hh"
+#include "layout/data_map.hh"
+#include "pipeline/encoder.hh"
+#include "util/bitio.hh"
+
+namespace dnastore {
+
+size_t
+DecodeStats::totalCorrected() const
+{
+    size_t total = 0;
+    for (size_t e : errorsPerCodeword)
+        total += e;
+    return total;
+}
+
+UnitDecoder::UnitDecoder(const StorageConfig &cfg, LayoutScheme scheme,
+                         Reconstructor reconstruct)
+    : cfg_(cfg), scheme_(scheme), gf_(cfg.symbolBits),
+      rs_(gf_, cfg.paritySymbols), map_(makeCodewordMap(cfg, scheme)),
+      primers_(makePrimerPair(cfg.primerKey, cfg.primerLen)),
+      reconstruct_(std::move(reconstruct))
+{
+    cfg_.validate();
+    if (!reconstruct_) {
+        reconstruct_ = [](const std::vector<Strand> &reads,
+                          size_t target_len) {
+            return reconstructTwoSided(reads, target_len);
+        };
+    }
+}
+
+DecodedUnit
+UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
+                    const std::vector<size_t> &forced_erasures) const
+{
+    const size_t n_cols = cfg_.codewordLen();
+    const size_t strand_len = cfg_.strandLen();
+
+    DecodedUnit out;
+    out.stats.errorsPerCodeword.assign(map_->codewords(), 0);
+
+    std::vector<bool> forced(n_cols, false);
+    for (size_t col : forced_erasures)
+        if (col < n_cols)
+            forced[col] = true;
+
+    // Consensus per cluster, index parse, column placement. Ordering
+    // information is outside ECC protection (section 2.2), so a
+    // misdecoded index loses the molecule: the strand is dropped and
+    // the unclaimed column becomes an erasure.
+    SymbolMatrix received(cfg_.rows, n_cols);
+    std::vector<bool> claimed(n_cols, false);
+    const size_t n_clusters = std::min(clusters.size(), size_t(n_cols));
+    for (size_t cl = 0; cl < n_clusters; ++cl) {
+        const auto &reads = clusters[cl];
+        if (reads.empty())
+            continue;
+        Strand consensus = reconstruct_(reads, strand_len);
+        if (consensus.size() != strand_len) {
+            // A substituted reconstructor may miss the length; treat
+            // the cluster as unusable (erasure).
+            ++out.stats.indexFaults;
+            continue;
+        }
+        // Frame: [forward primer | index | payload | backward primer].
+        size_t idx_off = cfg_.primerLen;
+        uint64_t idx = decodeUint(consensus, idx_off,
+                                  int(cfg_.indexBits()));
+        if (idx >= n_cols || claimed[idx]) {
+            ++out.stats.indexFaults;
+            continue;
+        }
+        if (forced[idx])
+            continue; // column artificially erased
+        claimed[idx] = true;
+
+        // Unpack payload bases into row symbols.
+        BitWriter w;
+        size_t payload_off = idx_off + cfg_.indexBases();
+        for (size_t b = 0; b < cfg_.payloadBases(); ++b) {
+            size_t p = payload_off + b;
+            unsigned bits =
+                p < consensus.size() ? bitsFromBase(consensus[p]) : 0u;
+            w.writeBits(bits, 2);
+        }
+        auto bytes = w.take();
+        BitReader r(bytes);
+        for (size_t row = 0; row < cfg_.rows; ++row)
+            received.at(row, size_t(idx)) =
+                r.readBits(int(cfg_.symbolBits));
+    }
+
+    std::vector<size_t> erased_cols;
+    for (size_t col = 0; col < n_cols; ++col) {
+        if (!claimed[col])
+            erased_cols.push_back(col);
+    }
+    out.stats.erasedColumns = erased_cols.size();
+
+    // Reed-Solomon decode each codeword along the layout. A codeword's
+    // erasure positions are the symbol slots that fall in erased
+    // columns; every layout touches each column exactly once, so each
+    // erased column costs one symbol per codeword.
+    std::vector<bool> col_erased(n_cols, false);
+    for (size_t col : erased_cols)
+        col_erased[col] = true;
+
+    bool all_ok = true;
+    for (size_t j = 0; j < map_->codewords(); ++j) {
+        std::vector<uint32_t> codeword = map_->gather(received, j);
+        std::vector<size_t> erasures;
+        for (size_t t = 0; t < map_->length(); ++t) {
+            if (col_erased[map_->position(j, t).col])
+                erasures.push_back(t);
+        }
+        RsDecodeResult result = rs_.decode(codeword, erasures);
+        if (result.success) {
+            map_->scatter(received, j, codeword);
+            out.stats.errorsPerCodeword[j] =
+                result.errorsCorrected + result.erasuresCorrected;
+        } else {
+            ++out.stats.failedCodewords;
+            all_ok = false;
+        }
+    }
+    out.exact = all_ok;
+
+    // Unpack the data region back into the serialized stream and split
+    // into files.
+    const bool priority = scheme_ == LayoutScheme::DnaMapper;
+    std::vector<uint32_t> symbols =
+        extractData(received, cfg_.dataCols(),
+                    priority ? DataPlacement::Priority
+                             : DataPlacement::Baseline);
+    BitWriter w;
+    for (uint32_t s : symbols)
+        w.writeBits(s, int(cfg_.symbolBits));
+    out.rawStream = w.take();
+
+    bool ok = false;
+    out.bundle = priority
+        ? FileBundle::deserializePriority(out.rawStream, &ok)
+        : FileBundle::deserialize(out.rawStream, &ok);
+    out.bundleOk = ok;
+    return out;
+}
+
+} // namespace dnastore

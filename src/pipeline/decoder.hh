@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit decoder: clustered noisy reads -> consensus -> ECC -> files.
+ *
+ * Implements the read path (section 6.1.2): per-cluster consensus with
+ * the two-sided reconstruction, ordering-index parsing, matrix
+ * reassembly with erasures for lost or unplaceable molecules,
+ * Reed-Solomon errors-and-erasures decoding along the layout map, and
+ * bundle deserialization. Clustering itself is perfect, as in the
+ * paper ("our data is perfectly clustered"): cluster i holds reads of
+ * molecule i, but empty clusters and index decoding faults still
+ * produce erasures.
+ */
+
+#ifndef DNASTORE_PIPELINE_DECODER_HH
+#define DNASTORE_PIPELINE_DECODER_HH
+
+#include <memory>
+#include <vector>
+
+#include "consensus/profiler.hh"
+#include "dna/primer.hh"
+#include "dna/strand.hh"
+#include "ecc/gf.hh"
+#include "ecc/rs.hh"
+#include "layout/codeword_map.hh"
+#include "layout/matrix.hh"
+#include "pipeline/bundle.hh"
+#include "pipeline/config.hh"
+
+namespace dnastore {
+
+/** Per-decode bookkeeping used by the evaluation. */
+struct DecodeStats
+{
+    size_t erasedColumns = 0;   //!< Columns lost (no reads / no index).
+    size_t indexFaults = 0;     //!< Strands with unusable indexes.
+    size_t failedCodewords = 0; //!< Codewords RS could not decode.
+
+    /** Errors detected and corrected per codeword (Figure 11's y-axis). */
+    std::vector<size_t> errorsPerCodeword;
+
+    /** Total corrected symbol errors across codewords. */
+    size_t totalCorrected() const;
+};
+
+/** Result of decoding one unit. */
+struct DecodedUnit
+{
+    FileBundle bundle;     //!< Recovered files (may be partial).
+    bool bundleOk = false; //!< Directory parsed and files split.
+    bool exact = false;    //!< Every codeword decoded cleanly.
+    DecodeStats stats;
+    std::vector<uint8_t> rawStream; //!< Post-ECC serialized stream.
+};
+
+/** Decoder for one storage configuration and layout scheme. */
+class UnitDecoder
+{
+  public:
+    /**
+     * @param cfg    Unit geometry.
+     * @param scheme Layout used at encoding time.
+     * @param reconstruct Consensus algorithm; defaults to the
+     *        two-sided reconstruction used by the paper's pipeline
+     *        (it guarantees the target output length). Any
+     *        Reconstructor can be substituted; wrong-length outputs
+     *        are treated as index faults for that cluster.
+     */
+    UnitDecoder(const StorageConfig &cfg, LayoutScheme scheme,
+                Reconstructor reconstruct = {});
+
+    /**
+     * Decode a unit from clustered reads.
+     *
+     * @param clusters        clusters[i] holds the noisy reads of
+     *                        molecule i (may be empty = erasure).
+     * @param forced_erasures Columns treated as erased regardless of
+     *                        their reads; used to emulate reduced
+     *                        effective redundancy (Figure 13).
+     */
+    DecodedUnit decode(
+        const std::vector<std::vector<Strand>> &clusters,
+        const std::vector<size_t> &forced_erasures = {}) const;
+
+    const StorageConfig &config() const { return cfg_; }
+    LayoutScheme scheme() const { return scheme_; }
+
+  private:
+    StorageConfig cfg_;
+    LayoutScheme scheme_;
+    GaloisField gf_;
+    ReedSolomon rs_;
+    std::unique_ptr<CodewordMap> map_;
+    PrimerPair primers_;
+    Reconstructor reconstruct_;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_PIPELINE_DECODER_HH

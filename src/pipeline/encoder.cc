@@ -1,0 +1,105 @@
+#include "pipeline/encoder.hh"
+
+#include <stdexcept>
+
+#include "dna/codec.hh"
+#include "layout/data_map.hh"
+#include "util/bitio.hh"
+
+namespace dnastore {
+
+std::unique_ptr<CodewordMap>
+makeCodewordMap(const StorageConfig &cfg, LayoutScheme scheme)
+{
+    switch (scheme) {
+      case LayoutScheme::Baseline:
+      case LayoutScheme::DnaMapper:
+        // DnaMapper keeps row codewords; only the data placement and
+        // the bit ordering differ (section 5.2.2).
+        return std::make_unique<BaselineMap>(cfg.rows, cfg.codewordLen());
+      case LayoutScheme::Gini:
+        return std::make_unique<GiniMap>(cfg.rows, cfg.codewordLen());
+    }
+    throw std::logic_error("makeCodewordMap: bad scheme");
+}
+
+UnitEncoder::UnitEncoder(const StorageConfig &cfg, LayoutScheme scheme)
+    : cfg_(cfg), scheme_(scheme), gf_(cfg.symbolBits),
+      rs_(gf_, cfg.paritySymbols), map_(makeCodewordMap(cfg, scheme)),
+      primers_(makePrimerPair(cfg.primerKey, cfg.primerLen))
+{
+    cfg_.validate();
+}
+
+std::vector<uint32_t>
+UnitEncoder::packSymbols(const std::vector<uint8_t> &bytes) const
+{
+    const size_t n_symbols = cfg_.rows * cfg_.dataCols();
+    if (bytes.size() * 8 > cfg_.capacityBits() + 7)
+        throw std::invalid_argument("UnitEncoder: bundle too large");
+    std::vector<uint32_t> symbols(n_symbols, 0);
+    BitReader r(bytes);
+    for (size_t s = 0; s < n_symbols; ++s) {
+        if (r.bitPosition() >= r.bitLimit())
+            break; // remaining symbols stay zero (padding)
+        symbols[s] = r.readBits(int(cfg_.symbolBits));
+    }
+    return symbols;
+}
+
+EncodedUnit
+UnitEncoder::encode(const FileBundle &bundle) const
+{
+    const bool priority = scheme_ == LayoutScheme::DnaMapper;
+    std::vector<uint8_t> stream =
+        priority ? bundle.serializePriority() : bundle.serialize();
+    if (stream.size() * 8 > cfg_.capacityBits() + 7) {
+        throw std::invalid_argument(
+            "UnitEncoder: bundle exceeds unit capacity");
+    }
+
+    EncodedUnit unit;
+    unit.payloadBits = stream.size() * 8;
+    unit.matrix = SymbolMatrix(cfg_.rows, cfg_.codewordLen());
+
+    // 1-2. Pack and place data symbols.
+    placeData(unit.matrix, packSymbols(stream), cfg_.dataCols(),
+              priority ? DataPlacement::Priority
+                       : DataPlacement::Baseline);
+
+    // 3. Reed-Solomon encode each codeword along the layout map; the
+    // first M symbol slots of every codeword are data (columns < M by
+    // the CodewordMap contract), the rest parity.
+    for (size_t j = 0; j < map_->codewords(); ++j) {
+        std::vector<uint32_t> data(cfg_.dataCols());
+        for (size_t t = 0; t < cfg_.dataCols(); ++t) {
+            MatrixPos p = map_->position(j, t);
+            data[t] = unit.matrix.at(p.row, p.col);
+        }
+        std::vector<uint32_t> codeword = rs_.encode(data);
+        for (size_t t = cfg_.dataCols(); t < map_->length(); ++t) {
+            MatrixPos p = map_->position(j, t);
+            unit.matrix.at(p.row, p.col) = codeword[t];
+        }
+    }
+
+    // 4. Emit strands: primer + index + payload bases + primer.
+    unit.strands.reserve(cfg_.codewordLen());
+    for (size_t col = 0; col < cfg_.codewordLen(); ++col) {
+        BitWriter w;
+        for (size_t row = 0; row < cfg_.rows; ++row)
+            w.writeBits(unit.matrix.at(row, col),
+                        int(cfg_.symbolBits));
+        Strand payload;
+        payload.reserve(cfg_.indexBases() + cfg_.payloadBases());
+        appendUint(payload, col, int(cfg_.indexBits()));
+        auto bytes = w.take();
+        BitReader r(bytes);
+        for (size_t b = 0; b < cfg_.payloadBases(); ++b)
+            payload.push_back(baseFromBits(r.readBits(2)));
+        unit.strands.push_back(attachPrimers(primers_, payload));
+    }
+    return unit;
+}
+
+} // namespace dnastore

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit encoder: file bundle -> encoding matrix -> DNA strands.
+ *
+ * Implements the write path of the storage pipeline for all three
+ * layout schemes. The steps (sections 2, 4, 5 of the paper):
+ *  1. serialize the bundle (storage order, or priority order for
+ *     DnaMapper);
+ *  2. pack bits into GF(2^m) symbols and place them in the data
+ *     columns (column-major for Baseline/Gini, reliability-ranked
+ *     zig-zag for DnaMapper);
+ *  3. Reed-Solomon encode every codeword along its layout (rows for
+ *     Baseline/DnaMapper, diagonals for Gini), writing parity into
+ *     the E parity columns;
+ *  4. emit one strand per column: forward primer + ordering index +
+ *     payload bases + backward primer.
+ */
+
+#ifndef DNASTORE_PIPELINE_ENCODER_HH
+#define DNASTORE_PIPELINE_ENCODER_HH
+
+#include <memory>
+#include <vector>
+
+#include "dna/primer.hh"
+#include "dna/strand.hh"
+#include "ecc/gf.hh"
+#include "ecc/rs.hh"
+#include "layout/codeword_map.hh"
+#include "layout/matrix.hh"
+#include "pipeline/bundle.hh"
+#include "pipeline/config.hh"
+
+namespace dnastore {
+
+/** Everything the write path produces for one unit. */
+struct EncodedUnit
+{
+    SymbolMatrix matrix;         //!< Data + parity symbols.
+    std::vector<Strand> strands; //!< One per column, primers included.
+    size_t payloadBits = 0;      //!< Bundle bits actually stored.
+
+    EncodedUnit() : matrix(1, 1) {}
+};
+
+/** Build the CodewordMap a scheme uses at this geometry. */
+std::unique_ptr<CodewordMap> makeCodewordMap(const StorageConfig &cfg,
+                                             LayoutScheme scheme);
+
+/** Encoder for one storage configuration and layout scheme. */
+class UnitEncoder
+{
+  public:
+    UnitEncoder(const StorageConfig &cfg, LayoutScheme scheme);
+
+    /**
+     * Encode a bundle into one unit.
+     *
+     * @throws std::invalid_argument if the bundle exceeds the unit's
+     *         capacity (cfg.capacityBits()).
+     */
+    EncodedUnit encode(const FileBundle &bundle) const;
+
+    /** Pack a serialized byte stream into symbols (exposed for tests). */
+    std::vector<uint32_t> packSymbols(
+        const std::vector<uint8_t> &bytes) const;
+
+    const StorageConfig &config() const { return cfg_; }
+    LayoutScheme scheme() const { return scheme_; }
+
+  private:
+    StorageConfig cfg_;
+    LayoutScheme scheme_;
+    GaloisField gf_;
+    ReedSolomon rs_;
+    std::unique_ptr<CodewordMap> map_;
+    PrimerPair primers_;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_PIPELINE_ENCODER_HH

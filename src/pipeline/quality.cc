@@ -1,0 +1,103 @@
+#include "pipeline/quality.hh"
+
+#include <algorithm>
+
+#include "media/sjpeg.hh"
+#include "media/synth.hh"
+
+namespace dnastore {
+
+ImageWorkload
+makeImageWorkload(
+    const std::vector<std::pair<size_t, size_t>> &image_dims,
+    int quality, uint64_t seed)
+{
+    ImageWorkload w;
+    for (size_t i = 0; i < image_dims.size(); ++i) {
+        auto [width, height] = image_dims[i];
+        Image img = generateSyntheticPhoto(width, height,
+                                           seed * 1000 + i);
+        auto file = sjpegEncode(img, quality);
+        std::string name = "img" + std::to_string(i) + ".sjpg";
+        w.sources.push_back(img);
+        w.cleanDecodes.push_back(sjpegDecode(file).image);
+        w.names.push_back(name);
+        w.bundle.add(name, std::move(file));
+    }
+    return w;
+}
+
+ImageWorkload
+makeImageWorkloadForCapacity(size_t capacity_bits, int quality,
+                             uint64_t seed)
+{
+    // Candidate shapes from large to small, echoing the paper's mix of
+    // image sizes within one unit; cycled until the budget is full.
+    const std::vector<std::pair<size_t, size_t>> shapes = {
+        { 512, 384 }, { 384, 256 }, { 256, 192 }, { 192, 160 },
+        { 160, 128 }, { 128, 96 },  { 96, 96 },   { 96, 64 },
+        { 64, 64 },   { 48, 48 },   { 32, 32 },
+    };
+    std::vector<std::pair<size_t, size_t>> chosen;
+    size_t used_bits = 512 * 8; // directory slack
+    size_t shape_idx = 0;
+    size_t misses = 0;
+    while (misses < shapes.size() && chosen.size() < 64) {
+        auto shape = shapes[shape_idx % shapes.size()];
+        Image img = generateSyntheticPhoto(shape.first, shape.second,
+                                           seed * 1000 + chosen.size());
+        size_t bits = sjpegEncode(img, quality).size() * 8 + 16 * 8;
+        if (used_bits + bits <= capacity_bits) {
+            used_bits += bits;
+            chosen.push_back(shape);
+            misses = 0;
+        } else {
+            ++misses;
+        }
+        ++shape_idx;
+    }
+    if (chosen.empty())
+        chosen.push_back({ 16, 16 });
+    return makeImageWorkload(chosen, quality, seed);
+}
+
+QualityReport
+evaluateImageQuality(const ImageWorkload &workload,
+                     const FileBundle &retrieved, double cap_db)
+{
+    QualityReport report;
+    report.allExact = true;
+    for (size_t i = 0; i < workload.names.size(); ++i) {
+        const Image &reference = workload.cleanDecodes[i];
+        const NamedFile *file = retrieved.find(workload.names[i]);
+        double loss = cap_db;
+        bool decodable = false;
+        if (file) {
+            const NamedFile *stored =
+                workload.bundle.find(workload.names[i]);
+            bool exact = stored && stored->data == file->data;
+            if (!exact)
+                report.allExact = false;
+            SjpegDecodeResult decoded = sjpegDecode(file->data);
+            decodable = decoded.headerOk &&
+                decoded.image.width() == reference.width() &&
+                decoded.image.height() == reference.height();
+            Image comparable = decodable
+                ? decoded.image
+                : Image(reference.width(), reference.height(), 128);
+            loss = qualityLossDb(reference, comparable, cap_db);
+        } else {
+            report.allExact = false;
+        }
+        if (!decodable)
+            ++report.undecodable;
+        report.lossDb.push_back(loss);
+        report.maxLossDb = std::max(report.maxLossDb, loss);
+        report.meanLossDb += loss;
+    }
+    if (!report.lossDb.empty())
+        report.meanLossDb /= double(report.lossDb.size());
+    return report;
+}
+
+} // namespace dnastore

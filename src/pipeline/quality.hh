@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Image workloads and retrieval-quality evaluation.
+ *
+ * Builds the paper's workload — a set of compressed (and optionally
+ * encrypted) images of mixed sizes plus a directory — and measures
+ * the PSNR quality loss of the retrieved images, the metric of
+ * Figures 14 and 16.
+ */
+
+#ifndef DNASTORE_PIPELINE_QUALITY_HH
+#define DNASTORE_PIPELINE_QUALITY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "media/image.hh"
+#include "pipeline/bundle.hh"
+
+namespace dnastore {
+
+/** An image workload: SJPG files plus the pristine source images. */
+struct ImageWorkload
+{
+    FileBundle bundle;            //!< What gets stored (plaintext).
+    std::vector<Image> sources;   //!< Pristine images, bundle order.
+    std::vector<Image> cleanDecodes; //!< Clean SJPG decodes (reference).
+    std::vector<std::string> names;  //!< File names, bundle order.
+};
+
+/**
+ * Build a deterministic workload of synthetic photos.
+ *
+ * @param image_dims  (width, height) per image; sizes may differ, as
+ *                    in the paper's 5KB..1.5MB mix.
+ * @param quality     SJPG quality for all images.
+ * @param seed        Scene generator seed.
+ */
+ImageWorkload makeImageWorkload(
+    const std::vector<std::pair<size_t, size_t>> &image_dims,
+    int quality, uint64_t seed);
+
+/**
+ * A workload whose total stored size fits a given bit budget: images
+ * of decreasing size are added until the budget is filled.
+ */
+ImageWorkload makeImageWorkloadForCapacity(size_t capacity_bits,
+                                           int quality, uint64_t seed);
+
+/** Quality of one retrieved bundle against its workload. */
+struct QualityReport
+{
+    /** Per-image quality loss (dB, capped), workload order. */
+    std::vector<double> lossDb;
+
+    /** Mean loss across images. */
+    double meanLossDb = 0.0;
+
+    /** Worst per-image loss. */
+    double maxLossDb = 0.0;
+
+    /** Images that could not be decoded at all (counted at full cap). */
+    size_t undecodable = 0;
+
+    /** True if every image came back bit-exact. */
+    bool allExact = false;
+};
+
+/**
+ * Score a retrieved (decrypted, plaintext) bundle against the
+ * workload. Missing or undecodable files score the full capped loss.
+ *
+ * @param cap_db PSNR cap; loss = cap - min(psnr, cap).
+ */
+QualityReport evaluateImageQuality(const ImageWorkload &workload,
+                                   const FileBundle &retrieved,
+                                   double cap_db = 60.0);
+
+} // namespace dnastore
+
+#endif // DNASTORE_PIPELINE_QUALITY_HH

@@ -1,0 +1,84 @@
+#include "pipeline/simulator.hh"
+
+#include <stdexcept>
+
+namespace dnastore {
+
+StorageSimulator::StorageSimulator(const StorageConfig &cfg,
+                                   LayoutScheme scheme,
+                                   const ErrorModel &model, uint64_t seed)
+    : cfg_(cfg), scheme_(scheme), channel_(model), seed_(seed),
+      encoder_(cfg, scheme), decoder_(cfg, scheme)
+{
+}
+
+void
+StorageSimulator::store(const FileBundle &bundle, size_t max_coverage)
+{
+    unit_ = encoder_.encode(bundle);
+    const bool priority = scheme_ == LayoutScheme::DnaMapper;
+    stored_ = priority ? bundle.serializePriority() : bundle.serialize();
+    Rng rng(seed_);
+    pool_ = std::make_unique<ReadPool>(unit_.strands, channel_,
+                                       max_coverage, rng);
+}
+
+RetrievalResult
+StorageSimulator::decodeClusters(
+    std::vector<std::vector<Strand>> clusters, size_t coverage_label,
+    const std::vector<size_t> &forced_erasures) const
+{
+    RetrievalResult result;
+    result.coverage = coverage_label;
+    result.decoded = decoder_.decode(clusters, forced_erasures);
+    const auto &raw = result.decoded.rawStream;
+    result.exactPayload = raw.size() >= stored_.size() &&
+        std::equal(stored_.begin(), stored_.end(), raw.begin());
+    return result;
+}
+
+RetrievalResult
+StorageSimulator::retrieve(
+    size_t coverage, const std::vector<size_t> &forced_erasures) const
+{
+    if (!pool_)
+        throw std::logic_error("StorageSimulator: store() first");
+    std::vector<std::vector<Strand>> clusters;
+    clusters.reserve(pool_->clusters());
+    for (size_t c = 0; c < pool_->clusters(); ++c)
+        clusters.push_back(pool_->reads(c, coverage));
+    return decodeClusters(std::move(clusters), coverage,
+                          forced_erasures);
+}
+
+RetrievalResult
+StorageSimulator::retrieveGamma(double mean_coverage, double shape,
+                                uint64_t draw_seed) const
+{
+    if (!pool_)
+        throw std::logic_error("StorageSimulator: store() first");
+    Rng rng(draw_seed);
+    auto counts =
+        pool_->sampleCounts(CoverageModel::gamma(mean_coverage, shape),
+                            rng);
+    std::vector<std::vector<Strand>> clusters;
+    clusters.reserve(pool_->clusters());
+    for (size_t c = 0; c < pool_->clusters(); ++c)
+        clusters.push_back(pool_->reads(c, counts[c]));
+    return decodeClusters(std::move(clusters),
+                          size_t(mean_coverage + 0.5), {});
+}
+
+std::optional<size_t>
+StorageSimulator::minCoverageForExact(
+    size_t lo, size_t hi,
+    const std::vector<size_t> &forced_erasures) const
+{
+    for (size_t cov = lo; cov <= hi; ++cov) {
+        if (retrieve(cov, forced_erasures).exactPayload)
+            return cov;
+    }
+    return std::nullopt;
+}
+
+} // namespace dnastore

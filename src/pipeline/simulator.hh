@@ -1,0 +1,109 @@
+/**
+ * @file
+ * End-to-end storage simulator and experiment driver.
+ *
+ * Ties the pipeline to the channel exactly as the paper's methodology
+ * does (section 6.1.2): encode once, generate a large pool of noisy
+ * reads per molecule, then decode at progressively higher coverage by
+ * taking pool prefixes. Also provides the minimum-coverage search
+ * behind Figures 12 and 13.
+ */
+
+#ifndef DNASTORE_PIPELINE_SIMULATOR_HH
+#define DNASTORE_PIPELINE_SIMULATOR_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "channel/coverage.hh"
+#include "channel/ids_channel.hh"
+#include "channel/read_pool.hh"
+#include "pipeline/bundle.hh"
+#include "pipeline/config.hh"
+#include "pipeline/decoder.hh"
+#include "pipeline/encoder.hh"
+
+namespace dnastore {
+
+/** One coverage point of a retrieval sweep. */
+struct RetrievalResult
+{
+    size_t coverage = 0;
+    DecodedUnit decoded;
+    /** True when the recovered stream matches the stored bits exactly. */
+    bool exactPayload = false;
+};
+
+/** Simulates storage and retrieval of one encoding unit. */
+class StorageSimulator
+{
+  public:
+    /**
+     * @param cfg    Unit geometry.
+     * @param scheme Layout under test.
+     * @param model  IDS channel error model.
+     * @param seed   Seed for the read pools (vary per repetition).
+     */
+    StorageSimulator(const StorageConfig &cfg, LayoutScheme scheme,
+                     const ErrorModel &model, uint64_t seed);
+
+    /**
+     * Encode the bundle and pre-generate read pools.
+     *
+     * @param max_coverage Largest coverage any later query will use.
+     */
+    void store(const FileBundle &bundle, size_t max_coverage);
+
+    /**
+     * Decode using the first @p coverage reads of every cluster.
+     *
+     * @param forced_erasures Columns to erase artificially (Fig. 13).
+     */
+    RetrievalResult retrieve(
+        size_t coverage,
+        const std::vector<size_t> &forced_erasures = {}) const;
+
+    /**
+     * Decode with Gamma-distributed per-cluster coverage of the given
+     * mean (shape defaults to the tight-but-visible spread the paper
+     * describes for real sequencing runs).
+     */
+    RetrievalResult retrieveGamma(double mean_coverage, double shape,
+                                  uint64_t draw_seed) const;
+
+    /**
+     * Smallest coverage in [lo, hi] whose retrieval is exact, or
+     * nullopt if none is. Pool prefixes make success monotone in
+     * coverage up to consensus noise, so a linear scan is exact.
+     */
+    std::optional<size_t> minCoverageForExact(
+        size_t lo, size_t hi,
+        const std::vector<size_t> &forced_erasures = {}) const;
+
+    /** The unit as written (for error accounting in benches). */
+    const EncodedUnit &unit() const { return unit_; }
+
+    /** The stored serialized stream (exactness reference). */
+    const std::vector<uint8_t> &storedStream() const { return stored_; }
+
+  private:
+    RetrievalResult decodeClusters(
+        std::vector<std::vector<Strand>> clusters,
+        size_t coverage_label,
+        const std::vector<size_t> &forced_erasures) const;
+
+    StorageConfig cfg_;
+    LayoutScheme scheme_;
+    IdsChannel channel_;
+    uint64_t seed_;
+    UnitEncoder encoder_;
+    UnitDecoder decoder_;
+    EncodedUnit unit_;
+    std::vector<uint8_t> stored_;
+    std::unique_ptr<ReadPool> pool_;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_PIPELINE_SIMULATOR_HH

@@ -1,0 +1,89 @@
+#include "util/bitio.hh"
+
+namespace dnastore {
+
+void
+BitWriter::writeBits(uint32_t value, int count)
+{
+    for (int i = count - 1; i >= 0; --i)
+        writeBit((value >> i) & 1u);
+}
+
+void
+BitWriter::writeBit(bool bit)
+{
+    size_t byte_index = bitCount_ >> 3;
+    if (byte_index >= bytes_.size())
+        bytes_.push_back(0);
+    if (bit)
+        bytes_[byte_index] |= uint8_t(0x80u >> (bitCount_ & 7));
+    ++bitCount_;
+}
+
+void
+BitWriter::alignToByte()
+{
+    while (bitCount_ & 7)
+        writeBit(false);
+}
+
+std::vector<uint8_t>
+BitWriter::take()
+{
+    alignToByte();
+    bitCount_ = 0;
+    return std::move(bytes_);
+}
+
+uint32_t
+BitReader::readBits(int count)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < count; ++i)
+        v = (v << 1) | uint32_t(readBit());
+    return v;
+}
+
+int
+BitReader::readBit()
+{
+    if (bitPos_ >= bitLimit_) {
+        exhausted_ = true;
+        return 0;
+    }
+    int bit = (bytes_[bitPos_ >> 3] >> (7 - (bitPos_ & 7))) & 1;
+    ++bitPos_;
+    return bit;
+}
+
+void
+BitReader::alignToByte()
+{
+    bitPos_ = (bitPos_ + 7) & ~size_t(7);
+    if (bitPos_ > bitLimit_)
+        bitPos_ = bitLimit_;
+}
+
+void
+flipBit(std::vector<uint8_t> &bytes, size_t bit_index)
+{
+    bytes[bit_index >> 3] ^= uint8_t(0x80u >> (bit_index & 7));
+}
+
+int
+getBit(const std::vector<uint8_t> &bytes, size_t bit_index)
+{
+    return (bytes[bit_index >> 3] >> (7 - (bit_index & 7))) & 1;
+}
+
+void
+setBit(std::vector<uint8_t> &bytes, size_t bit_index, int value)
+{
+    uint8_t mask = uint8_t(0x80u >> (bit_index & 7));
+    if (value)
+        bytes[bit_index >> 3] |= mask;
+    else
+        bytes[bit_index >> 3] &= uint8_t(~mask);
+}
+
+} // namespace dnastore

@@ -1,0 +1,27 @@
+#include "util/csv.hh"
+
+#include <stdexcept>
+
+namespace dnastore {
+
+CsvWriter::CsvWriter(std::ostream &out,
+                     const std::vector<std::string> &columns)
+    : out_(out), nColumns_(columns.size())
+{
+    bool first = true;
+    for (const auto &c : columns) {
+        out_ << (first ? "" : ",") << c;
+        first = false;
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeLine(const std::string &line, size_t n_fields)
+{
+    if (n_fields != nColumns_)
+        throw std::logic_error("CsvWriter: field count mismatch");
+    out_ << line << '\n';
+}
+
+} // namespace dnastore

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV row emission for benchmark outputs.
+ *
+ * Every bench binary prints its figure data as CSV rows so the series
+ * the paper plots can be re-plotted directly from the bench output.
+ */
+
+#ifndef DNASTORE_UTIL_CSV_HH
+#define DNASTORE_UTIL_CSV_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dnastore {
+
+/** Streams rows of comma-separated values with a fixed header. */
+class CsvWriter
+{
+  public:
+    /** @param out Destination stream; @param columns Header names. */
+    CsvWriter(std::ostream &out, const std::vector<std::string> &columns);
+
+    /** Emit one row; the number of fields must match the header. */
+    template <typename... Ts>
+    void
+    row(const Ts &...fields)
+    {
+        std::ostringstream oss;
+        bool first = true;
+        ((oss << (first ? "" : ",") << fields, first = false), ...);
+        writeLine(oss.str(), sizeof...(fields));
+    }
+
+  private:
+    void writeLine(const std::string &line, size_t n_fields);
+
+    std::ostream &out_;
+    size_t nColumns_;
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_CSV_HH

@@ -1,0 +1,137 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace dnastore {
+
+namespace {
+
+/** splitmix64, used only to expand the user seed into xoshiro state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &w : s_)
+        w = splitmix64(sm);
+    // Avoid the pathological all-zero state.
+    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+        s_[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    // Lemire-style rejection to remove modulo bias.
+    uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+int64_t
+Rng::nextInRange(int64_t lo, int64_t hi)
+{
+    return lo + static_cast<int64_t>(nextBelow(
+        static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpareGaussian_) {
+        haveSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spareGaussian_ = v * mul;
+    haveSpareGaussian_ = true;
+    return u * mul;
+}
+
+double
+Rng::nextGamma(double shape, double scale)
+{
+    if (shape < 1.0) {
+        // Boost the shape and correct with a power of a uniform draw.
+        double u = nextDouble();
+        while (u == 0.0)
+            u = nextDouble();
+        return nextGamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x, v;
+        do {
+            x = nextGaussian();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        double u = nextDouble();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v * scale;
+        if (u > 0.0 &&
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v * scale;
+        }
+    }
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace dnastore

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "channel/coverage.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Coverage, FixedAlwaysReturnsSameCount)
+{
+    Rng rng(1);
+    auto model = CoverageModel::fixed(5);
+    EXPECT_TRUE(model.isFixed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(model.sample(rng), 5u);
+}
+
+TEST(Coverage, FixedZeroRejected)
+{
+    EXPECT_THROW(CoverageModel::fixed(0), std::invalid_argument);
+}
+
+TEST(Coverage, GammaBadParamsRejected)
+{
+    EXPECT_THROW(CoverageModel::gamma(0.0, 2.0), std::invalid_argument);
+    EXPECT_THROW(CoverageModel::gamma(5.0, -1.0), std::invalid_argument);
+}
+
+TEST(Coverage, GammaMeanApproximatelyCorrect)
+{
+    Rng rng(2);
+    auto model = CoverageModel::gamma(10.0, 4.0);
+    EXPECT_FALSE(model.isFixed());
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += double(model.sample(rng));
+    EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Coverage, GammaNeverReturnsZero)
+{
+    Rng rng(3);
+    // Low mean, low shape: lots of mass near zero before clamping.
+    auto model = CoverageModel::gamma(1.2, 0.8);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_GE(model.sample(rng), 1u);
+}
+
+TEST(Coverage, GammaSpreadShrinksWithShape)
+{
+    // Variance of Gamma(mean, shape) is mean^2 / shape.
+    Rng rng(4);
+    auto loose = CoverageModel::gamma(20.0, 2.0);
+    auto tight = CoverageModel::gamma(20.0, 50.0);
+    auto sample_var = [&rng](const CoverageModel &m) {
+        const int n = 20000;
+        double sum = 0, sumsq = 0;
+        for (int i = 0; i < n; ++i) {
+            double v = double(m.sample(rng));
+            sum += v;
+            sumsq += v * v;
+        }
+        double mean = sum / n;
+        return sumsq / n - mean * mean;
+    };
+    EXPECT_GT(sample_var(loose), 2.0 * sample_var(tight));
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "channel/error_model.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(ErrorModel, UniformSplitsEvenly)
+{
+    auto m = ErrorModel::uniform(0.09);
+    EXPECT_NEAR(m.insertion, 0.03, 1e-12);
+    EXPECT_NEAR(m.deletion, 0.03, 1e-12);
+    EXPECT_NEAR(m.substitution, 0.03, 1e-12);
+    EXPECT_NEAR(m.total(), 0.09, 1e-12);
+    EXPECT_TRUE(m.valid());
+}
+
+TEST(ErrorModel, SubstitutionOnly)
+{
+    auto m = ErrorModel::substitutionOnly(0.10);
+    EXPECT_DOUBLE_EQ(m.insertion, 0.0);
+    EXPECT_DOUBLE_EQ(m.deletion, 0.0);
+    EXPECT_DOUBLE_EQ(m.substitution, 0.10);
+}
+
+TEST(ErrorModel, IndelOnly)
+{
+    auto m = ErrorModel::indelOnly(0.10);
+    EXPECT_DOUBLE_EQ(m.insertion, 0.05);
+    EXPECT_DOUBLE_EQ(m.deletion, 0.05);
+    EXPECT_DOUBLE_EQ(m.substitution, 0.0);
+}
+
+TEST(ErrorModel, NgsBreakdownMatchesPaper)
+{
+    // Section 8: 25-30% of NGS errors are indels.
+    auto m = ErrorModel::ngs(0.01);
+    double indel_frac = (m.insertion + m.deletion) / m.total();
+    EXPECT_GT(indel_frac, 0.25);
+    EXPECT_LT(indel_frac, 0.30);
+}
+
+TEST(ErrorModel, NanoporeBreakdownMatchesPaper)
+{
+    // Section 8: over 60% of nanopore errors are indels.
+    auto m = ErrorModel::nanopore(0.12);
+    double indel_frac = (m.insertion + m.deletion) / m.total();
+    EXPECT_NEAR(indel_frac, 0.60, 1e-9);
+}
+
+TEST(ErrorModel, ValidityChecks)
+{
+    EXPECT_FALSE(ErrorModel::custom(-0.1, 0.0, 0.0).valid());
+    EXPECT_FALSE(ErrorModel::custom(0.5, 0.4, 0.2).valid());
+    EXPECT_TRUE(ErrorModel::custom(0.3, 0.3, 0.3).valid());
+}
+
+} // namespace
+} // namespace dnastore

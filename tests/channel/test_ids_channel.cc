@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "channel/ids_channel.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+Strand
+randomStrand(size_t len, Rng &rng)
+{
+    Strand s(len);
+    for (auto &b : s)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    return s;
+}
+
+TEST(IdsChannel, NoiselessChannelIsIdentity)
+{
+    Rng rng(1);
+    IdsChannel ch(ErrorModel::uniform(0.0));
+    auto s = randomStrand(100, rng);
+    ChannelEvents ev;
+    EXPECT_EQ(ch.transmit(s, rng, &ev), s);
+    EXPECT_EQ(ev.total(), 0u);
+}
+
+TEST(IdsChannel, RejectsInvalidModel)
+{
+    EXPECT_THROW(IdsChannel(ErrorModel::custom(0.5, 0.5, 0.5)),
+                 std::invalid_argument);
+}
+
+TEST(IdsChannel, SubstitutionOnlyPreservesLength)
+{
+    Rng rng(2);
+    IdsChannel ch(ErrorModel::substitutionOnly(0.2));
+    auto s = randomStrand(500, rng);
+    for (int i = 0; i < 20; ++i) {
+        ChannelEvents ev;
+        auto noisy = ch.transmit(s, rng, &ev);
+        EXPECT_EQ(noisy.size(), s.size());
+        EXPECT_EQ(ev.insertions, 0u);
+        EXPECT_EQ(ev.deletions, 0u);
+        // Substituted bases must actually differ from the original.
+        EXPECT_EQ(hammingDistance(s, noisy), ev.substitutions);
+    }
+}
+
+TEST(IdsChannel, LengthChangeMatchesEventCounts)
+{
+    Rng rng(3);
+    IdsChannel ch(ErrorModel::uniform(0.15));
+    auto s = randomStrand(300, rng);
+    for (int i = 0; i < 50; ++i) {
+        ChannelEvents ev;
+        auto noisy = ch.transmit(s, rng, &ev);
+        EXPECT_EQ(long(noisy.size()),
+                  long(s.size()) + long(ev.insertions) -
+                      long(ev.deletions));
+    }
+}
+
+TEST(IdsChannel, EventRatesMatchModel)
+{
+    Rng rng(4);
+    ErrorModel model = ErrorModel::custom(0.02, 0.05, 0.03);
+    IdsChannel ch(model);
+    auto s = randomStrand(1000, rng);
+    ChannelEvents total;
+    const int reps = 2000;
+    for (int i = 0; i < reps; ++i) {
+        ChannelEvents ev;
+        ch.transmit(s, rng, &ev);
+        total.insertions += ev.insertions;
+        total.deletions += ev.deletions;
+        total.substitutions += ev.substitutions;
+    }
+    double denom = double(reps) * double(s.size());
+    EXPECT_NEAR(double(total.insertions) / denom, 0.02, 0.002);
+    EXPECT_NEAR(double(total.deletions) / denom, 0.05, 0.003);
+    EXPECT_NEAR(double(total.substitutions) / denom, 0.03, 0.002);
+}
+
+TEST(IdsChannel, ClusterHasRequestedSize)
+{
+    Rng rng(5);
+    IdsChannel ch(ErrorModel::uniform(0.05));
+    auto s = randomStrand(120, rng);
+    auto reads = ch.transmitCluster(s, 7, rng);
+    EXPECT_EQ(reads.size(), 7u);
+    // Reads must be independent draws, not copies of each other.
+    bool any_different = false;
+    for (size_t i = 1; i < reads.size(); ++i)
+        any_different |= (reads[i] != reads[0]);
+    EXPECT_TRUE(any_different);
+}
+
+TEST(IdsChannel, DeterministicGivenSeed)
+{
+    IdsChannel ch(ErrorModel::uniform(0.1));
+    Rng rng_a(77), rng_b(77), mk(6);
+    auto s = randomStrand(200, mk);
+    EXPECT_EQ(ch.transmit(s, rng_a), ch.transmit(s, rng_b));
+}
+
+} // namespace
+} // namespace dnastore

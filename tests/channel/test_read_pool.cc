@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "channel/read_pool.hh"
+
+namespace dnastore {
+namespace {
+
+std::vector<Strand>
+makeReferences(size_t count, size_t len, Rng &rng)
+{
+    std::vector<Strand> refs(count);
+    for (auto &s : refs) {
+        s.resize(len);
+        for (auto &b : s)
+            b = baseFromBits(unsigned(rng.nextBelow(4)));
+    }
+    return refs;
+}
+
+TEST(ReadPool, ShapeMatchesRequest)
+{
+    Rng rng(1);
+    auto refs = makeReferences(10, 50, rng);
+    IdsChannel ch(ErrorModel::uniform(0.05));
+    ReadPool pool(refs, ch, 8, rng);
+    EXPECT_EQ(pool.clusters(), 10u);
+    EXPECT_EQ(pool.maxCoverage(), 8u);
+    EXPECT_EQ(pool.reads(0, 8).size(), 8u);
+    EXPECT_EQ(pool.reads(9, 1).size(), 1u);
+}
+
+TEST(ReadPool, ProgressiveCoverageIsPrefix)
+{
+    // The paper's methodology adds reads progressively; lower coverage
+    // must be a strict prefix of higher coverage (monotone info).
+    Rng rng(2);
+    auto refs = makeReferences(3, 60, rng);
+    IdsChannel ch(ErrorModel::uniform(0.1));
+    ReadPool pool(refs, ch, 10, rng);
+    auto low = pool.reads(1, 4);
+    auto high = pool.reads(1, 10);
+    for (size_t i = 0; i < low.size(); ++i)
+        EXPECT_EQ(low[i], high[i]);
+}
+
+TEST(ReadPool, OutOfRangeRejected)
+{
+    Rng rng(3);
+    auto refs = makeReferences(2, 30, rng);
+    IdsChannel ch(ErrorModel::uniform(0.05));
+    ReadPool pool(refs, ch, 5, rng);
+    EXPECT_THROW(pool.reads(2, 3), std::out_of_range);
+    EXPECT_THROW(pool.reads(0, 6), std::out_of_range);
+}
+
+TEST(ReadPool, SampleCountsRespectPoolCap)
+{
+    Rng rng(4);
+    auto refs = makeReferences(200, 30, rng);
+    IdsChannel ch(ErrorModel::uniform(0.05));
+    ReadPool pool(refs, ch, 6, rng);
+    auto counts = pool.sampleCounts(CoverageModel::gamma(6.0, 2.0), rng);
+    ASSERT_EQ(counts.size(), 200u);
+    for (size_t c : counts) {
+        EXPECT_GE(c, 1u);
+        EXPECT_LE(c, 6u);
+    }
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "channel/ids_channel.hh"
+#include "cluster/clusterer.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+Strand
+randomStrand(size_t len, Rng &rng)
+{
+    Strand s(len);
+    for (auto &b : s)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    return s;
+}
+
+TEST(BandedEditDistance, MatchesExactDistanceWithinBand)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < 40; ++iter) {
+        auto a = randomStrand(40 + rng.nextBelow(30), rng);
+        auto b = a;
+        // Apply a few random edits.
+        for (int e = 0; e < 4; ++e) {
+            size_t pos = rng.nextBelow(b.size());
+            switch (rng.nextBelow(3)) {
+              case 0:
+                b[pos] = baseFromBits(unsigned(rng.nextBelow(4)));
+                break;
+              case 1:
+                b.erase(b.begin() + long(pos));
+                break;
+              default:
+                b.insert(b.begin() + long(pos),
+                         baseFromBits(unsigned(rng.nextBelow(4))));
+            }
+        }
+        size_t exact = editDistance(a, b);
+        size_t banded = bandedEditDistance(a, b, 20, 12);
+        EXPECT_EQ(banded, exact);
+    }
+}
+
+TEST(BandedEditDistance, EarlyExitBeyondLimit)
+{
+    Rng rng(2);
+    auto a = randomStrand(60, rng);
+    auto b = randomStrand(60, rng);
+    size_t limited = bandedEditDistance(a, b, 5, 12);
+    if (editDistance(a, b) > 5) {
+        EXPECT_EQ(limited, 6u);
+    }
+}
+
+TEST(BandedEditDistance, LengthGapShortCircuits)
+{
+    Rng rng(3);
+    auto a = randomStrand(100, rng);
+    auto b = randomStrand(10, rng);
+    EXPECT_EQ(bandedEditDistance(a, b, 20, 10), 21u);
+}
+
+TEST(Clusterer, IdenticalReadsFormOneCluster)
+{
+    Rng rng(4);
+    auto s = randomStrand(100, rng);
+    std::vector<Strand> reads(8, s);
+    auto clustering = clusterReads(reads);
+    EXPECT_EQ(clustering.count(), 1u);
+    for (size_t c : clustering.clusterOf)
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(Clusterer, WellSeparatedStrandsSeparate)
+{
+    Rng rng(5);
+    std::vector<Strand> reads;
+    std::vector<size_t> truth;
+    const size_t n_strands = 20, copies = 6;
+    IdsChannel channel(ErrorModel::uniform(0.05));
+    for (size_t s = 0; s < n_strands; ++s) {
+        auto original = randomStrand(120, rng);
+        for (size_t c = 0; c < copies; ++c) {
+            reads.push_back(channel.transmit(original, rng));
+            truth.push_back(s);
+        }
+    }
+    auto clustering = clusterReads(reads);
+    auto quality = scoreClustering(clustering, truth);
+    EXPECT_GT(quality.precision, 0.99);
+    EXPECT_GT(quality.recall, 0.95);
+}
+
+TEST(Clusterer, ToleratesHighErrorRates)
+{
+    Rng rng(6);
+    std::vector<Strand> reads;
+    std::vector<size_t> truth;
+    IdsChannel channel(ErrorModel::uniform(0.10));
+    for (size_t s = 0; s < 10; ++s) {
+        auto original = randomStrand(150, rng);
+        for (size_t c = 0; c < 8; ++c) {
+            reads.push_back(channel.transmit(original, rng));
+            truth.push_back(s);
+        }
+    }
+    auto clustering = clusterReads(reads);
+    auto quality = scoreClustering(clustering, truth);
+    EXPECT_GT(quality.precision, 0.97);
+    EXPECT_GT(quality.recall, 0.80);
+}
+
+TEST(Clusterer, InterleavedReadOrder)
+{
+    // Reads arriving interleaved across strands must still cluster.
+    Rng rng(7);
+    const size_t n_strands = 12, copies = 5;
+    std::vector<Strand> originals;
+    for (size_t s = 0; s < n_strands; ++s)
+        originals.push_back(randomStrand(100, rng));
+    IdsChannel channel(ErrorModel::uniform(0.06));
+    std::vector<Strand> reads;
+    std::vector<size_t> truth;
+    for (size_t c = 0; c < copies; ++c) {
+        for (size_t s = 0; s < n_strands; ++s) {
+            reads.push_back(channel.transmit(originals[s], rng));
+            truth.push_back(s);
+        }
+    }
+    auto quality = scoreClustering(clusterReads(reads), truth);
+    EXPECT_GT(quality.precision, 0.99);
+    EXPECT_GT(quality.recall, 0.90);
+}
+
+TEST(Clusterer, EmptyInput)
+{
+    auto clustering = clusterReads({});
+    EXPECT_EQ(clustering.count(), 0u);
+    EXPECT_TRUE(clustering.clusterOf.empty());
+}
+
+TEST(ScoreClustering, PerfectAndDegenerate)
+{
+    Clustering perfect;
+    perfect.clusterOf = { 0, 0, 1, 1 };
+    perfect.members = { { 0, 1 }, { 2, 3 } };
+    auto q = scoreClustering(perfect, { 0, 0, 1, 1 });
+    EXPECT_DOUBLE_EQ(q.precision, 1.0);
+    EXPECT_DOUBLE_EQ(q.recall, 1.0);
+
+    Clustering lumped;
+    lumped.clusterOf = { 0, 0, 0, 0 };
+    lumped.members = { { 0, 1, 2, 3 } };
+    q = scoreClustering(lumped, { 0, 0, 1, 1 });
+    EXPECT_NEAR(q.precision, 2.0 / 6.0, 1e-12);
+    EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "channel/ids_channel.hh"
+#include "cluster/clusterer.hh"
+#include "pipeline/decoder.hh"
+#include "pipeline/encoder.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+/**
+ * End-to-end retrieval WITHOUT the perfect-clustering assumption: all
+ * reads of all molecules are pooled and shuffled (as they come off a
+ * sequencer), clustered by similarity, and the resulting clusters are
+ * fed to the decoder — which places them by their decoded ordering
+ * index, so cluster order is irrelevant and split clusters cost at
+ * most erasures.
+ */
+TEST(ClusterPipeline, DecodesFromShuffledReadSoup)
+{
+    // Longer strands than tinyTest (with only ~50 non-primer bases,
+    // distinct molecules can fall within clustering distance of each
+    // other — the paper's strands are 750 bases for good reason), and
+    // a bundle that fills the unit: unused capacity pads with zeros,
+    // and all-zero molecules are true near-duplicates no clusterer
+    // can separate.
+    auto cfg = StorageConfig::tinyTest();
+    cfg.rows = 40; // 10 + 4 + 160 + 10 = 184-base strands
+    Rng rng(42);
+    FileBundle bundle;
+    std::vector<uint8_t> data(cfg.capacityBytes() - 100);
+    for (auto &b : data)
+        b = uint8_t(rng.next());
+    bundle.add("soup.bin", std::move(data));
+
+    UnitEncoder enc(cfg, LayoutScheme::Gini);
+    auto unit = enc.encode(bundle);
+
+    // Sequence: 6 noisy reads per molecule, pooled and shuffled.
+    IdsChannel channel(ErrorModel::uniform(0.04));
+    std::vector<Strand> pool;
+    for (const auto &s : unit.strands) {
+        auto reads = channel.transmitCluster(s, 6, rng);
+        pool.insert(pool.end(), reads.begin(), reads.end());
+    }
+    rng.shuffle(pool);
+
+    // Cluster by similarity.
+    auto clustering = clusterReads(pool);
+    // Most molecules should come back as one cluster each.
+    EXPECT_GE(clustering.count(), cfg.codewordLen() * 9 / 10);
+
+    std::vector<std::vector<Strand>> clusters;
+    for (const auto &members : clustering.members) {
+        std::vector<Strand> cluster;
+        cluster.reserve(members.size());
+        for (size_t idx : members)
+            cluster.push_back(pool[idx]);
+        clusters.push_back(std::move(cluster));
+    }
+    // The decoder accepts at most one cluster per column; keep the
+    // largest clusters first so splinters do not crowd out the real
+    // ones.
+    std::sort(clusters.begin(), clusters.end(),
+              [](const auto &a, const auto &b) {
+                  return a.size() > b.size();
+              });
+    clusters.resize(
+        std::min(clusters.size(), size_t(cfg.codewordLen())));
+
+    UnitDecoder dec(cfg, LayoutScheme::Gini);
+    auto result = dec.decode(clusters);
+    ASSERT_TRUE(result.bundleOk);
+    EXPECT_TRUE(result.exact);
+    EXPECT_EQ(result.bundle.file(0).data, bundle.file(0).data);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "channel/ids_channel.hh"
+#include "consensus/bma.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+Strand
+randomStrand(size_t len, Rng &rng)
+{
+    Strand s(len);
+    for (auto &b : s)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    return s;
+}
+
+TEST(Bma, CleanReadsReconstructExactly)
+{
+    Rng rng(1);
+    auto s = randomStrand(100, rng);
+    std::vector<Strand> reads(5, s);
+    EXPECT_EQ(reconstructOneWay(reads, s.size()), s);
+}
+
+TEST(Bma, OutputAlwaysHasTargetLength)
+{
+    Rng rng(2);
+    IdsChannel ch(ErrorModel::uniform(0.15));
+    for (int iter = 0; iter < 30; ++iter) {
+        auto s = randomStrand(80, rng);
+        auto reads = ch.transmitCluster(s, 4, rng);
+        EXPECT_EQ(reconstructOneWay(reads, 80).size(), 80u);
+    }
+}
+
+TEST(Bma, HandlesEmptyReadSet)
+{
+    std::vector<Strand> reads;
+    EXPECT_EQ(reconstructOneWay(reads, 10).size(), 10u);
+}
+
+TEST(Bma, HandlesShortReads)
+{
+    Rng rng(3);
+    auto s = randomStrand(50, rng);
+    // All reads lost their second half.
+    Strand half(s.begin(), s.begin() + 25);
+    std::vector<Strand> reads(5, half);
+    auto est = reconstructOneWay(reads, 50);
+    EXPECT_EQ(est.size(), 50u);
+    // The available prefix should be reconstructed exactly.
+    EXPECT_TRUE(std::equal(half.begin(), half.end(), est.begin()));
+}
+
+TEST(Bma, MajorityVoteFixesIsolatedSubstitution)
+{
+    // Paper Figure 2a: substitutions alone are fixed by plain voting.
+    auto s = strandFromString("ACGTACGTACGT");
+    std::vector<Strand> reads(5, s);
+    reads[0][0] = Base::T; // TCGT...
+    reads[1][5] = Base::A;
+    EXPECT_EQ(reconstructOneWay(reads, s.size()), s);
+}
+
+TEST(Bma, RecoversFromSingleDeletion)
+{
+    // Paper Figure 2b: read 2 lost the C at position 1.
+    auto s = strandFromString("ACGTACGTACGT");
+    std::vector<Strand> reads(5, s);
+    reads[1].erase(reads[1].begin() + 1);
+    EXPECT_EQ(reconstructOneWay(reads, s.size()), s);
+}
+
+TEST(Bma, RecoversFromSingleInsertion)
+{
+    // Paper Figure 2b: read 4 gained an A before position 2.
+    auto s = strandFromString("ACGTACGTACGT");
+    std::vector<Strand> reads(5, s);
+    reads[4].insert(reads[4].begin() + 2, Base::A);
+    EXPECT_EQ(reconstructOneWay(reads, s.size()), s);
+}
+
+TEST(Bma, PaperFigure2Example)
+{
+    // The full worked example of Figure 2b: one substitution, one
+    // deletion, one insertion, one extra insertion case.
+    auto original = strandFromString("ACGTACGTACGT");
+    std::vector<Strand> reads = {
+        strandFromString("TCGTACGTACGT"),   // substitution at 0
+        strandFromString("AGTACGTACG"),     // deletion of C (pos 1)
+        strandFromString("ACGTGACGTACGT"),  // insertion of G before 4
+        strandFromString("ACGTATGTACGT"),   // substitution at 5
+        strandFromString("ACAGTACAGTACGT"), // insertions
+    };
+    EXPECT_EQ(reconstructOneWay(reads, original.size()), original);
+}
+
+TEST(Bma, ErrorRateGrowsTowardsTheEnd)
+{
+    // The defining property of one-way reconstruction (Figure 3):
+    // later positions are reconstructed less reliably.
+    Rng rng(5);
+    IdsChannel ch(ErrorModel::uniform(0.05));
+    const size_t len = 200;
+    const int trials = 300;
+    size_t wrong_front = 0, wrong_back = 0;
+    for (int t = 0; t < trials; ++t) {
+        auto s = randomStrand(len, rng);
+        auto reads = ch.transmitCluster(s, 5, rng);
+        auto est = reconstructOneWay(reads, len);
+        for (size_t i = 0; i < 40; ++i) {
+            wrong_front += (est[i] != s[i]);
+            wrong_back += (est[len - 40 + i] != s[len - 40 + i]);
+        }
+    }
+    EXPECT_GT(wrong_back, 2 * wrong_front);
+}
+
+} // namespace
+} // namespace dnastore

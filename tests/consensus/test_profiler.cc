@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "consensus/bma.hh"
+#include "consensus/profiler.hh"
+#include "consensus/two_sided.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Profiler, NoiselessChannelGivesZeroError)
+{
+    auto profile = profilePositionalError(
+        reconstructTwoSided, 50, 5, ErrorModel::uniform(0.0), 20, 1);
+    EXPECT_EQ(profile.trials, 20u);
+    EXPECT_EQ(profile.excluded, 0u);
+    for (double e : profile.errorRate)
+        EXPECT_DOUBLE_EQ(e, 0.0);
+    EXPECT_DOUBLE_EQ(profile.peak(), 0.0);
+}
+
+TEST(Profiler, OneWayProfileRisesTowardsEnd)
+{
+    // Shape check for Figure 3.
+    auto profile = profilePositionalError(
+        reconstructOneWay, 200, 5, ErrorModel::uniform(0.05), 300, 2);
+    ASSERT_EQ(profile.errorRate.size(), 200u);
+    double front = 0, back = 0;
+    for (size_t i = 0; i < 40; ++i) {
+        front += profile.errorRate[i];
+        back += profile.errorRate[160 + i];
+    }
+    EXPECT_GT(back, 2.0 * front);
+}
+
+TEST(Profiler, TwoWayProfilePeaksInMiddle)
+{
+    // Shape check for Figure 4.
+    auto profile = profilePositionalError(
+        reconstructTwoSided, 200, 5, ErrorModel::uniform(0.05), 400, 3);
+    double ends = 0, mid = 0;
+    for (size_t i = 0; i < 25; ++i) {
+        ends += profile.errorRate[i] + profile.errorRate[199 - i];
+        mid += profile.errorRate[100 - 12 + i];
+    }
+    EXPECT_GT(mid / 25.0, (ends / 50.0) * 1.5);
+}
+
+TEST(Profiler, WrongLengthOutputsAreExcluded)
+{
+    // A reconstructor that always returns length-1 strands must lead
+    // to zero usable trials, all excluded.
+    Reconstructor bad = [](const std::vector<Strand> &, size_t) {
+        return Strand{ Base::A };
+    };
+    auto profile = profilePositionalError(
+        bad, 30, 3, ErrorModel::uniform(0.05), 10, 4);
+    EXPECT_EQ(profile.trials, 0u);
+    EXPECT_EQ(profile.excluded, 10u);
+}
+
+TEST(Profiler, OptimalMedianShowsMiddlePeak)
+{
+    // Small-scale version of Figure 6: skew exists even for optimal
+    // reconstruction with adversarial tie-breaking.
+    auto profile = profileOptimalMedianError(12, 4, 0.2, 150, 5);
+    EXPECT_EQ(profile.trials, 150u);
+    ASSERT_EQ(profile.errorRate.size(), 12u);
+    double ends = (profile.errorRate[0] + profile.errorRate[11]) / 2.0;
+    double mid = (profile.errorRate[5] + profile.errorRate[6]) / 2.0;
+    EXPECT_GT(mid, ends);
+}
+
+TEST(Profiler, PeakAndMeanHelpers)
+{
+    SkewProfile p;
+    p.errorRate = { 0.1, 0.4, 0.2 };
+    EXPECT_DOUBLE_EQ(p.peak(), 0.4);
+    EXPECT_NEAR(p.mean(), 0.7 / 3.0, 1e-12);
+    SkewProfile empty;
+    EXPECT_DOUBLE_EQ(empty.peak(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+} // namespace
+} // namespace dnastore

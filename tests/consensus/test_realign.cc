@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "channel/ids_channel.hh"
+#include "consensus/realign.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+Strand
+randomStrand(size_t len, Rng &rng)
+{
+    Strand s(len);
+    for (auto &b : s)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    return s;
+}
+
+TEST(AlignToReference, IdentityAlignment)
+{
+    auto ref = strandFromString("ACGTACGT");
+    std::vector<int> aligned;
+    std::vector<std::vector<Base>> ins;
+    alignToReference(ref, ref, &aligned, &ins);
+    ASSERT_EQ(aligned.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(aligned[i], int(bitsFromBase(ref[i])));
+    for (const auto &gap : ins)
+        EXPECT_TRUE(gap.empty());
+}
+
+TEST(AlignToReference, DetectsDeletion)
+{
+    auto ref = strandFromString("ACGTACGT");
+    auto read = strandFromString("ACGACGT"); // T at pos 3 deleted
+    std::vector<int> aligned;
+    std::vector<std::vector<Base>> ins;
+    alignToReference(ref, read, &aligned, &ins);
+    int deleted = 0;
+    for (int a : aligned)
+        deleted += (a < 0);
+    EXPECT_EQ(deleted, 1);
+}
+
+TEST(AlignToReference, DetectsInsertion)
+{
+    auto ref = strandFromString("ACGTACGT");
+    auto read = strandFromString("ACGTTACGT"); // extra T
+    std::vector<int> aligned;
+    std::vector<std::vector<Base>> ins;
+    alignToReference(ref, read, &aligned, &ins);
+    size_t inserted = 0;
+    for (const auto &gap : ins)
+        inserted += gap.size();
+    EXPECT_EQ(inserted, 1u);
+}
+
+TEST(Realign, CleanReadsReconstructExactly)
+{
+    Rng rng(1);
+    auto s = randomStrand(80, rng);
+    std::vector<Strand> reads(5, s);
+    EXPECT_EQ(reconstructIterative(reads, s.size()), s);
+}
+
+TEST(Realign, EmptyReadSetYieldsFallback)
+{
+    std::vector<Strand> reads;
+    EXPECT_EQ(reconstructIterative(reads, 12).size(), 12u);
+}
+
+TEST(Realign, ReconstructsNoisyCluster)
+{
+    Rng rng(2);
+    IdsChannel ch(ErrorModel::uniform(0.05));
+    const size_t len = 120;
+    size_t total_edit = 0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        auto s = randomStrand(len, rng);
+        auto reads = ch.transmitCluster(s, 6, rng);
+        auto est = reconstructIterative(reads, len);
+        total_edit += editDistance(est, s);
+    }
+    // On average the estimate should be much closer to the original
+    // than any single read (expected read distance ~ 0.05 * 120 = 6).
+    EXPECT_LT(double(total_edit) / trials, 2.0);
+}
+
+TEST(Realign, AlwaysReturnsTargetLength)
+{
+    // The length-correction pass must make the output length exact
+    // even under heavy indel noise.
+    Rng rng(11);
+    IdsChannel ch(ErrorModel::uniform(0.15));
+    for (size_t len : { 40u, 113u, 200u }) {
+        for (int t = 0; t < 20; ++t) {
+            auto s = randomStrand(len, rng);
+            auto reads = ch.transmitCluster(s, 4, rng);
+            EXPECT_EQ(reconstructIterative(reads, len).size(), len);
+        }
+    }
+}
+
+TEST(Realign, SubstitutionOnlyChannelIsNearPerfect)
+{
+    Rng rng(12);
+    IdsChannel ch(ErrorModel::substitutionOnly(0.10));
+    const size_t len = 150;
+    size_t wrong = 0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+        auto s = randomStrand(len, rng);
+        auto reads = ch.transmitCluster(s, 5, rng);
+        auto est = reconstructIterative(reads, len);
+        ASSERT_EQ(est.size(), len);
+        wrong += hammingDistance(est, s);
+    }
+    EXPECT_LT(double(wrong) / double(len * trials), 0.01);
+}
+
+TEST(Realign, ShowsMiddleSkewOnIndelChannel)
+{
+    // Figure 5: the skew persists for this algorithm family too.
+    Rng rng(3);
+    IdsChannel ch(ErrorModel::uniform(0.10));
+    const size_t len = 200;
+    const int trials = 300;
+    size_t wrong_ends = 0, wrong_mid = 0, used = 0;
+    for (int t = 0; t < trials; ++t) {
+        auto s = randomStrand(len, rng);
+        auto reads = ch.transmitCluster(s, 5, rng);
+        auto est = reconstructIterative(reads, len);
+        if (est.size() != len)
+            continue; // excluded, as in the paper's Figure 5
+        ++used;
+        for (size_t i = 0; i < 25; ++i) {
+            wrong_ends += (est[i] != s[i]);
+            wrong_ends += (est[len - 1 - i] != s[len - 1 - i]);
+            wrong_mid += (est[len / 2 - 12 + i] != s[len / 2 - 12 + i]);
+        }
+    }
+    ASSERT_GT(used, 50u);
+    double mid_rate = double(wrong_mid) / (25.0 * double(used));
+    double end_rate = double(wrong_ends) / (50.0 * double(used));
+    EXPECT_GT(mid_rate, 1.5 * end_rate);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(ChaCha20, Rfc8439KeystreamVector)
+{
+    // RFC 8439 section 2.3.2 test vector: key 00 01 .. 1f, nonce
+    // 00:00:00:09:00:00:00:4a:00:00:00:00, counter 1.
+    std::array<uint8_t, 32> key{};
+    for (int i = 0; i < 32; ++i)
+        key[size_t(i)] = uint8_t(i);
+    std::array<uint8_t, 12> nonce{ 0, 0, 0, 9, 0, 0, 0, 0x4a,
+                                   0, 0, 0, 0 };
+    ChaCha20 cipher(key, nonce, 1);
+    std::vector<uint8_t> zeros(16, 0);
+    cipher.apply(zeros); // keystream = XOR with zeros
+    const uint8_t expected[16] = { 0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b,
+                                   0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f,
+                                   0xa3, 0x20, 0x71, 0xc4 };
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(zeros[size_t(i)], expected[i]) << "byte " << i;
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip)
+{
+    Rng rng(1);
+    std::vector<uint8_t> plain(1000);
+    for (auto &b : plain)
+        b = uint8_t(rng.next());
+    auto key = ChaCha20::deriveKey(7);
+    auto nonce = ChaCha20::deriveNonce(7);
+    ChaCha20 enc(key, nonce);
+    auto cipher = enc.applied(plain);
+    EXPECT_NE(cipher, plain);
+    ChaCha20 dec(key, nonce);
+    EXPECT_EQ(dec.applied(cipher), plain);
+}
+
+TEST(ChaCha20, BitErrorLocalityIsPreserved)
+{
+    // The property DnaMapper's encrypted-approximate-storage use case
+    // needs: flipping ciphertext bit i flips exactly plaintext bit i.
+    Rng rng(2);
+    std::vector<uint8_t> plain(256);
+    for (auto &b : plain)
+        b = uint8_t(rng.next());
+    auto key = ChaCha20::deriveKey(9);
+    auto nonce = ChaCha20::deriveNonce(9);
+    auto cipher = ChaCha20(key, nonce).applied(plain);
+    cipher[100] ^= 0x10; // flip one ciphertext bit
+    auto decrypted = ChaCha20(key, nonce).applied(cipher);
+    for (size_t i = 0; i < plain.size(); ++i) {
+        if (i == 100)
+            EXPECT_EQ(decrypted[i], plain[i] ^ 0x10);
+        else
+            EXPECT_EQ(decrypted[i], plain[i]);
+    }
+}
+
+TEST(ChaCha20, DifferentNoncesGiveDifferentStreams)
+{
+    auto key = ChaCha20::deriveKey(1);
+    std::vector<uint8_t> zeros(64, 0);
+    auto s1 = ChaCha20(key, ChaCha20::deriveNonce(1)).applied(zeros);
+    auto s2 = ChaCha20(key, ChaCha20::deriveNonce(2)).applied(zeros);
+    EXPECT_NE(s1, s2);
+}
+
+TEST(ChaCha20, CounterAdvancesAcrossBlocks)
+{
+    // Encrypting 130 bytes must not reuse the first block's keystream.
+    auto key = ChaCha20::deriveKey(3);
+    auto nonce = ChaCha20::deriveNonce(3);
+    std::vector<uint8_t> zeros(130, 0);
+    auto stream = ChaCha20(key, nonce).applied(zeros);
+    EXPECT_FALSE(std::equal(stream.begin(), stream.begin() + 64,
+                            stream.begin() + 64));
+}
+
+TEST(ChaCha20, KeystreamIsBalanced)
+{
+    // Sanity: roughly half the keystream bits are ones.
+    auto key = ChaCha20::deriveKey(4);
+    auto nonce = ChaCha20::deriveNonce(4);
+    std::vector<uint8_t> zeros(100000, 0);
+    auto stream = ChaCha20(key, nonce).applied(zeros);
+    size_t ones = 0;
+    for (uint8_t b : stream)
+        ones += size_t(__builtin_popcount(b));
+    double frac = double(ones) / double(stream.size() * 8);
+    EXPECT_NEAR(frac, 0.5, 0.005);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "dna/codec.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(DnaCodec, EncodeBytesUsesTwoBitsPerBase)
+{
+    // 0x1b = 00 01 10 11 -> A C G T.
+    auto s = encodeBytes({ 0x1b });
+    EXPECT_EQ(strandToString(s), "ACGT");
+}
+
+TEST(DnaCodec, ByteRoundTrip)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < 20; ++iter) {
+        std::vector<uint8_t> bytes(1 + rng.nextBelow(200));
+        for (auto &b : bytes)
+            b = uint8_t(rng.next());
+        auto strand = encodeBytes(bytes);
+        EXPECT_EQ(strand.size(), bytes.size() * 4);
+        EXPECT_EQ(decodeBytes(strand), bytes);
+    }
+}
+
+TEST(DnaCodec, DecodeDropsTrailingPartialByte)
+{
+    auto s = encodeBytes({ 0xff, 0x00 });
+    s.pop_back(); // no longer a whole number of bytes
+    auto bytes = decodeBytes(s);
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0xff);
+}
+
+TEST(DnaCodec, UintRoundTrip)
+{
+    Rng rng(2);
+    for (int bits = 2; bits <= 64; bits += 2) {
+        uint64_t mask = bits == 64 ? ~0ULL : ((1ULL << bits) - 1);
+        uint64_t v = rng.next() & mask;
+        auto s = encodeUint(v, bits);
+        EXPECT_EQ(s.size(), size_t(bits) / 2);
+        EXPECT_EQ(decodeUint(s, 0, bits), v);
+    }
+}
+
+TEST(DnaCodec, UintAtOffset)
+{
+    Strand s = encodeUint(0x0, 8);
+    appendUint(s, 0xabcd, 16);
+    EXPECT_EQ(decodeUint(s, 4, 16), 0xabcdu);
+}
+
+TEST(DnaCodec, UintOutOfRangeReadsZero)
+{
+    Strand s = encodeUint(0xff, 8);
+    // Reading past the end treats missing bases as A (zero bits).
+    EXPECT_EQ(decodeUint(s, 2, 8), 0xf0u);
+}
+
+TEST(DnaCodec, OddBitCountRejected)
+{
+    EXPECT_THROW(encodeUint(1, 3), std::invalid_argument);
+    Strand s;
+    EXPECT_THROW(decodeUint(s, 0, 5), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "dna/constrained_codec.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(ConstrainedCodec, RoundTripRandomPayloads)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < 30; ++iter) {
+        std::vector<uint8_t> bytes(1 + rng.nextBelow(300));
+        for (auto &b : bytes)
+            b = uint8_t(rng.next());
+        auto strand = encodeConstrained(bytes);
+        bool ok = false;
+        EXPECT_EQ(decodeConstrained(strand, Base::A, &ok), bytes);
+        EXPECT_TRUE(ok);
+    }
+}
+
+TEST(ConstrainedCodec, NeverEmitsHomopolymers)
+{
+    Rng rng(2);
+    // Worst case: repeated identical bytes tempt repeated bases.
+    for (uint8_t fill : { 0x00, 0xff, 0xaa, 0x33 }) {
+        std::vector<uint8_t> bytes(100, fill);
+        auto strand = encodeConstrained(bytes);
+        EXPECT_EQ(maxHomopolymerRun(strand), 1u) << int(fill);
+    }
+    std::vector<uint8_t> random_bytes(500);
+    for (auto &b : random_bytes)
+        b = uint8_t(rng.next());
+    EXPECT_EQ(maxHomopolymerRun(encodeConstrained(random_bytes)), 1u);
+}
+
+TEST(ConstrainedCodec, SixBasesPerByte)
+{
+    std::vector<uint8_t> bytes(10, 0x5a);
+    EXPECT_EQ(encodeConstrained(bytes).size(), 60u);
+}
+
+TEST(ConstrainedCodec, StartBaseMatters)
+{
+    std::vector<uint8_t> bytes{ 0x12, 0x34 };
+    auto a = encodeConstrained(bytes, Base::A);
+    auto t = encodeConstrained(bytes, Base::T);
+    EXPECT_NE(a, t);
+    bool ok = false;
+    EXPECT_EQ(decodeConstrained(t, Base::T, &ok), bytes);
+    EXPECT_TRUE(ok);
+    // Decoding with the wrong start may fail or give wrong bytes.
+    auto wrong = decodeConstrained(t, Base::A, &ok);
+    EXPECT_TRUE(!ok || wrong != bytes);
+}
+
+TEST(ConstrainedCodec, ConstraintViolationDetectsErrors)
+{
+    // A substitution that creates a repeated base is *detected*, the
+    // property the paper notes for constrained codes (section 2.1).
+    std::vector<uint8_t> bytes{ 0xc3, 0x7e, 0x01 };
+    auto strand = encodeConstrained(bytes);
+    // Make position 5 equal to position 4: a homopolymer.
+    strand[5] = strand[4];
+    bool ok = true;
+    decodeConstrained(strand, Base::A, &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(ConstrainedCodec, BadLengthRejected)
+{
+    std::vector<uint8_t> bytes{ 0x11 };
+    auto strand = encodeConstrained(bytes);
+    strand.pop_back();
+    bool ok = true;
+    decodeConstrained(strand, Base::A, &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(ConstrainedCodec, DensityIsLogTwoOfThree)
+{
+    EXPECT_NEAR(constrainedDensity(), 1.58496, 1e-4);
+}
+
+TEST(ConstrainedCodec, EmptyPayload)
+{
+    bool ok = false;
+    EXPECT_TRUE(encodeConstrained({}).empty());
+    EXPECT_TRUE(decodeConstrained({}, Base::A, &ok).empty());
+    EXPECT_TRUE(ok);
+}
+
+} // namespace
+} // namespace dnastore

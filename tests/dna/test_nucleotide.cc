@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "dna/nucleotide.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Nucleotide, PaperCodingScheme)
+{
+    // 00 = A, 01 = C, 10 = G, 11 = T (paper section 2.1).
+    EXPECT_EQ(bitsFromBase(Base::A), 0u);
+    EXPECT_EQ(bitsFromBase(Base::C), 1u);
+    EXPECT_EQ(bitsFromBase(Base::G), 2u);
+    EXPECT_EQ(bitsFromBase(Base::T), 3u);
+}
+
+TEST(Nucleotide, CharRoundTrip)
+{
+    for (unsigned v = 0; v < 4; ++v) {
+        Base b = baseFromBits(v);
+        bool ok = false;
+        EXPECT_EQ(charToBase(baseToChar(b), &ok), b);
+        EXPECT_TRUE(ok);
+    }
+}
+
+TEST(Nucleotide, LowercaseAccepted)
+{
+    bool ok = false;
+    EXPECT_EQ(charToBase('a', &ok), Base::A);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(charToBase('t', &ok), Base::T);
+    EXPECT_TRUE(ok);
+}
+
+TEST(Nucleotide, InvalidCharReported)
+{
+    bool ok = true;
+    charToBase('N', &ok);
+    EXPECT_FALSE(ok);
+    ok = true;
+    charToBase('x', &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Nucleotide, ComplementPairs)
+{
+    EXPECT_EQ(complement(Base::A), Base::T);
+    EXPECT_EQ(complement(Base::T), Base::A);
+    EXPECT_EQ(complement(Base::C), Base::G);
+    EXPECT_EQ(complement(Base::G), Base::C);
+}
+
+TEST(Nucleotide, ComplementIsInvolution)
+{
+    for (unsigned v = 0; v < 4; ++v) {
+        Base b = baseFromBits(v);
+        EXPECT_EQ(complement(complement(b)), b);
+    }
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "channel/ids_channel.hh"
+#include "dna/primer.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Primer, DeterministicPerKey)
+{
+    auto a = makePrimerPair(7, 20);
+    auto b = makePrimerPair(7, 20);
+    EXPECT_EQ(a.forward, b.forward);
+    EXPECT_EQ(a.backward, b.backward);
+}
+
+TEST(Primer, DistinctKeysGetDistinctPrimers)
+{
+    auto a = makePrimerPair(1, 20);
+    auto b = makePrimerPair(2, 20);
+    EXPECT_NE(a.forward, b.forward);
+}
+
+TEST(Primer, SatisfiesBiochemicalConstraints)
+{
+    for (uint64_t key = 0; key < 32; ++key) {
+        auto pair = makePrimerPair(key, 20);
+        for (const Strand *p : { &pair.forward, &pair.backward }) {
+            EXPECT_EQ(p->size(), 20u);
+            EXPECT_GE(gcContent(*p), 0.4);
+            EXPECT_LE(gcContent(*p), 0.6);
+            EXPECT_LE(maxHomopolymerRun(*p), 3u);
+        }
+    }
+}
+
+TEST(Primer, AttachStripRoundTrip)
+{
+    auto pair = makePrimerPair(3, 20);
+    auto payload = strandFromString("ACGTACGTACGTACGTACGT");
+    auto framed = attachPrimers(pair, payload);
+    EXPECT_EQ(framed.size(), payload.size() + 40);
+
+    Strand recovered;
+    EXPECT_TRUE(stripPrimers(pair, framed, 0, &recovered));
+    EXPECT_EQ(recovered, payload);
+}
+
+TEST(Primer, StripRejectsWrongPrimer)
+{
+    auto pair = makePrimerPair(3, 20);
+    auto other = makePrimerPair(4, 20);
+    auto payload = strandFromString("ACGTACGTACGTACGTACGT");
+    auto framed = attachPrimers(pair, payload);
+    EXPECT_FALSE(stripPrimers(other, framed, 2, nullptr));
+}
+
+TEST(Primer, StripToleratesNoisyPrimerRegion)
+{
+    auto pair = makePrimerPair(9, 20);
+    auto payload = strandFromString("ACGTACGTACGTACGTACGTACGTACGT");
+    auto framed = attachPrimers(pair, payload);
+    // Corrupt two bases inside the forward primer.
+    framed[3] = complement(framed[3]);
+    framed[11] = complement(framed[11]);
+    Strand recovered;
+    EXPECT_TRUE(stripPrimers(pair, framed, 3, &recovered));
+}
+
+TEST(Primer, StripRejectsTooShortRead)
+{
+    auto pair = makePrimerPair(5, 20);
+    Strand tiny = strandFromString("ACGT");
+    EXPECT_FALSE(stripPrimers(pair, tiny, 2, nullptr));
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "dna/strand.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Strand, StringRoundTrip)
+{
+    const std::string s = "ACGTACGTACGT";
+    EXPECT_EQ(strandToString(strandFromString(s)), s);
+}
+
+TEST(Strand, FromStringRejectsInvalid)
+{
+    EXPECT_THROW(strandFromString("ACGN"), std::invalid_argument);
+}
+
+TEST(Strand, Reversed)
+{
+    EXPECT_EQ(strandToString(reversed(strandFromString("ACGT"))), "TGCA");
+}
+
+TEST(Strand, ReverseComplement)
+{
+    EXPECT_EQ(strandToString(reverseComplement(strandFromString("AACGT"))),
+              "ACGTT");
+}
+
+TEST(Strand, GcContent)
+{
+    EXPECT_DOUBLE_EQ(gcContent(strandFromString("GCGC")), 1.0);
+    EXPECT_DOUBLE_EQ(gcContent(strandFromString("ATAT")), 0.0);
+    EXPECT_DOUBLE_EQ(gcContent(strandFromString("ACGT")), 0.5);
+    EXPECT_DOUBLE_EQ(gcContent(Strand{}), 0.0);
+}
+
+TEST(Strand, MaxHomopolymerRun)
+{
+    EXPECT_EQ(maxHomopolymerRun(Strand{}), 0u);
+    EXPECT_EQ(maxHomopolymerRun(strandFromString("ACGT")), 1u);
+    EXPECT_EQ(maxHomopolymerRun(strandFromString("AAACGGT")), 3u);
+    EXPECT_EQ(maxHomopolymerRun(strandFromString("CTTTT")), 4u);
+}
+
+TEST(Strand, EditDistanceBasics)
+{
+    auto a = strandFromString("ACGT");
+    EXPECT_EQ(editDistance(a, a), 0u);
+    EXPECT_EQ(editDistance(a, strandFromString("AGGT")), 1u); // sub
+    EXPECT_EQ(editDistance(a, strandFromString("ACGTT")), 1u); // ins
+    EXPECT_EQ(editDistance(a, strandFromString("AGT")), 1u); // del
+    EXPECT_EQ(editDistance(a, Strand{}), 4u);
+    EXPECT_EQ(editDistance(Strand{}, a), 4u);
+}
+
+TEST(Strand, EditDistanceIsSymmetric)
+{
+    auto a = strandFromString("ACGTACGTACG");
+    auto b = strandFromString("ACTTAGGTAG");
+    EXPECT_EQ(editDistance(a, b), editDistance(b, a));
+}
+
+TEST(Strand, EditDistanceTriangleInequality)
+{
+    auto a = strandFromString("ACGTAC");
+    auto b = strandFromString("GGTTAA");
+    auto c = strandFromString("ACGGTA");
+    EXPECT_LE(editDistance(a, b),
+              editDistance(a, c) + editDistance(c, b));
+}
+
+TEST(Strand, HammingDistance)
+{
+    auto a = strandFromString("ACGT");
+    EXPECT_EQ(hammingDistance(a, a), 0u);
+    EXPECT_EQ(hammingDistance(a, strandFromString("ACGA")), 1u);
+    EXPECT_EQ(hammingDistance(a, strandFromString("TGCA")), 4u);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "layout/codeword_map.hh"
+
+namespace dnastore {
+namespace {
+
+/** Invariants from the CodewordMap contract, checked for any map. */
+void
+checkMapInvariants(const CodewordMap &map)
+{
+    const size_t rows = map.codewords();
+    const size_t cols = map.length();
+
+    std::set<std::pair<size_t, size_t>> cells;
+    for (size_t j = 0; j < rows; ++j) {
+        std::set<size_t> cols_seen;
+        for (size_t t = 0; t < cols; ++t) {
+            MatrixPos p = map.position(j, t);
+            ASSERT_LT(p.row, rows);
+            ASSERT_LT(p.col, cols);
+            // Bijectivity: no two (codeword, symbol) share a cell.
+            ASSERT_TRUE(cells.insert({ p.row, p.col }).second)
+                << "duplicate cell " << p.row << "," << p.col;
+            // Erasure safety: each codeword hits each column once.
+            ASSERT_TRUE(cols_seen.insert(p.col).second);
+            // locate() inverts position().
+            CodewordPos cp = map.locate(p.row, p.col);
+            ASSERT_EQ(cp.codeword, j);
+            ASSERT_EQ(cp.symbol, t);
+        }
+        ASSERT_EQ(cols_seen.size(), cols);
+    }
+    ASSERT_EQ(cells.size(), rows * cols);
+}
+
+class MapShapes
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(MapShapes, BaselineInvariants)
+{
+    auto [rows, cols] = GetParam();
+    checkMapInvariants(BaselineMap(rows, cols));
+}
+
+TEST_P(MapShapes, GiniInvariants)
+{
+    auto [rows, cols] = GetParam();
+    checkMapInvariants(GiniMap(rows, cols));
+}
+
+TEST_P(MapShapes, GiniClassInvariants)
+{
+    auto [rows, cols] = GetParam();
+    if (rows < 3)
+        GTEST_SKIP() << "need at least 3 rows for a reserved class";
+    // Reserve the outermost rows, as in Figure 8b.
+    checkMapInvariants(GiniClassMap(rows, cols, { 0, rows - 1 }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MapShapes,
+    ::testing::Values(std::make_pair<size_t, size_t>(1, 7),
+                      std::make_pair<size_t, size_t>(5, 5),
+                      std::make_pair<size_t, size_t>(7, 15),
+                      // rows not dividing cols (the wrap-around case)
+                      std::make_pair<size_t, size_t>(82, 255),
+                      std::make_pair<size_t, size_t>(82, 1023)));
+
+TEST(BaselineMap, CodewordIsRow)
+{
+    BaselineMap map(4, 9);
+    for (size_t t = 0; t < 9; ++t) {
+        EXPECT_EQ(map.position(2, t).row, 2u);
+        EXPECT_EQ(map.position(2, t).col, t);
+    }
+}
+
+TEST(GiniMap, DiagonalStripe)
+{
+    GiniMap map(4, 9);
+    // Codeword 1: (1,0), (2,1), (3,2), (0,3), (1,4), ...
+    EXPECT_EQ(map.position(1, 0), (MatrixPos{ 1, 0 }));
+    EXPECT_EQ(map.position(1, 1), (MatrixPos{ 2, 1 }));
+    EXPECT_EQ(map.position(1, 3), (MatrixPos{ 0, 3 }));
+    EXPECT_EQ(map.position(1, 4), (MatrixPos{ 1, 4 }));
+}
+
+TEST(GiniMap, RowOccupancyIsBalanced)
+{
+    // Each codeword must occupy every row floor or ceil of cols/rows
+    // times -- this is what equalizes middle-row error exposure.
+    GiniMap map(82, 1023);
+    for (size_t j = 0; j < 82; j += 13) {
+        std::vector<size_t> per_row(82, 0);
+        for (size_t t = 0; t < 1023; ++t)
+            ++per_row[map.position(j, t).row];
+        for (size_t r = 0; r < 82; ++r) {
+            EXPECT_GE(per_row[r], size_t(1023 / 82));
+            EXPECT_LE(per_row[r], size_t(1023 / 82) + 1);
+        }
+    }
+}
+
+TEST(GiniMap, GatherScatterRoundTrip)
+{
+    GiniMap map(5, 11);
+    SymbolMatrix m(5, 11);
+    std::vector<uint32_t> cw(11);
+    for (size_t t = 0; t < 11; ++t)
+        cw[t] = uint32_t(100 + t);
+    map.scatter(m, 3, cw);
+    EXPECT_EQ(map.gather(m, 3), cw);
+    EXPECT_THROW(map.scatter(m, 3, { 1, 2 }), std::invalid_argument);
+}
+
+TEST(GiniClassMap, ReservedRowsStayRowAligned)
+{
+    GiniClassMap map(6, 10, { 0, 5 });
+    EXPECT_EQ(map.reservedCount(), 2u);
+    // Codeword 0 -> row 0, codeword 1 -> row 5, as plain rows.
+    for (size_t t = 0; t < 10; ++t) {
+        EXPECT_EQ(map.position(0, t), (MatrixPos{ 0, t }));
+        EXPECT_EQ(map.position(1, t), (MatrixPos{ 5, t }));
+    }
+    // Remaining codewords never touch the reserved rows.
+    for (size_t j = 2; j < 6; ++j)
+        for (size_t t = 0; t < 10; ++t) {
+            size_t row = map.position(j, t).row;
+            EXPECT_NE(row, 0u);
+            EXPECT_NE(row, 5u);
+        }
+}
+
+TEST(GiniClassMap, Validation)
+{
+    EXPECT_THROW(GiniClassMap(4, 8, { 4 }), std::invalid_argument);
+    EXPECT_THROW(GiniClassMap(4, 8, { 1, 1 }), std::invalid_argument);
+    EXPECT_THROW(GiniClassMap(3, 8, { 0, 1, 2 }), std::invalid_argument);
+}
+
+TEST(CodewordMap, EmptyShapeRejected)
+{
+    EXPECT_THROW(BaselineMap(0, 4), std::invalid_argument);
+    EXPECT_THROW(GiniMap(4, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "layout/data_map.hh"
+#include "layout/row_rank.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(DataMap, BaselineIsColumnMajor)
+{
+    // Figure 1: D[0..S-1] fill molecule 0 top to bottom.
+    const size_t rows = 4, data_cols = 3;
+    EXPECT_EQ(dataSlotPosition(0, rows, data_cols,
+                               DataPlacement::Baseline),
+              (MatrixPos{ 0, 0 }));
+    EXPECT_EQ(dataSlotPosition(3, rows, data_cols,
+                               DataPlacement::Baseline),
+              (MatrixPos{ 3, 0 }));
+    EXPECT_EQ(dataSlotPosition(4, rows, data_cols,
+                               DataPlacement::Baseline),
+              (MatrixPos{ 0, 1 }));
+}
+
+TEST(DataMap, PriorityFollowsRowReliability)
+{
+    // Figure 9: the M most demanding symbols stripe the last row,
+    // the next M the first row, then second-to-last, ...
+    const size_t rows = 5, data_cols = 4;
+    auto order = rowReliabilityOrder(rows);
+    for (size_t p = 0; p < rows * data_cols; ++p) {
+        MatrixPos pos = dataSlotPosition(p, rows, data_cols,
+                                         DataPlacement::Priority);
+        EXPECT_EQ(pos.row, order[p / data_cols]);
+        EXPECT_EQ(pos.col, p % data_cols);
+    }
+}
+
+TEST(DataMap, SlotOutOfRangeRejected)
+{
+    EXPECT_THROW(
+        dataSlotPosition(12, 3, 4, DataPlacement::Baseline),
+        std::out_of_range);
+}
+
+class PlacementParam : public ::testing::TestWithParam<DataPlacement> {};
+
+TEST_P(PlacementParam, PlacementIsBijective)
+{
+    const size_t rows = 7, data_cols = 11;
+    std::set<std::pair<size_t, size_t>> cells;
+    for (size_t p = 0; p < rows * data_cols; ++p) {
+        MatrixPos pos = dataSlotPosition(p, rows, data_cols, GetParam());
+        ASSERT_LT(pos.row, rows);
+        ASSERT_LT(pos.col, data_cols);
+        ASSERT_TRUE(cells.insert({ pos.row, pos.col }).second);
+    }
+    EXPECT_EQ(cells.size(), rows * data_cols);
+}
+
+TEST_P(PlacementParam, PlaceExtractRoundTrip)
+{
+    const size_t rows = 6, cols = 10, data_cols = 7;
+    SymbolMatrix m(rows, cols);
+    std::vector<uint32_t> symbols(rows * data_cols);
+    std::iota(symbols.begin(), symbols.end(), 1000u);
+    placeData(m, symbols, data_cols, GetParam());
+    EXPECT_EQ(extractData(m, data_cols, GetParam()), symbols);
+    // Parity columns must remain untouched (zero).
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = data_cols; c < cols; ++c)
+            EXPECT_EQ(m.at(r, c), 0u);
+}
+
+TEST_P(PlacementParam, PlaceValidatesArguments)
+{
+    SymbolMatrix m(3, 5);
+    std::vector<uint32_t> wrong_count(7, 0);
+    EXPECT_THROW(placeData(m, wrong_count, 4, GetParam()),
+                 std::invalid_argument);
+    std::vector<uint32_t> symbols(3 * 6, 0);
+    EXPECT_THROW(placeData(m, symbols, 6, GetParam()),
+                 std::invalid_argument);
+    EXPECT_THROW(extractData(m, 6, GetParam()), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPlacements, PlacementParam,
+                         ::testing::Values(DataPlacement::Baseline,
+                                           DataPlacement::Priority));
+
+TEST(DataMap, PriorityPutsFirstSymbolsInMostReliableRows)
+{
+    // End-to-end sanity on the semantics: with symbols numbered by
+    // priority, the best two rows (last, first) must hold 0..2M-1.
+    const size_t rows = 8, data_cols = 5;
+    SymbolMatrix m(rows, data_cols);
+    std::vector<uint32_t> symbols(rows * data_cols);
+    std::iota(symbols.begin(), symbols.end(), 0u);
+    placeData(m, symbols, data_cols, DataPlacement::Priority);
+    for (size_t c = 0; c < data_cols; ++c) {
+        EXPECT_LT(m.at(rows - 1, c), data_cols);         // best row
+        EXPECT_LT(m.at(0, c), 2 * data_cols);            // second best
+        EXPECT_GE(m.at(rows / 2, c), (rows - 2) * data_cols / 2);
+    }
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "layout/row_rank.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(RowRank, PaperFigure9Order)
+{
+    // Figure 9: last row first, then first, then second-to-last, ...
+    auto order = rowReliabilityOrder(6);
+    EXPECT_EQ(order, (std::vector<size_t>{ 5, 0, 4, 1, 3, 2 }));
+}
+
+TEST(RowRank, OddRowCount)
+{
+    auto order = rowReliabilityOrder(5);
+    EXPECT_EQ(order, (std::vector<size_t>{ 4, 0, 3, 1, 2 }));
+}
+
+TEST(RowRank, SingleRow)
+{
+    EXPECT_EQ(rowReliabilityOrder(1), (std::vector<size_t>{ 0 }));
+}
+
+TEST(RowRank, IsAPermutation)
+{
+    for (size_t rows : { 2u, 7u, 82u, 101u }) {
+        auto order = rowReliabilityOrder(rows);
+        ASSERT_EQ(order.size(), rows);
+        auto sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        for (size_t r = 0; r < rows; ++r)
+            EXPECT_EQ(sorted[r], r);
+    }
+}
+
+TEST(RowRank, MiddleRowsAreLeastReliable)
+{
+    auto rank = rowReliabilityRank(82);
+    // The two middle rows must hold the two worst ranks.
+    EXPECT_GE(rank[40], 79u);
+    EXPECT_GE(rank[41], 79u);
+    // The outermost rows hold the two best ranks.
+    EXPECT_LE(rank[81], 1u);
+    EXPECT_LE(rank[0], 1u);
+}
+
+TEST(RowRank, RankInvertsOrder)
+{
+    auto order = rowReliabilityOrder(33);
+    auto rank = rowReliabilityRank(33);
+    for (size_t r = 0; r < 33; ++r)
+        EXPECT_EQ(rank[order[r]], r);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "layout/uneven.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Uneven, BudgetIsFullySpent)
+{
+    auto w = syntheticSkewWeights(10, 5.0);
+    auto parity = provisionUneven(w, 100, 63);
+    EXPECT_EQ(std::accumulate(parity.begin(), parity.end(), size_t(0)),
+              100u);
+}
+
+TEST(Uneven, MiddleRowsGetMoreParity)
+{
+    auto w = syntheticSkewWeights(11, 8.0);
+    auto parity = provisionUneven(w, 110, 127);
+    EXPECT_GT(parity[5], parity[0]);
+    EXPECT_GT(parity[5], parity[10]);
+    // Symmetric profile gives near-symmetric provisioning.
+    EXPECT_NEAR(double(parity[0]), double(parity[10]), 1.0);
+}
+
+TEST(Uneven, UniformWeightsGiveUniformParity)
+{
+    std::vector<double> w(8, 1.0);
+    auto parity = provisionUneven(w, 64, 63);
+    for (size_t e : parity)
+        EXPECT_EQ(e, 8u);
+}
+
+TEST(Uneven, RespectsFloorAndCeiling)
+{
+    auto w = syntheticSkewWeights(9, 100.0); // extreme concentration
+    auto parity = provisionUneven(w, 90, 31, 2);
+    size_t total = 0;
+    for (size_t e : parity) {
+        EXPECT_GE(e, 2u);
+        EXPECT_LE(e, 30u);
+        total += e;
+    }
+    EXPECT_EQ(total, 90u);
+}
+
+TEST(Uneven, InvalidInputsRejected)
+{
+    std::vector<double> w(4, 1.0);
+    EXPECT_THROW(provisionUneven({}, 10, 15), std::invalid_argument);
+    EXPECT_THROW(provisionUneven({ 1.0, -1.0 }, 10, 15),
+                 std::invalid_argument);
+    EXPECT_THROW(provisionUneven({ 0.0, 0.0 }, 10, 15),
+                 std::invalid_argument);
+    // Budget below the floor or above the ceiling.
+    EXPECT_THROW(provisionUneven(w, 7, 15), std::invalid_argument);
+    EXPECT_THROW(provisionUneven(w, 100, 15), std::invalid_argument);
+}
+
+TEST(SyntheticSkewWeights, ShapeAndRange)
+{
+    auto w = syntheticSkewWeights(21, 6.0);
+    ASSERT_EQ(w.size(), 21u);
+    EXPECT_NEAR(w.front(), 1.0, 1e-9);
+    EXPECT_NEAR(w.back(), 1.0, 1e-9);
+    EXPECT_NEAR(w[10], 6.0, 1e-9);
+    // Monotone towards the middle.
+    for (size_t i = 0; i < 10; ++i) {
+        EXPECT_LE(w[i], w[i + 1] + 1e-12);
+        EXPECT_LE(w[20 - i], w[19 - i] + 1e-12);
+    }
+}
+
+TEST(SyntheticSkewWeights, Validation)
+{
+    EXPECT_THROW(syntheticSkewWeights(0, 2.0), std::invalid_argument);
+    EXPECT_THROW(syntheticSkewWeights(5, 0.5), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "media/dct.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Dct, RoundTripIsIdentity)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < 20; ++iter) {
+        Block b{};
+        for (auto &v : b)
+            v = rng.nextDouble() * 255.0 - 128.0;
+        Block back = inverseDct(forwardDct(b));
+        for (int i = 0; i < 64; ++i)
+            EXPECT_NEAR(back[size_t(i)], b[size_t(i)], 1e-9);
+    }
+}
+
+TEST(Dct, ConstantBlockHasOnlyDc)
+{
+    Block b{};
+    b.fill(50.0);
+    Block f = forwardDct(b);
+    EXPECT_NEAR(f[0], 50.0 * 8.0, 1e-9); // DC = 8 * mean
+    for (int i = 1; i < 64; ++i)
+        EXPECT_NEAR(f[size_t(i)], 0.0, 1e-9);
+}
+
+TEST(Dct, ParsevalEnergyPreserved)
+{
+    Rng rng(2);
+    Block b{};
+    for (auto &v : b)
+        v = rng.nextGaussian() * 30.0;
+    Block f = forwardDct(b);
+    double es = 0, ef = 0;
+    for (int i = 0; i < 64; ++i) {
+        es += b[size_t(i)] * b[size_t(i)];
+        ef += f[size_t(i)] * f[size_t(i)];
+    }
+    EXPECT_NEAR(es, ef, 1e-6);
+}
+
+TEST(Dct, SmoothBlocksConcentrateEnergyInLowFrequencies)
+{
+    Block b{};
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            b[size_t(y * 8 + x)] = double(x + y) * 8.0 - 56.0;
+    Block f = forwardDct(b);
+    double low = 0, high = 0;
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x) {
+            double e = f[size_t(y * 8 + x)] * f[size_t(y * 8 + x)];
+            if (x + y <= 2)
+                low += e;
+            else
+                high += e;
+        }
+    EXPECT_GT(low, 20.0 * high);
+}
+
+TEST(QuantTable, QualityFiftyIsBaseTable)
+{
+    auto t = quantTable(50);
+    EXPECT_EQ(t[0], 16u);
+    EXPECT_EQ(t[63], 99u);
+}
+
+TEST(QuantTable, HigherQualityMeansFinerSteps)
+{
+    auto lo = quantTable(20), hi = quantTable(90);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_GE(lo[size_t(i)], hi[size_t(i)]);
+        EXPECT_GE(hi[size_t(i)], 1u);
+    }
+}
+
+TEST(QuantTable, RangeValidation)
+{
+    EXPECT_THROW(quantTable(0), std::invalid_argument);
+    EXPECT_THROW(quantTable(101), std::invalid_argument);
+    EXPECT_NO_THROW(quantTable(1));
+    EXPECT_NO_THROW(quantTable(100));
+}
+
+TEST(Quantize, RoundTripWithinHalfStep)
+{
+    Rng rng(3);
+    auto table = quantTable(60);
+    Block f{};
+    for (auto &v : f)
+        v = rng.nextGaussian() * 100.0;
+    QuantBlock q = quantize(f, table);
+    Block back = dequantize(q, table);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_LE(std::abs(back[size_t(i)] - f[size_t(i)]),
+                  double(table[size_t(i)]) / 2.0 + 1e-9);
+}
+
+TEST(Zigzag, IsAPermutationWithKnownPrefix)
+{
+    const auto &zz = zigzagOrder();
+    std::array<bool, 64> seen{};
+    for (uint8_t idx : zz) {
+        ASSERT_LT(idx, 64);
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+    }
+    // First entries of the JPEG zig-zag: 0, 1, 8, 16, 9, 2, 3, 10.
+    EXPECT_EQ(zz[0], 0);
+    EXPECT_EQ(zz[1], 1);
+    EXPECT_EQ(zz[2], 8);
+    EXPECT_EQ(zz[3], 16);
+    EXPECT_EQ(zz[4], 9);
+    EXPECT_EQ(zz[5], 2);
+    EXPECT_EQ(zz[6], 3);
+    EXPECT_EQ(zz[7], 10);
+    EXPECT_EQ(zz[63], 63);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "media/image.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Image, ConstructionAndAccess)
+{
+    Image img(4, 3, 7);
+    EXPECT_EQ(img.width(), 4u);
+    EXPECT_EQ(img.height(), 3u);
+    EXPECT_EQ(img.pixelCount(), 12u);
+    EXPECT_EQ(img.at(2, 1), 7);
+    img.at(2, 1) = 99;
+    EXPECT_EQ(img.at(2, 1), 99);
+}
+
+TEST(Image, ClampedAccess)
+{
+    Image img(2, 2);
+    img.at(0, 0) = 1;
+    img.at(1, 0) = 2;
+    img.at(0, 1) = 3;
+    img.at(1, 1) = 4;
+    EXPECT_EQ(img.atClamped(-5, -5), 1);
+    EXPECT_EQ(img.atClamped(10, 0), 2);
+    EXPECT_EQ(img.atClamped(0, 10), 3);
+    EXPECT_EQ(img.atClamped(10, 10), 4);
+}
+
+TEST(Psnr, IdenticalImagesAreInfinite)
+{
+    Image a(8, 8, 100);
+    EXPECT_TRUE(std::isinf(psnr(a, a)));
+    EXPECT_DOUBLE_EQ(psnrCapped(a, a), 60.0);
+    EXPECT_DOUBLE_EQ(qualityLossDb(a, a), 0.0);
+}
+
+TEST(Psnr, KnownValue)
+{
+    // Uniform difference of 1: MSE = 1, PSNR = 20*log10(255) ~= 48.13.
+    Image a(10, 10, 100), b(10, 10, 101);
+    EXPECT_NEAR(psnr(a, b), 20.0 * std::log10(255.0), 1e-9);
+}
+
+TEST(Psnr, ShapeMismatchRejected)
+{
+    Image a(4, 4), b(4, 5);
+    EXPECT_THROW(psnr(a, b), std::invalid_argument);
+}
+
+TEST(Psnr, MoreDamageMeansLowerPsnr)
+{
+    Image ref(16, 16, 128);
+    Image mild = ref, severe = ref;
+    mild.at(0, 0) = 138;
+    for (size_t i = 0; i < 16; ++i)
+        severe.at(i, i) = 255;
+    EXPECT_GT(psnr(ref, mild), psnr(ref, severe));
+    EXPECT_LT(qualityLossDb(ref, mild), qualityLossDb(ref, severe));
+}
+
+TEST(Pgm, RoundTrip)
+{
+    Image img(5, 7);
+    for (size_t y = 0; y < 7; ++y)
+        for (size_t x = 0; x < 5; ++x)
+            img.at(x, y) = uint8_t(x * 40 + y);
+    auto bytes = writePgm(img);
+    Image back = readPgm(bytes);
+    EXPECT_EQ(back.width(), img.width());
+    EXPECT_EQ(back.height(), img.height());
+    EXPECT_EQ(back.pixels(), img.pixels());
+}
+
+TEST(Pgm, MalformedInputsRejected)
+{
+    EXPECT_THROW(readPgm({ 'P', '6' }), std::invalid_argument);
+    EXPECT_THROW(readPgm({ 'P', '5', '\n' }), std::invalid_argument);
+    // Truncated pixel payload.
+    Image img(4, 4, 9);
+    auto bytes = writePgm(img);
+    bytes.resize(bytes.size() - 3);
+    EXPECT_THROW(readPgm(bytes), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dnastore

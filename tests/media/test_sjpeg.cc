@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "media/ranking.hh"
+#include "media/sjpeg.hh"
+#include "media/synth.hh"
+#include "util/bitio.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Sjpeg, CleanRoundTripIsHighQuality)
+{
+    auto img = generateSyntheticPhoto(96, 64, 1);
+    auto file = sjpegEncode(img, 85);
+    auto result = sjpegDecode(file);
+    ASSERT_TRUE(result.headerOk);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.blocksDecoded, result.blocksTotal);
+    EXPECT_EQ(result.image.width(), 96u);
+    EXPECT_EQ(result.image.height(), 64u);
+    EXPECT_GT(psnr(img, result.image), 33.0);
+}
+
+TEST(Sjpeg, CompressionActuallyCompresses)
+{
+    auto img = generateSyntheticPhoto(128, 128, 2);
+    auto file = sjpegEncode(img, 75);
+    EXPECT_LT(file.size(), img.pixelCount() / 2);
+}
+
+TEST(Sjpeg, HigherQualityGivesHigherPsnrAndBiggerFiles)
+{
+    auto img = generateSyntheticPhoto(96, 96, 3);
+    auto lo = sjpegEncode(img, 30);
+    auto hi = sjpegEncode(img, 90);
+    EXPECT_LT(lo.size(), hi.size());
+    EXPECT_LT(psnr(img, sjpegDecode(lo).image),
+              psnr(img, sjpegDecode(hi).image));
+}
+
+TEST(Sjpeg, NonMultipleOfEightSizes)
+{
+    for (auto [w, h] : { std::pair<size_t, size_t>{ 1, 1 },
+                         { 7, 13 },
+                         { 65, 31 } }) {
+        auto img = generateSyntheticPhoto(w, h, 4);
+        auto result = sjpegDecode(sjpegEncode(img, 80));
+        ASSERT_TRUE(result.complete);
+        EXPECT_EQ(result.image.width(), w);
+        EXPECT_EQ(result.image.height(), h);
+    }
+}
+
+TEST(Sjpeg, EncodeValidation)
+{
+    EXPECT_THROW(sjpegEncode(Image(), 80), std::invalid_argument);
+    EXPECT_THROW(sjpegEncode(Image(8, 8), 0), std::invalid_argument);
+}
+
+TEST(Sjpeg, CorruptHeaderIsCatastrophicButNonThrowing)
+{
+    auto img = generateSyntheticPhoto(64, 64, 5);
+    auto file = sjpegEncode(img, 80);
+    file[0] ^= 0xff; // destroy the magic
+    auto result = sjpegDecode(file);
+    EXPECT_FALSE(result.headerOk);
+    EXPECT_FALSE(result.complete);
+    // DecodeOrGray still yields a comparable image.
+    Image gray = sjpegDecodeOrGray(file, 64, 64);
+    EXPECT_EQ(gray.width(), 64u);
+    EXPECT_GT(qualityLossDb(img, gray), 20.0);
+}
+
+TEST(Sjpeg, EarlyBitFlipsHurtMoreThanLateOnes)
+{
+    // The paper's Figure 10 premise, tested directly on the codec.
+    auto img = generateSyntheticPhoto(96, 96, 6);
+    auto file = sjpegEncode(img, 80);
+    auto clean = sjpegDecode(file).image;
+
+    const size_t n_bits = file.size() * 8;
+    double early_loss = 0.0, late_loss = 0.0;
+    const size_t samples = 40;
+    for (size_t i = 0; i < samples; ++i) {
+        // Skip the 9-byte header: compare entropy-stream damage only.
+        size_t early_bit = 9 * 8 + i * 7;
+        size_t late_bit = n_bits - 1 - i * 7;
+        auto work = file;
+        flipBit(work, early_bit);
+        early_loss += qualityLossDb(clean,
+                                    sjpegDecodeOrGray(work, 96, 96));
+        work = file;
+        flipBit(work, late_bit);
+        late_loss += qualityLossDb(clean,
+                                   sjpegDecodeOrGray(work, 96, 96));
+    }
+    EXPECT_GT(early_loss, 2.0 * late_loss);
+}
+
+TEST(Sjpeg, RandomCorruptionNeverThrowsOrHangs)
+{
+    auto img = generateSyntheticPhoto(48, 48, 7);
+    auto file = sjpegEncode(img, 70);
+    Rng rng(8);
+    for (int iter = 0; iter < 200; ++iter) {
+        auto work = file;
+        size_t flips = 1 + rng.nextBelow(32);
+        for (size_t f = 0; f < flips; ++f)
+            flipBit(work, rng.nextBelow(work.size() * 8));
+        auto result = sjpegDecode(work);
+        if (result.headerOk) {
+            // Dimensions come from the (possibly corrupted) header;
+            // they must be internally consistent and non-zero.
+            EXPECT_GT(result.image.width(), 0u);
+            EXPECT_GT(result.image.height(), 0u);
+            EXPECT_EQ(result.image.pixels().size(),
+                      result.image.width() * result.image.height());
+        }
+    }
+}
+
+TEST(Sjpeg, TruncatedFileDecodesPartially)
+{
+    auto img = generateSyntheticPhoto(64, 64, 9);
+    auto file = sjpegEncode(img, 80);
+    auto truncated = file;
+    truncated.resize(file.size() / 2);
+    auto result = sjpegDecode(truncated);
+    ASSERT_TRUE(result.headerOk);
+    EXPECT_FALSE(result.complete);
+    EXPECT_GT(result.blocksDecoded, 0u);
+    EXPECT_LT(result.blocksDecoded, result.blocksTotal);
+}
+
+TEST(Ranking, PositionRankingIsIdentity)
+{
+    auto rank = positionBitRanking(5);
+    EXPECT_EQ(rank, (std::vector<size_t>{ 0, 1, 2, 3, 4 }));
+}
+
+TEST(Ranking, BitFlipLossDecreasesWithPosition)
+{
+    auto img = generateSyntheticPhoto(64, 64, 10);
+    auto file = sjpegEncode(img, 80);
+    auto loss = bitFlipQualityLoss(file, 16);
+    ASSERT_GT(loss.size(), 20u);
+    double front = 0, back = 0;
+    size_t q = loss.size() / 4;
+    for (size_t i = 0; i < q; ++i) {
+        front += loss[i];
+        back += loss[loss.size() - 1 - i];
+    }
+    EXPECT_GT(front, back);
+}
+
+TEST(Ranking, OracleRanksHighLossBitsFirst)
+{
+    auto img = generateSyntheticPhoto(32, 32, 11);
+    auto file = sjpegEncode(img, 70);
+    auto loss = bitFlipQualityLoss(file, 1);
+    auto rank = oracleBitRanking(file);
+    ASSERT_EQ(rank.size(), loss.size());
+    for (size_t i = 0; i + 1 < rank.size(); ++i)
+        EXPECT_GE(loss[rank[i]], loss[rank[i + 1]]);
+}
+
+TEST(Ranking, Validation)
+{
+    EXPECT_THROW(bitFlipQualityLoss({ 1, 2, 3 }, 1),
+                 std::invalid_argument);
+    auto img = generateSyntheticPhoto(16, 16, 12);
+    auto file = sjpegEncode(img, 70);
+    EXPECT_THROW(bitFlipQualityLoss(file, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "pipeline/bundle.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+FileBundle
+sampleBundle()
+{
+    Rng rng(1);
+    FileBundle b;
+    for (size_t i = 0; i < 4; ++i) {
+        std::vector<uint8_t> data(100 * (i + 1) + i);
+        for (auto &x : data)
+            x = uint8_t(rng.next());
+        b.add("file" + std::to_string(i), std::move(data));
+    }
+    return b;
+}
+
+TEST(FileBundle, AddAndFind)
+{
+    FileBundle b;
+    b.add("a.bin", { 1, 2, 3 });
+    EXPECT_EQ(b.fileCount(), 1u);
+    ASSERT_NE(b.find("a.bin"), nullptr);
+    EXPECT_EQ(b.find("a.bin")->data.size(), 3u);
+    EXPECT_EQ(b.find("missing"), nullptr);
+    EXPECT_EQ(b.totalBytes(), 3u);
+}
+
+TEST(FileBundle, NameValidation)
+{
+    FileBundle b;
+    EXPECT_THROW(b.add("", { 1 }), std::invalid_argument);
+    EXPECT_THROW(b.add(std::string(256, 'x'), { 1 }),
+                 std::invalid_argument);
+    b.add("dup", { 1 });
+    EXPECT_THROW(b.add("dup", { 2 }), std::invalid_argument);
+}
+
+TEST(FileBundle, SerializeRoundTrip)
+{
+    auto b = sampleBundle();
+    auto bytes = b.serialize();
+    EXPECT_EQ(bytes.size() * 8, b.serializedBits());
+    bool ok = false;
+    auto back = FileBundle::deserialize(bytes, &ok);
+    ASSERT_TRUE(ok);
+    ASSERT_EQ(back.fileCount(), b.fileCount());
+    for (size_t i = 0; i < b.fileCount(); ++i) {
+        EXPECT_EQ(back.file(i).name, b.file(i).name);
+        EXPECT_EQ(back.file(i).data, b.file(i).data);
+    }
+}
+
+TEST(FileBundle, PriorityRoundTrip)
+{
+    auto b = sampleBundle();
+    auto bytes = b.serializePriority();
+    // Both serializations have the same size.
+    EXPECT_EQ(bytes.size(), b.serialize().size());
+    bool ok = false;
+    auto back = FileBundle::deserializePriority(bytes, &ok);
+    ASSERT_TRUE(ok);
+    for (size_t i = 0; i < b.fileCount(); ++i)
+        EXPECT_EQ(back.file(i).data, b.file(i).data);
+}
+
+TEST(FileBundle, DeserializeRejectsCorruptDirectory)
+{
+    auto bytes = sampleBundle().serialize();
+    bool ok = true;
+    // Truncate inside the directory.
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + 6);
+    FileBundle::deserialize(cut, &ok);
+    EXPECT_FALSE(ok);
+    // Oversized directory length field.
+    auto bad = bytes;
+    bad[0] = 0xff;
+    FileBundle::deserialize(bad, &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(FileBundle, DeserializeToleratesTrailingPadding)
+{
+    // The pipeline pads the stream to unit capacity; parsing must not
+    // care about trailing bytes.
+    auto b = sampleBundle();
+    auto bytes = b.serialize();
+    bytes.resize(bytes.size() + 997, 0);
+    bool ok = false;
+    auto back = FileBundle::deserialize(bytes, &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(back.file(2).data, b.file(2).data);
+
+    auto pbytes = b.serializePriority();
+    pbytes.resize(pbytes.size() + 1013, 0);
+    back = FileBundle::deserializePriority(pbytes, &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(back.file(3).data, b.file(3).data);
+}
+
+TEST(FileBundle, ProportionalOrderIsFairPerPrefix)
+{
+    std::vector<size_t> sizes{ 800, 200, 1000 };
+    auto order = FileBundle::proportionalOrder(sizes);
+    ASSERT_EQ(order.size(), 2000u);
+    // At any prefix, each file's share tracks its size share within
+    // a tolerance of one "turn".
+    std::vector<size_t> seen(3, 0);
+    for (size_t k = 0; k < order.size(); ++k) {
+        ++seen[order[k]];
+        for (size_t f = 0; f < 3; ++f) {
+            double expect = double(sizes[f]) / 2000.0 * double(k + 1);
+            EXPECT_NEAR(double(seen[f]), expect, 2.0)
+                << "prefix " << k << " file " << f;
+        }
+    }
+    // Exact totals.
+    EXPECT_EQ(seen[0], 800u);
+    EXPECT_EQ(seen[1], 200u);
+    EXPECT_EQ(seen[2], 1000u);
+}
+
+TEST(FileBundle, ProportionalOrderHandlesEmptyFiles)
+{
+    auto order = FileBundle::proportionalOrder({ 0, 5, 0 });
+    ASSERT_EQ(order.size(), 5u);
+    for (uint32_t f : order)
+        EXPECT_EQ(f, 1u);
+}
+
+TEST(FileBundle, EncryptionRoundTripsAndRandomizes)
+{
+    auto b = sampleBundle();
+    auto enc = b.encrypted(42);
+    ASSERT_EQ(enc.fileCount(), b.fileCount());
+    for (size_t i = 0; i < b.fileCount(); ++i)
+        EXPECT_NE(enc.file(i).data, b.file(i).data);
+    auto dec = enc.encrypted(42);
+    for (size_t i = 0; i < b.fileCount(); ++i)
+        EXPECT_EQ(dec.file(i).data, b.file(i).data);
+}
+
+TEST(FileBundle, PriorityStreamPutsDirectoryFirst)
+{
+    auto b = sampleBundle();
+    auto storage = b.serialize();
+    auto priority = b.serializePriority();
+    // The directory prefix (length field + directory) is identical.
+    size_t dir_len = (size_t(storage[0]) << 24) |
+        (size_t(storage[1]) << 16) | (size_t(storage[2]) << 8) |
+        size_t(storage[3]);
+    for (size_t i = 0; i < 4 + dir_len; ++i)
+        EXPECT_EQ(priority[i], storage[i]) << "byte " << i;
+}
+
+} // namespace
+} // namespace dnastore

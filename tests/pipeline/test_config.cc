@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "pipeline/config.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(StorageConfig, PaperScaleMatchesSection611)
+{
+    auto cfg = StorageConfig::paperScale();
+    cfg.validate();
+    // GF(2^16): 65535 symbols per codeword.
+    EXPECT_EQ(cfg.codewordLen(), 65535u);
+    // 82 rows of 16-bit symbols = 656 data bases per strand.
+    EXPECT_EQ(cfg.rows, 82u);
+    EXPECT_EQ(cfg.payloadBases(), 656u);
+    // 16-bit ordering index = 8 bases.
+    EXPECT_EQ(cfg.indexBases(), 8u);
+    // 18.4% redundancy.
+    EXPECT_NEAR(cfg.redundancyFraction(), 0.184, 0.001);
+    // Unit data capacity: ~8.7MB (decimal) of the 10.5MB matrix.
+    EXPECT_GT(cfg.capacityBytes(), size_t(8.6e6));
+    EXPECT_LT(cfg.capacityBytes(), size_t(8.9e6));
+    // 40 primer bases + 8 index bases + 656 data bases = 704.
+    EXPECT_EQ(cfg.strandLen(), 704u);
+}
+
+TEST(StorageConfig, BenchScaleIsProportional)
+{
+    auto cfg = StorageConfig::benchScale();
+    cfg.validate();
+    EXPECT_EQ(cfg.codewordLen(), 1023u);
+    EXPECT_EQ(cfg.rows, 82u);
+    // Same redundancy fraction as the paper, to within rounding.
+    EXPECT_NEAR(cfg.redundancyFraction(), 0.184, 0.001);
+    // Columns >> rows, the property Gini's interleaving relies on.
+    EXPECT_GT(cfg.codewordLen(), 10 * cfg.rows);
+}
+
+TEST(StorageConfig, DerivedQuantitiesAreConsistent)
+{
+    for (auto cfg : { StorageConfig::tinyTest(),
+                      StorageConfig::benchScale() }) {
+        EXPECT_EQ(cfg.dataCols() + cfg.paritySymbols, cfg.codewordLen());
+        EXPECT_EQ(cfg.capacityBits(),
+                  cfg.rows * cfg.dataCols() * cfg.symbolBits);
+        EXPECT_EQ(cfg.strandLen(),
+                  2 * cfg.primerLen + cfg.indexBases() +
+                      cfg.payloadBases());
+        EXPECT_EQ(cfg.indexBits() % 2, 0u);
+        EXPECT_GE(cfg.indexBits(), size_t(cfg.symbolBits));
+    }
+}
+
+TEST(StorageConfig, ValidationCatchesBadParameters)
+{
+    StorageConfig cfg = StorageConfig::tinyTest();
+    cfg.symbolBits = 1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = StorageConfig::tinyTest();
+    cfg.rows = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = StorageConfig::tinyTest();
+    cfg.paritySymbols = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = StorageConfig::tinyTest();
+    cfg.paritySymbols = cfg.codewordLen();
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(StorageConfig, SchemeNames)
+{
+    EXPECT_STREQ(layoutSchemeName(LayoutScheme::Baseline), "baseline");
+    EXPECT_STREQ(layoutSchemeName(LayoutScheme::Gini), "gini");
+    EXPECT_STREQ(layoutSchemeName(LayoutScheme::DnaMapper), "dnamapper");
+}
+
+} // namespace
+} // namespace dnastore

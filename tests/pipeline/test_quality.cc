@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "media/sjpeg.hh"
+#include "pipeline/quality.hh"
+#include "util/bitio.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(ImageWorkload, BuildsRequestedImages)
+{
+    auto w = makeImageWorkload({ { 64, 48 }, { 32, 32 } }, 80, 1);
+    EXPECT_EQ(w.bundle.fileCount(), 2u);
+    EXPECT_EQ(w.sources.size(), 2u);
+    EXPECT_EQ(w.cleanDecodes.size(), 2u);
+    EXPECT_EQ(w.sources[0].width(), 64u);
+    EXPECT_EQ(w.cleanDecodes[1].height(), 32u);
+    // Stored files decode cleanly.
+    for (const auto &f : w.bundle.files())
+        EXPECT_TRUE(sjpegDecode(f.data).complete);
+}
+
+TEST(ImageWorkload, CapacityBudgetIsRespected)
+{
+    const size_t budget = 60000 * 8;
+    auto w = makeImageWorkloadForCapacity(budget, 75, 2);
+    EXPECT_GE(w.bundle.fileCount(), 2u);
+    EXPECT_LT(w.bundle.serializedBits(), budget);
+}
+
+TEST(QualityEval, ExactBundleIsLossless)
+{
+    auto w = makeImageWorkload({ { 48, 48 }, { 32, 32 } }, 80, 4);
+    auto report = evaluateImageQuality(w, w.bundle);
+    EXPECT_TRUE(report.allExact);
+    EXPECT_EQ(report.undecodable, 0u);
+    EXPECT_DOUBLE_EQ(report.meanLossDb, 0.0);
+    EXPECT_DOUBLE_EQ(report.maxLossDb, 0.0);
+}
+
+TEST(QualityEval, MissingFileIsCatastrophic)
+{
+    auto w = makeImageWorkload({ { 48, 48 }, { 32, 32 } }, 80, 5);
+    FileBundle partial;
+    partial.add(w.names[0], w.bundle.file(0).data);
+    auto report = evaluateImageQuality(w, partial);
+    EXPECT_FALSE(report.allExact);
+    EXPECT_EQ(report.undecodable, 1u);
+    EXPECT_DOUBLE_EQ(report.lossDb[1], 60.0);
+}
+
+TEST(QualityEval, LateCorruptionLosesLessThanEarly)
+{
+    auto w = makeImageWorkload({ { 96, 96 } }, 80, 6);
+    auto early = w.bundle.file(0).data;
+    auto late = early;
+    flipBit(early, 10 * 8);                  // just past the header
+    flipBit(late, (late.size() - 4) * 8);    // near the end
+    FileBundle be, bl;
+    be.add(w.names[0], early);
+    bl.add(w.names[0], late);
+    auto re = evaluateImageQuality(w, be);
+    auto rl = evaluateImageQuality(w, bl);
+    EXPECT_FALSE(re.allExact);
+    EXPECT_GE(re.meanLossDb, rl.meanLossDb);
+}
+
+TEST(QualityEval, HeaderDamageCountsUndecodable)
+{
+    auto w = makeImageWorkload({ { 48, 48 } }, 80, 7);
+    auto data = w.bundle.file(0).data;
+    data[0] ^= 0xff;
+    FileBundle b;
+    b.add(w.names[0], data);
+    auto report = evaluateImageQuality(w, b);
+    EXPECT_EQ(report.undecodable, 1u);
+    EXPECT_GT(report.meanLossDb, 10.0);
+}
+
+} // namespace
+} // namespace dnastore

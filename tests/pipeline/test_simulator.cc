@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "pipeline/simulator.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+FileBundle
+randomBundle(size_t total_bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    FileBundle b;
+    std::vector<uint8_t> data(total_bytes);
+    for (auto &x : data)
+        x = uint8_t(rng.next());
+    b.add("blob", std::move(data));
+    return b;
+}
+
+TEST(StorageSimulator, RetrieveBeforeStoreRejected)
+{
+    StorageSimulator sim(StorageConfig::tinyTest(),
+                         LayoutScheme::Baseline,
+                         ErrorModel::uniform(0.01), 1);
+    EXPECT_THROW(sim.retrieve(3), std::logic_error);
+}
+
+TEST(StorageSimulator, LowNoiseHighCoverageIsExact)
+{
+    auto cfg = StorageConfig::tinyTest();
+    StorageSimulator sim(cfg, LayoutScheme::Baseline,
+                         ErrorModel::uniform(0.02), 2);
+    sim.store(randomBundle(1500, 1), 12);
+    auto result = sim.retrieve(10);
+    EXPECT_TRUE(result.exactPayload);
+    EXPECT_TRUE(result.decoded.exact);
+}
+
+TEST(StorageSimulator, HighNoiseLowCoverageFails)
+{
+    auto cfg = StorageConfig::tinyTest();
+    StorageSimulator sim(cfg, LayoutScheme::Baseline,
+                         ErrorModel::uniform(0.15), 3);
+    sim.store(randomBundle(1500, 2), 12);
+    EXPECT_FALSE(sim.retrieve(2).exactPayload);
+}
+
+TEST(StorageSimulator, MinCoverageSearchFindsBoundary)
+{
+    auto cfg = StorageConfig::tinyTest();
+    StorageSimulator sim(cfg, LayoutScheme::Gini,
+                         ErrorModel::uniform(0.06), 4);
+    sim.store(randomBundle(1500, 3), 16);
+    auto min_cov = sim.minCoverageForExact(2, 16);
+    ASSERT_TRUE(min_cov.has_value());
+    // The found point succeeds; the point below fails (or is the floor).
+    EXPECT_TRUE(sim.retrieve(*min_cov).exactPayload);
+    if (*min_cov > 2) {
+        EXPECT_FALSE(sim.retrieve(*min_cov - 1).exactPayload);
+    }
+}
+
+TEST(StorageSimulator, MinCoverageReturnsNulloptWhenImpossible)
+{
+    auto cfg = StorageConfig::tinyTest();
+    StorageSimulator sim(cfg, LayoutScheme::Baseline,
+                         ErrorModel::uniform(0.25), 5);
+    sim.store(randomBundle(1500, 4), 3);
+    EXPECT_FALSE(sim.minCoverageForExact(2, 3).has_value());
+}
+
+TEST(StorageSimulator, GiniNeedsNoMoreCoverageThanBaseline)
+{
+    // Directional check behind Figure 12 at test scale.
+    auto cfg = StorageConfig::tinyTest();
+    auto bundle = randomBundle(1500, 5);
+    size_t base_sum = 0, gini_sum = 0;
+    for (uint64_t rep = 0; rep < 3; ++rep) {
+        StorageSimulator base(cfg, LayoutScheme::Baseline,
+                              ErrorModel::uniform(0.09), 100 + rep);
+        base.store(bundle, 20);
+        StorageSimulator gini(cfg, LayoutScheme::Gini,
+                              ErrorModel::uniform(0.09), 100 + rep);
+        gini.store(bundle, 20);
+        base_sum += base.minCoverageForExact(2, 20).value_or(21);
+        gini_sum += gini.minCoverageForExact(2, 20).value_or(21);
+    }
+    EXPECT_LE(gini_sum, base_sum);
+}
+
+TEST(StorageSimulator, GammaCoverageRetrievalWorks)
+{
+    auto cfg = StorageConfig::tinyTest();
+    StorageSimulator sim(cfg, LayoutScheme::Gini,
+                         ErrorModel::uniform(0.03), 6);
+    sim.store(randomBundle(1500, 6), 24);
+    auto result = sim.retrieveGamma(12.0, 6.0, 77);
+    EXPECT_TRUE(result.exactPayload);
+}
+
+TEST(StorageSimulator, ForcedErasuresRaiseRequiredCoverage)
+{
+    // Figure 13's mechanism: stealing redundancy via forced erasures
+    // makes exact decoding need at least as much coverage.
+    auto cfg = StorageConfig::tinyTest();
+    StorageSimulator sim(cfg, LayoutScheme::Gini,
+                         ErrorModel::uniform(0.09), 7);
+    sim.store(randomBundle(1500, 7), 20);
+    std::vector<size_t> erased;
+    for (size_t i = 0; i < cfg.paritySymbols * 2 / 3; ++i)
+        erased.push_back(cfg.dataCols() + i);
+    auto full = sim.minCoverageForExact(2, 20).value_or(99);
+    auto cut = sim.minCoverageForExact(2, 20, erased).value_or(99);
+    EXPECT_GE(cut, full);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(CsvWriter, WritesHeaderOnConstruction)
+{
+    std::ostringstream out;
+    CsvWriter csv(out, { "a", "b", "c" });
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, WritesMixedTypeRows)
+{
+    std::ostringstream out;
+    CsvWriter csv(out, { "name", "count", "ratio" });
+    csv.row("gini", 42, 0.5);
+    csv.row("baseline", 7, 1.25);
+    EXPECT_EQ(out.str(),
+              "name,count,ratio\ngini,42,0.5\nbaseline,7,1.25\n");
+}
+
+TEST(CsvWriter, FieldCountMismatchRejected)
+{
+    std::ostringstream out;
+    CsvWriter csv(out, { "x", "y" });
+    EXPECT_THROW(csv.row(1), std::logic_error);
+    EXPECT_THROW(csv.row(1, 2, 3), std::logic_error);
+    EXPECT_NO_THROW(csv.row(1, 2));
+}
+
+} // namespace
+} // namespace dnastore

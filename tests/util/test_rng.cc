@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.nextBool(0.3))
+            ++hits;
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sumsq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GammaMomentsMatchShapeScale)
+{
+    // Gamma(k, theta): mean k*theta, variance k*theta^2.
+    Rng rng(17);
+    const double shape = 4.0, scale = 2.5;
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGamma(shape, scale);
+        EXPECT_GT(g, 0.0);
+        sum += g;
+        sumsq += g * g;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, shape * scale, 0.1);
+    EXPECT_NEAR(var, shape * scale * scale, 0.8);
+}
+
+TEST(Rng, GammaSubUnitShape)
+{
+    Rng rng(19);
+    const double shape = 0.5, scale = 1.0;
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGamma(shape, scale);
+        EXPECT_GT(g, 0.0);
+        sum += g;
+    }
+    EXPECT_NEAR(sum / n, shape * scale, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(42);
+    Rng child = a.fork();
+    // The child must not replay the parent's stream.
+    Rng b(42);
+    b.next(); // consume the draw used by fork
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (child.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(23);
+    std::vector<int> v{ 1, 2, 3, 4, 5, 6, 7 };
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+} // namespace
+} // namespace dnastore

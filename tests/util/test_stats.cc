@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace dnastore {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : { 2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0 })
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(GiniIndex, PerfectEqualityIsZero)
+{
+    EXPECT_DOUBLE_EQ(giniIndex({ 5, 5, 5, 5 }), 0.0);
+}
+
+TEST(GiniIndex, TotalConcentrationApproachesOne)
+{
+    std::vector<double> v(100, 0.0);
+    v.back() = 1000.0;
+    double g = giniIndex(v);
+    EXPECT_GT(g, 0.95);
+    EXPECT_LT(g, 1.0);
+}
+
+TEST(GiniIndex, KnownTwoPointValue)
+{
+    // Two samples {0, x}: Gini = 1/2.
+    EXPECT_NEAR(giniIndex({ 0.0, 10.0 }), 0.5, 1e-12);
+}
+
+TEST(GiniIndex, ScaleInvariant)
+{
+    std::vector<double> a{ 1, 2, 3, 4 };
+    std::vector<double> b{ 10, 20, 30, 40 };
+    EXPECT_NEAR(giniIndex(a), giniIndex(b), 1e-12);
+}
+
+TEST(GiniIndex, EmptyAndZeroTotals)
+{
+    EXPECT_DOUBLE_EQ(giniIndex({}), 0.0);
+    EXPECT_DOUBLE_EQ(giniIndex({ 0.0, 0.0 }), 0.0);
+}
+
+TEST(Percentile, Median)
+{
+    EXPECT_DOUBLE_EQ(percentile({ 3, 1, 2 }, 50), 2.0);
+    EXPECT_DOUBLE_EQ(percentile({ 4, 1, 2, 3 }, 50), 2.5);
+}
+
+TEST(Percentile, Extremes)
+{
+    std::vector<double> v{ 5, 9, 1, 7 };
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 9.0);
+}
+
+TEST(Percentile, Empty)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * dnastore command-line tool.
+ *
+ * Subcommands:
+ *   encode   <files...> --out unit.dna [--scheme gini|baseline|dnamapper]
+ *            Encode files into a DNA unit; writes one ACGT strand per
+ *            line (FASTA-ish flat format).
+ *   decode   <unit.dna> --outdir DIR [--scheme ...]
+ *            Read strands back (one cluster per original line group),
+ *            run consensus + ECC, and write the recovered files.
+ *   simulate <files...> [--scheme ...] [--error-rate p] [--coverage n]
+ *            End-to-end store/retrieve through the noisy channel and
+ *            report recovery statistics.
+ *
+ * The unit format produced by `encode` is noiseless (it is what a
+ * synthesizer would receive); `simulate` is where the channel lives.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pipeline/simulator.hh"
+
+using namespace dnastore;
+
+namespace {
+
+struct CliOptions
+{
+    std::vector<std::string> inputs;
+    std::string out = "unit.dna";
+    std::string outdir = ".";
+    LayoutScheme scheme = LayoutScheme::Gini;
+    double errorRate = 0.06;
+    size_t coverage = 10;
+    bool ok = true;
+};
+
+LayoutScheme
+parseScheme(const std::string &name, bool *ok)
+{
+    if (name == "baseline")
+        return LayoutScheme::Baseline;
+    if (name == "gini")
+        return LayoutScheme::Gini;
+    if (name == "dnamapper")
+        return LayoutScheme::DnaMapper;
+    *ok = false;
+    return LayoutScheme::Gini;
+}
+
+CliOptions
+parseArgs(int argc, char **argv, int first)
+{
+    CliOptions opt;
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", flag);
+                opt.ok = false;
+                return "";
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            opt.out = next("--out");
+        } else if (arg == "--outdir") {
+            opt.outdir = next("--outdir");
+        } else if (arg == "--scheme") {
+            bool ok = true;
+            opt.scheme = parseScheme(next("--scheme"), &ok);
+            if (!ok) {
+                std::fprintf(stderr, "unknown scheme\n");
+                opt.ok = false;
+            }
+        } else if (arg == "--error-rate") {
+            opt.errorRate = std::strtod(next("--error-rate").c_str(),
+                                        nullptr);
+        } else if (arg == "--coverage") {
+            opt.coverage = std::strtoull(next("--coverage").c_str(),
+                                         nullptr, 10);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            opt.ok = false;
+        } else {
+            opt.inputs.push_back(arg);
+        }
+    }
+    return opt;
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path, bool *ok)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        *ok = false;
+        return {};
+    }
+    std::vector<uint8_t> data(
+        (std::istreambuf_iterator<char>(f)),
+        std::istreambuf_iterator<char>());
+    return data;
+}
+
+std::string
+baseName(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/** Pick a config whose unit fits the payload. */
+StorageConfig
+configFor(size_t payload_bits, bool *ok)
+{
+    for (auto cfg : { StorageConfig::tinyTest(),
+                      StorageConfig::benchScale() }) {
+        if (payload_bits + 1024 <= cfg.capacityBits())
+            return cfg;
+    }
+    std::fprintf(stderr,
+                 "payload too large for one unit (max ~%zu bytes)\n",
+                 StorageConfig::benchScale().capacityBytes());
+    *ok = false;
+    return StorageConfig::tinyTest();
+}
+
+FileBundle
+bundleInputs(const CliOptions &opt, bool *ok)
+{
+    FileBundle bundle;
+    for (const auto &path : opt.inputs) {
+        auto data = readFile(path, ok);
+        if (!*ok)
+            break;
+        bundle.add(baseName(path), std::move(data));
+    }
+    if (bundle.fileCount() == 0) {
+        std::fprintf(stderr, "no input files\n");
+        *ok = false;
+    }
+    return bundle;
+}
+
+int
+cmdEncode(const CliOptions &opt)
+{
+    bool ok = true;
+    FileBundle bundle = bundleInputs(opt, &ok);
+    if (!ok)
+        return 1;
+    StorageConfig cfg = configFor(bundle.serializedBits(), &ok);
+    if (!ok)
+        return 1;
+
+    UnitEncoder encoder(cfg, opt.scheme);
+    EncodedUnit unit = encoder.encode(bundle);
+    std::ofstream out(opt.out);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+        return 1;
+    }
+    // Header line records the geometry needed to decode.
+    out << "#dnastore m=" << cfg.symbolBits << " rows=" << cfg.rows
+        << " parity=" << cfg.paritySymbols
+        << " primer=" << cfg.primerLen
+        << " scheme=" << layoutSchemeName(opt.scheme) << "\n";
+    for (const auto &strand : unit.strands)
+        out << strandToString(strand) << "\n";
+    std::printf("wrote %zu strands (%zu bases each) to %s\n",
+                unit.strands.size(), cfg.strandLen(),
+                opt.out.c_str());
+    return 0;
+}
+
+int
+cmdDecode(const CliOptions &opt)
+{
+    if (opt.inputs.size() != 1) {
+        std::fprintf(stderr, "decode needs exactly one unit file\n");
+        return 1;
+    }
+    std::ifstream in(opt.inputs[0]);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n",
+                     opt.inputs[0].c_str());
+        return 1;
+    }
+    std::string header;
+    std::getline(in, header);
+    StorageConfig cfg;
+    char scheme_name[32] = "gini";
+    unsigned m = 0;
+    size_t rows = 0, parity = 0, primer = 0;
+    if (std::sscanf(header.c_str(),
+                    "#dnastore m=%u rows=%zu parity=%zu primer=%zu "
+                    "scheme=%31s",
+                    &m, &rows, &parity, &primer, scheme_name) != 5) {
+        std::fprintf(stderr, "bad unit header\n");
+        return 1;
+    }
+    cfg.symbolBits = m;
+    cfg.rows = rows;
+    cfg.paritySymbols = parity;
+    cfg.primerLen = primer;
+    bool ok = true;
+    LayoutScheme scheme = parseScheme(scheme_name, &ok);
+    if (!ok)
+        return 1;
+
+    // Each line is one read; consecutive identical-index reads would
+    // normally be clustered — here the file is a noiseless unit, so
+    // each line is its own single-read cluster.
+    std::vector<std::vector<Strand>> clusters;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        clusters.push_back({ strandFromString(line) });
+    }
+
+    UnitDecoder decoder(cfg, scheme);
+    DecodedUnit result = decoder.decode(clusters);
+    if (!result.bundleOk) {
+        std::fprintf(stderr, "decoding failed (unrecoverable unit)\n");
+        return 1;
+    }
+    for (const auto &file : result.bundle.files()) {
+        std::string path = opt.outdir + "/" + file.name;
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(file.data.data()),
+                  std::streamsize(file.data.size()));
+        std::printf("recovered %s (%zu bytes)%s\n", path.c_str(),
+                    file.data.size(),
+                    result.exact ? "" : " [ECC reported failures]");
+    }
+    return result.exact ? 0 : 2;
+}
+
+int
+cmdSimulate(const CliOptions &opt)
+{
+    bool ok = true;
+    FileBundle bundle = bundleInputs(opt, &ok);
+    if (!ok)
+        return 1;
+    StorageConfig cfg = configFor(bundle.serializedBits(), &ok);
+    if (!ok)
+        return 1;
+
+    StorageSimulator sim(cfg, opt.scheme,
+                         ErrorModel::uniform(opt.errorRate),
+                         /*seed=*/20220618);
+    sim.store(bundle, opt.coverage);
+    RetrievalResult result = sim.retrieve(opt.coverage);
+    std::printf("scheme=%s error_rate=%.1f%% coverage=%zu: "
+                "exact=%s, %zu errors corrected, %zu molecules lost, "
+                "%zu codewords failed\n",
+                layoutSchemeName(opt.scheme), opt.errorRate * 100,
+                opt.coverage, result.exactPayload ? "yes" : "no",
+                result.decoded.stats.totalCorrected(),
+                result.decoded.stats.erasedColumns,
+                result.decoded.stats.failedCodewords);
+    return result.exactPayload ? 0 : 2;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  dnastore encode <files...> [--out unit.dna] "
+        "[--scheme gini|baseline|dnamapper]\n"
+        "  dnastore decode <unit.dna> [--outdir DIR]\n"
+        "  dnastore simulate <files...> [--scheme S] "
+        "[--error-rate P] [--coverage N]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string cmd = argv[1];
+    CliOptions opt = parseArgs(argc, argv, 2);
+    if (!opt.ok) {
+        usage();
+        return 1;
+    }
+    try {
+        if (cmd == "encode")
+            return cmdEncode(opt);
+        if (cmd == "decode")
+            return cmdDecode(opt);
+        if (cmd == "simulate")
+            return cmdSimulate(opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    usage();
+    return 1;
+}
