@@ -29,6 +29,22 @@ flagValue(int argc, char **argv, const char *name, size_t def)
     return def;
 }
 
+/**
+ * Worker-thread knob for the simulator-driven benches: `--threads N`
+ * beats the DNASTORE_THREADS environment variable, which beats the
+ * default of 0 (all hardware threads). Simulator results are
+ * bit-identical for every thread count, so this only changes wall
+ * time, never the figures.
+ */
+inline size_t
+threadsFlag(int argc, char **argv)
+{
+    size_t def = 0;
+    if (const char *env = std::getenv("DNASTORE_THREADS"))
+        def = size_t(std::strtoull(env, nullptr, 10));
+    return flagValue(argc, argv, "--threads", def);
+}
+
 /** Print the standard bench banner. */
 inline void
 banner(const char *figure, const char *description)

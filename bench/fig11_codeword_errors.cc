@@ -26,6 +26,7 @@ main(int argc, char **argv)
     const size_t coverage = bench::flagValue(argc, argv, "--coverage", 20);
     const double p = 0.09;
     auto cfg = StorageConfig::benchScale();
+    cfg.numThreads = bench::threadsFlag(argc, argv);
 
     bench::banner("Figure 11",
                   "errors corrected per codeword, baseline vs Gini, "

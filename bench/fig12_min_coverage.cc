@@ -38,6 +38,7 @@ main(int argc, char **argv)
     const size_t reps = bench::flagValue(argc, argv, "--reps", 3);
     const size_t max_cov = bench::flagValue(argc, argv, "--maxcov", 34);
     auto cfg = StorageConfig::benchScale();
+    cfg.numThreads = bench::threadsFlag(argc, argv);
 
     bench::banner("Figure 12",
                   "minimum coverage for error-free decoding vs error "

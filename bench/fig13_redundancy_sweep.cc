@@ -44,6 +44,7 @@ main(int argc, char **argv)
     const size_t max_cov = bench::flagValue(argc, argv, "--maxcov", 34);
     const double p = 0.09;
     auto cfg = StorageConfig::benchScale();
+    cfg.numThreads = bench::threadsFlag(argc, argv);
     auto bundle = fullUnitBundle(cfg, 1313);
 
     bench::banner("Figure 13",

@@ -27,6 +27,7 @@ main(int argc, char **argv)
     const size_t max_cov = bench::flagValue(argc, argv, "--maxcov", 20);
     const size_t min_cov = bench::flagValue(argc, argv, "--mincov", 3);
     auto cfg = StorageConfig::benchScale();
+    cfg.numThreads = bench::threadsFlag(argc, argv);
 
     bench::banner("Figure 14",
                   "image quality loss vs coverage, baseline vs "

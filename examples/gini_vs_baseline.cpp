@@ -21,6 +21,7 @@ int
 main()
 {
     StorageConfig cfg = StorageConfig::benchScale();
+    cfg.numThreads = 0; // all hardware threads; output is unchanged
     Rng rng(1);
     FileBundle bundle;
     std::vector<uint8_t> blob(cfg.capacityBytes() - 600);

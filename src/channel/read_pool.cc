@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/parallel.hh"
+
 namespace dnastore {
 
 ReadPool::ReadPool(const std::vector<Strand> &references,
@@ -12,6 +14,26 @@ ReadPool::ReadPool(const std::vector<Strand> &references,
     pools_.reserve(references.size());
     for (const Strand &ref : references)
         pools_.push_back(channel.transmitCluster(ref, max_coverage, rng));
+}
+
+ReadPool::ReadPool(const std::vector<Strand> &references,
+                   const IdsChannel &channel, size_t max_coverage,
+                   uint64_t seed, size_t num_threads)
+    : maxCoverage_(max_coverage)
+{
+    // Per-cluster seeds come from one serial base stream so that the
+    // pools do not depend on the worker count or schedule.
+    Rng base(seed);
+    std::vector<uint64_t> seeds(references.size());
+    for (auto &s : seeds)
+        s = base.next();
+
+    pools_.resize(references.size());
+    parallelFor(references.size(), num_threads, [&](size_t c) {
+        Rng rng(seeds[c]);
+        pools_[c] = channel.transmitCluster(references[c],
+                                            max_coverage, rng);
+    });
 }
 
 std::vector<Strand>

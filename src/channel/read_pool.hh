@@ -37,6 +37,18 @@ class ReadPool
     ReadPool(const std::vector<Strand> &references,
              const IdsChannel &channel, size_t max_coverage, Rng &rng);
 
+    /**
+     * Generate pools with one independent RNG stream per cluster,
+     * optionally in parallel.
+     *
+     * Cluster seeds are drawn serially from a base stream seeded with
+     * @p seed, so the pools are bit-identical for every
+     * @p num_threads value (0 = all hardware threads).
+     */
+    ReadPool(const std::vector<Strand> &references,
+             const IdsChannel &channel, size_t max_coverage,
+             uint64_t seed, size_t num_threads);
+
     /** Number of clusters. */
     size_t clusters() const { return pools_.size(); }
 

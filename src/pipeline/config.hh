@@ -44,6 +44,14 @@ struct StorageConfig
     size_t primerLen = 20;    //!< Bases per primer, one at each end.
     uint64_t primerKey = 1;   //!< Key id the primer pair derives from.
 
+    /**
+     * Worker threads for the per-cluster/per-codeword hot loops of
+     * the simulator and decoder: 1 = serial (default), 0 = all
+     * hardware threads. Results are bit-identical for every value
+     * (per-cluster RNG streams, deterministic merges).
+     */
+    size_t numThreads = 1;
+
     /** Codeword length n = 2^m - 1 (= molecules per unit, M + E). */
     size_t codewordLen() const { return (size_t(1) << symbolBits) - 1; }
 

@@ -7,6 +7,7 @@
 #include "layout/data_map.hh"
 #include "pipeline/encoder.hh"
 #include "util/bitio.hh"
+#include "util/parallel.hh"
 
 namespace dnastore {
 
@@ -54,32 +55,40 @@ UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
     // information is outside ECC protection (section 2.2), so a
     // misdecoded index loses the molecule: the strand is dropped and
     // the unclaimed column becomes an erasure.
-    SymbolMatrix received(cfg_.rows, n_cols);
-    std::vector<bool> claimed(n_cols, false);
+    //
+    // Consensus dominates decode time and every cluster is
+    // independent, so this stage runs on cfg_.numThreads workers; the
+    // claim/fault bookkeeping below merges the per-cluster outcomes
+    // serially in cluster order, which keeps the result bit-identical
+    // to a serial pass (first claim of a column wins either way).
+    struct ClusterOutcome
+    {
+        enum Kind { Empty, Fault, Usable } kind = Empty;
+        uint64_t idx = 0;
+        std::vector<uint32_t> symbols;
+    };
     const size_t n_clusters = std::min(clusters.size(), size_t(n_cols));
-    for (size_t cl = 0; cl < n_clusters; ++cl) {
+    std::vector<ClusterOutcome> outcomes(n_clusters);
+    parallelFor(n_clusters, cfg_.numThreads, [&](size_t cl) {
         const auto &reads = clusters[cl];
+        ClusterOutcome &o = outcomes[cl];
         if (reads.empty())
-            continue;
+            return;
         Strand consensus = reconstruct_(reads, strand_len);
         if (consensus.size() != strand_len) {
             // A substituted reconstructor may miss the length; treat
             // the cluster as unusable (erasure).
-            ++out.stats.indexFaults;
-            continue;
+            o.kind = ClusterOutcome::Fault;
+            return;
         }
         // Frame: [forward primer | index | payload | backward primer].
         size_t idx_off = cfg_.primerLen;
         uint64_t idx = decodeUint(consensus, idx_off,
                                   int(cfg_.indexBits()));
-        if (idx >= n_cols || claimed[idx]) {
-            ++out.stats.indexFaults;
-            continue;
+        if (idx >= n_cols) {
+            o.kind = ClusterOutcome::Fault;
+            return;
         }
-        if (forced[idx])
-            continue; // column artificially erased
-        claimed[idx] = true;
-
         // Unpack payload bases into row symbols.
         BitWriter w;
         size_t payload_off = idx_off + cfg_.indexBases();
@@ -91,9 +100,28 @@ UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
         }
         auto bytes = w.take();
         BitReader r(bytes);
+        o.kind = ClusterOutcome::Usable;
+        o.idx = idx;
+        o.symbols.resize(cfg_.rows);
         for (size_t row = 0; row < cfg_.rows; ++row)
-            received.at(row, size_t(idx)) =
-                r.readBits(int(cfg_.symbolBits));
+            o.symbols[row] = r.readBits(int(cfg_.symbolBits));
+    });
+
+    SymbolMatrix received(cfg_.rows, n_cols);
+    std::vector<bool> claimed(n_cols, false);
+    for (size_t cl = 0; cl < n_clusters; ++cl) {
+        const ClusterOutcome &o = outcomes[cl];
+        if (o.kind == ClusterOutcome::Empty)
+            continue;
+        if (o.kind == ClusterOutcome::Fault || claimed[o.idx]) {
+            ++out.stats.indexFaults;
+            continue;
+        }
+        if (forced[o.idx])
+            continue; // column artificially erased
+        claimed[o.idx] = true;
+        for (size_t row = 0; row < cfg_.rows; ++row)
+            received.at(row, size_t(o.idx)) = o.symbols[row];
     }
 
     std::vector<size_t> erased_cols;
@@ -111,8 +139,11 @@ UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
     for (size_t col : erased_cols)
         col_erased[col] = true;
 
-    bool all_ok = true;
-    for (size_t j = 0; j < map_->codewords(); ++j) {
+    // Codewords occupy disjoint matrix cells (position() is a
+    // bijection), so gather/decode/scatter parallelizes with no
+    // shared writes; only the failure count is merged serially.
+    std::vector<uint8_t> codeword_ok(map_->codewords(), 0);
+    parallelFor(map_->codewords(), cfg_.numThreads, [&](size_t j) {
         std::vector<uint32_t> codeword = map_->gather(received, j);
         std::vector<size_t> erasures;
         for (size_t t = 0; t < map_->length(); ++t) {
@@ -124,7 +155,12 @@ UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
             map_->scatter(received, j, codeword);
             out.stats.errorsPerCodeword[j] =
                 result.errorsCorrected + result.erasuresCorrected;
-        } else {
+            codeword_ok[j] = 1;
+        }
+    });
+    bool all_ok = true;
+    for (size_t j = 0; j < map_->codewords(); ++j) {
+        if (!codeword_ok[j]) {
             ++out.stats.failedCodewords;
             all_ok = false;
         }

@@ -65,7 +65,11 @@ class UnitDecoder
      *        two-sided reconstruction used by the paper's pipeline
      *        (it guarantees the target output length). Any
      *        Reconstructor can be substituted; wrong-length outputs
-     *        are treated as index faults for that cluster.
+     *        are treated as index faults for that cluster. When
+     *        cfg.numThreads != 1 the reconstructor is invoked
+     *        concurrently from worker threads, so a substituted one
+     *        must be safe to call in parallel (stateless, or
+     *        internally synchronized) — or keep numThreads = 1.
      */
     UnitDecoder(const StorageConfig &cfg, LayoutScheme scheme,
                 Reconstructor reconstruct = {});

@@ -18,9 +18,11 @@ StorageSimulator::store(const FileBundle &bundle, size_t max_coverage)
     unit_ = encoder_.encode(bundle);
     const bool priority = scheme_ == LayoutScheme::DnaMapper;
     stored_ = priority ? bundle.serializePriority() : bundle.serialize();
-    Rng rng(seed_);
+    // Per-cluster RNG streams keep the pools bit-identical for every
+    // cfg_.numThreads value, serial included.
     pool_ = std::make_unique<ReadPool>(unit_.strands, channel_,
-                                       max_coverage, rng);
+                                       max_coverage, seed_,
+                                       cfg_.numThreads);
 }
 
 RetrievalResult

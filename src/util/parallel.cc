@@ -1,0 +1,54 @@
+#include "util/parallel.hh"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace dnastore {
+
+size_t
+resolveThreadCount(size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : size_t(hw);
+}
+
+void
+parallelFor(size_t n, size_t num_threads,
+            const std::function<void(size_t)> &body)
+{
+    size_t workers = std::min(resolveThreadCount(num_threads), n);
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+        // Contiguous blocks, remainder spread over the first workers.
+        size_t base = n / workers, extra = n % workers;
+        size_t begin = w * base + std::min(w, extra);
+        size_t end = begin + base + (w < extra ? 1 : 0);
+        threads.emplace_back([&, w, begin, end] {
+            try {
+                for (size_t i = begin; i < end; ++i)
+                    body(i);
+            } catch (...) {
+                errors[w] = std::current_exception();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (auto &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+}
+
+} // namespace dnastore

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal deterministic parallel-for used by the pipeline hot paths.
+ *
+ * The simulator parallelizes embarrassingly parallel per-cluster and
+ * per-codeword loops. Work is split into contiguous blocks, one per
+ * worker; callers are responsible for making iterations independent
+ * (disjoint writes, per-iteration RNG streams), which also makes the
+ * results bit-identical for every thread count.
+ */
+
+#ifndef DNASTORE_UTIL_PARALLEL_HH
+#define DNASTORE_UTIL_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace dnastore {
+
+/**
+ * Resolve a thread-count knob: 0 means all hardware threads, any
+ * other value is used as-is. Always returns at least 1.
+ */
+size_t resolveThreadCount(size_t requested);
+
+/**
+ * Run body(i) for every i in [0, n).
+ *
+ * Executes inline when @p num_threads resolves to 1 or n < 2;
+ * otherwise spawns workers over contiguous index blocks. The first
+ * exception thrown by any iteration (lowest block wins) is rethrown
+ * on the calling thread after all workers join.
+ */
+void parallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)> &body);
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_PARALLEL_HH

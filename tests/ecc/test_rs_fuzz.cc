@@ -3,6 +3,7 @@
 #include <set>
 
 #include "ecc/rs.hh"
+#include "fuzz_iters.hh"
 #include "util/rng.hh"
 
 namespace dnastore {
@@ -27,7 +28,8 @@ TEST_P(RsFuzz, RandomMixesWithinCapabilityAlwaysDecode)
     const unsigned m = GetParam();
     GaloisField gf(m);
     Rng rng(m * 7919);
-    for (int iter = 0; iter < 40; ++iter) {
+    const int iters = fuzzIters(40);
+    for (int iter = 0; iter < iters; ++iter) {
         size_t max_parity = std::min<size_t>(gf.order() - 1, 64);
         size_t parity = 2 + rng.nextBelow(max_parity - 1);
         ReedSolomon rs(gf, parity);
@@ -78,7 +80,8 @@ TEST_P(RsFuzz, SuccessAlwaysYieldsValidCodeword)
     const unsigned m = GetParam();
     GaloisField gf(m);
     Rng rng(m * 104729);
-    for (int iter = 0; iter < 30; ++iter) {
+    const int iters = fuzzIters(30);
+    for (int iter = 0; iter < iters; ++iter) {
         size_t parity =
             4 + rng.nextBelow(std::min<size_t>(20, gf.order() - 5));
         ReedSolomon rs(gf, parity);

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared iteration-bound helper for the randomized (fuzz) suites.
+ *
+ * Defaults keep ctest fast; FUZZ_ITERS in the environment overrides
+ * every suite's bound for soak runs.
+ */
+
+#ifndef DNASTORE_TESTS_FUZZ_ITERS_HH
+#define DNASTORE_TESTS_FUZZ_ITERS_HH
+
+#include <cstdlib>
+
+namespace dnastore {
+
+/** Iteration bound: @p dflt unless FUZZ_ITERS overrides it. */
+inline int
+fuzzIters(int dflt)
+{
+    const char *env = std::getenv("FUZZ_ITERS");
+    if (env == nullptr)
+        return dflt;
+    int v = std::atoi(env);
+    return v > 0 ? v : dflt;
+}
+
+} // namespace dnastore
+
+#endif // DNASTORE_TESTS_FUZZ_ITERS_HH

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "pipeline/simulator.hh"
+
+namespace dnastore {
+namespace {
+
+/**
+ * Threading determinism regression: the multi-threaded simulator must
+ * produce bit-identical RetrievalResults to the serial path for the
+ * same seed, for every layout scheme. Guards the per-cluster RNG
+ * seeding in ReadPool and the deterministic merge in UnitDecoder.
+ */
+
+FileBundle
+testBundle(size_t bytes)
+{
+    Rng rng(0xfeedULL);
+    std::vector<uint8_t> a(bytes), b(bytes / 2);
+    for (auto &x : a)
+        x = uint8_t(rng.next());
+    for (auto &x : b)
+        x = uint8_t(rng.next());
+    FileBundle bundle;
+    bundle.add("a.bin", std::move(a));
+    bundle.add("b.bin", std::move(b));
+    return bundle;
+}
+
+void
+expectIdentical(const RetrievalResult &s, const RetrievalResult &t)
+{
+    EXPECT_EQ(s.coverage, t.coverage);
+    EXPECT_EQ(s.exactPayload, t.exactPayload);
+    EXPECT_EQ(s.decoded.exact, t.decoded.exact);
+    EXPECT_EQ(s.decoded.bundleOk, t.decoded.bundleOk);
+    EXPECT_EQ(s.decoded.rawStream, t.decoded.rawStream);
+    EXPECT_EQ(s.decoded.stats.erasedColumns, t.decoded.stats.erasedColumns);
+    EXPECT_EQ(s.decoded.stats.indexFaults, t.decoded.stats.indexFaults);
+    EXPECT_EQ(s.decoded.stats.failedCodewords,
+              t.decoded.stats.failedCodewords);
+    EXPECT_EQ(s.decoded.stats.errorsPerCodeword,
+              t.decoded.stats.errorsPerCodeword);
+}
+
+class ThreadDeterminism : public ::testing::TestWithParam<LayoutScheme>
+{
+};
+
+TEST_P(ThreadDeterminism, ThreadedMatchesSerialBitForBit)
+{
+    const LayoutScheme scheme = GetParam();
+    const uint64_t seed = 20220618;
+    const size_t max_cov = 12;
+
+    StorageConfig serial_cfg = StorageConfig::tinyTest();
+    serial_cfg.numThreads = 1;
+    StorageConfig threaded_cfg = serial_cfg;
+    threaded_cfg.numThreads = 4;
+    StorageConfig auto_cfg = serial_cfg;
+    auto_cfg.numThreads = 0; // all hardware threads
+
+    FileBundle bundle = testBundle(serial_cfg.capacityBytes() / 2);
+    ErrorModel model = ErrorModel::uniform(0.05);
+
+    StorageSimulator serial(serial_cfg, scheme, model, seed);
+    StorageSimulator threaded(threaded_cfg, scheme, model, seed);
+    StorageSimulator autothreaded(auto_cfg, scheme, model, seed);
+    serial.store(bundle, max_cov);
+    threaded.store(bundle, max_cov);
+    autothreaded.store(bundle, max_cov);
+
+    for (size_t cov : { size_t(1), size_t(4), max_cov }) {
+        SCOPED_TRACE("coverage " + std::to_string(cov));
+        RetrievalResult s = serial.retrieve(cov);
+        expectIdentical(s, threaded.retrieve(cov));
+        expectIdentical(s, autothreaded.retrieve(cov));
+    }
+
+    // Forced erasures and Gamma-distributed coverage take the same
+    // code paths through the threaded decoder; they must match too.
+    const std::vector<size_t> erasures = { 0, 7, 31 };
+    expectIdentical(serial.retrieve(max_cov, erasures),
+                    threaded.retrieve(max_cov, erasures));
+    expectIdentical(serial.retrieveGamma(6.0, 4.0, 99),
+                    threaded.retrieveGamma(6.0, 4.0, 99));
+
+    EXPECT_EQ(serial.minCoverageForExact(1, max_cov),
+              threaded.minCoverageForExact(1, max_cov));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ThreadDeterminism,
+                         ::testing::Values(LayoutScheme::Baseline,
+                                           LayoutScheme::Gini,
+                                           LayoutScheme::DnaMapper),
+                         [](const auto &info) {
+                             return layoutSchemeName(info.param);
+                         });
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "pipeline/simulator.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+/**
+ * Golden end-to-end check at the benchmark-default geometry: encode a
+ * bundle, push every strand through the noisy IDS channel at the
+ * paper-default operating point (6% base error rate, coverage 10),
+ * and require the decoder to recover the payload exactly, byte for
+ * byte, under every layout scheme. This is the sequencing-coverage
+ * regime the paper's Figure 12 sweeps converge in.
+ */
+TEST(GoldenEndToEnd, BenchScaleRecoversExactPayloadAtDefaultCoverage)
+{
+    StorageConfig cfg = StorageConfig::benchScale();
+    cfg.numThreads = 0; // all hardware threads; bit-identical to serial
+
+    Rng rng(0x600dULL);
+    std::vector<uint8_t> payload(cfg.capacityBytes() / 3);
+    for (auto &b : payload)
+        b = uint8_t(rng.next());
+    FileBundle bundle;
+    bundle.add("golden.bin", payload);
+
+    for (LayoutScheme scheme : { LayoutScheme::Baseline,
+                                 LayoutScheme::Gini,
+                                 LayoutScheme::DnaMapper }) {
+        SCOPED_TRACE(layoutSchemeName(scheme));
+        StorageSimulator sim(cfg, scheme, ErrorModel::uniform(0.06),
+                             /*seed=*/20220618);
+        sim.store(bundle, 10);
+        RetrievalResult result = sim.retrieve(10);
+        ASSERT_TRUE(result.decoded.bundleOk);
+        EXPECT_TRUE(result.exactPayload);
+        EXPECT_TRUE(result.decoded.exact);
+        ASSERT_EQ(result.decoded.bundle.fileCount(), size_t(1));
+        EXPECT_EQ(result.decoded.bundle.file(0).name, "golden.bin");
+        EXPECT_EQ(result.decoded.bundle.file(0).data, payload);
+    }
+}
+
+} // namespace
+} // namespace dnastore

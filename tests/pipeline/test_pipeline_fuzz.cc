@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "channel/ids_channel.hh"
+#include "fuzz_iters.hh"
 #include "pipeline/decoder.hh"
 #include "pipeline/encoder.hh"
 #include "util/rng.hh"
@@ -19,7 +20,8 @@ TEST(PipelineFuzz, RandomBundlesRoundTripAcrossGeometries)
     const LayoutScheme schemes[3] = { LayoutScheme::Baseline,
                                       LayoutScheme::Gini,
                                       LayoutScheme::DnaMapper };
-    for (int iter = 0; iter < 12; ++iter) {
+    const int iters = fuzzIters(12);
+    for (int iter = 0; iter < iters; ++iter) {
         StorageConfig cfg = StorageConfig::tinyTest();
         cfg.rows = 4 + rng.nextBelow(20);
         cfg.paritySymbols = 16 + rng.nextBelow(60);

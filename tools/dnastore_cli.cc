@@ -10,6 +10,7 @@
  *            Read strands back (one cluster per original line group),
  *            run consensus + ECC, and write the recovered files.
  *   simulate <files...> [--scheme ...] [--error-rate p] [--coverage n]
+ *            [--threads t]
  *            End-to-end store/retrieve through the noisy channel and
  *            report recovery statistics.
  *
@@ -38,6 +39,7 @@ struct CliOptions
     LayoutScheme scheme = LayoutScheme::Gini;
     double errorRate = 0.06;
     size_t coverage = 10;
+    size_t threads = 1; // 0 = all hardware threads
     bool ok = true;
 };
 
@@ -85,6 +87,9 @@ parseArgs(int argc, char **argv, int first)
         } else if (arg == "--coverage") {
             opt.coverage = std::strtoull(next("--coverage").c_str(),
                                          nullptr, 10);
+        } else if (arg == "--threads") {
+            opt.threads = std::strtoull(next("--threads").c_str(),
+                                        nullptr, 10);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             opt.ok = false;
@@ -255,6 +260,7 @@ cmdSimulate(const CliOptions &opt)
     StorageConfig cfg = configFor(bundle.serializedBits(), &ok);
     if (!ok)
         return 1;
+    cfg.numThreads = opt.threads;
 
     StorageSimulator sim(cfg, opt.scheme,
                          ErrorModel::uniform(opt.errorRate),
@@ -282,7 +288,9 @@ usage()
         "[--scheme gini|baseline|dnamapper]\n"
         "  dnastore decode <unit.dna> [--outdir DIR]\n"
         "  dnastore simulate <files...> [--scheme S] "
-        "[--error-rate P] [--coverage N]\n");
+        "[--error-rate P] [--coverage N] [--threads T]\n"
+        "    (--threads 0 uses all hardware threads; results are\n"
+        "     identical for every thread count)\n");
 }
 
 } // namespace
