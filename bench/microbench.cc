@@ -11,10 +11,12 @@
 #include <benchmark/benchmark.h>
 
 #include "channel/ids_channel.hh"
+#include "channel/read_pool.hh"
 #include "consensus/bma.hh"
 #include "consensus/median_bnb.hh"
 #include "consensus/realign.hh"
 #include "consensus/two_sided.hh"
+#include "dna/packed_strand.hh"
 #include "ecc/gf.hh"
 #include "ecc/rs.hh"
 #include "media/sjpeg.hh"
@@ -76,6 +78,89 @@ BM_RsDecodeErrors(benchmark::State &state)
     }
 }
 BENCHMARK(BM_RsDecodeErrors)->Arg(0)->Arg(10)->Arg(90);
+
+void
+BM_RsDecodeErasuresOnly(benchmark::State &state)
+{
+    // Exercises the skip-Chien erasure fast path.
+    GaloisField gf(10);
+    ReedSolomon rs(gf, 188);
+    Rng rng(30);
+    std::vector<uint32_t> data(rs.k());
+    for (auto &d : data)
+        d = uint32_t(rng.nextBelow(gf.size()));
+    auto clean = rs.encode(data);
+    std::vector<size_t> erasures;
+    for (size_t i = 0; i < size_t(state.range(0)); ++i)
+        erasures.push_back(i * 8); // max arg 120 -> position 952 < n
+
+    auto erased = clean;
+    for (size_t pos : erasures)
+        erased[pos] ^= 0x2a;
+    std::vector<uint32_t> work;
+    for (auto _ : state) {
+        work = erased;
+        benchmark::DoNotOptimize(rs.decode(work, erasures).success);
+    }
+}
+BENCHMARK(BM_RsDecodeErasuresOnly)->Arg(4)->Arg(40)->Arg(120);
+
+void
+BM_EditDistance455(benchmark::State &state)
+{
+    IdsChannel channel(ErrorModel::uniform(0.05));
+    Rng rng(31);
+    Strand original(455);
+    for (auto &b : original)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    Strand a = channel.transmit(original, rng);
+    Strand b = channel.transmit(original, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(editDistance(a, b));
+}
+BENCHMARK(BM_EditDistance455);
+
+void
+BM_PackedStrandRoundTrip(benchmark::State &state)
+{
+    Rng rng(32);
+    Strand s(size_t(state.range(0)));
+    for (auto &b : s)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    PackedStrand packed;
+    Strand out;
+    for (auto _ : state) {
+        packed.pack(s);
+        packed.unpack(out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_PackedStrandRoundTrip)->Arg(455)->Arg(4096);
+
+void
+BM_ReadPoolFillBatch(benchmark::State &state)
+{
+    // Flat vs packed pool query cost (state.range(0) = 1 for packed).
+    Rng rng(33);
+    std::vector<Strand> refs(64);
+    for (auto &ref : refs) {
+        ref.resize(455);
+        for (auto &b : ref)
+            b = baseFromBits(unsigned(rng.nextBelow(4)));
+    }
+    IdsChannel channel(ErrorModel::uniform(0.05));
+    ReadPool pool(refs, channel, 10, 77, 1,
+                  state.range(0) ? ReadStorage::Packed
+                                 : ReadStorage::Flat);
+    ReadBatch batch;
+    for (auto _ : state) {
+        pool.fillBatch(10, batch);
+        benchmark::DoNotOptimize(batch.views.data());
+    }
+}
+BENCHMARK(BM_ReadPoolFillBatch)->Arg(0)->Arg(1);
 
 void
 BM_IdsChannel(benchmark::State &state)

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Hot-path performance report: measures ns/op for the simulator's
+ * performance-critical substrates and emits machine-readable JSON, so
+ * every PR leaves a perf trajectory to regress against (BENCH_*.json
+ * at the repo root; see tools/perf_compare.py for the before/after
+ * merge).
+ *
+ * Uses only long-stable public APIs so the same source file compiles
+ * against older revisions of the library for baseline measurements;
+ * benches of newer APIs are gated on __has_include.
+ *
+ * Flags:
+ *   --out FILE        Write the JSON report to FILE (default stdout).
+ *   --min-time-ms N   Target measuring time per bench (default 300).
+ *   --quick           One timed iteration per bench (CI smoke mode).
+ *   --only SUBSTR     Run only benches whose name contains SUBSTR.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "channel/ids_channel.hh"
+#include "consensus/two_sided.hh"
+#include "dna/strand.hh"
+#include "ecc/gf.hh"
+#include "ecc/rs.hh"
+#include "pipeline/bundle.hh"
+#include "pipeline/simulator.hh"
+#include "util/rng.hh"
+
+#if defined(__has_include)
+#if __has_include("dna/packed_strand.hh")
+#include "dna/packed_strand.hh"
+#define DNASTORE_HAVE_PACKED_STRAND 1
+#endif
+#endif
+
+namespace dnastore {
+namespace {
+
+volatile uint64_t g_sink; // defeat dead-code elimination
+
+struct BenchResult
+{
+    std::string name;
+    double nsPerOp;
+    uint64_t iters;
+};
+
+struct Options
+{
+    const char *out = nullptr;
+    double minTimeMs = 300.0;
+    bool quick = false;
+    const char *only = nullptr;
+};
+
+double
+nowNs()
+{
+    using namespace std::chrono;
+    return double(duration_cast<nanoseconds>(
+                      steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+/** Run @p op repeatedly until the time target is met; report ns/op. */
+BenchResult
+runBench(const char *name, const Options &opt,
+         const std::function<void()> &op)
+{
+    op(); // warm caches, scratch buffers, and page in tables
+    if (opt.quick) {
+        double t0 = nowNs();
+        op();
+        double t1 = nowNs();
+        return { name, t1 - t0, 1 };
+    }
+    const double target_ns = opt.minTimeMs * 1e6;
+    uint64_t iters = 0;
+    uint64_t batch = 1;
+    double elapsed = 0;
+    while (elapsed < target_ns) {
+        double t0 = nowNs();
+        for (uint64_t i = 0; i < batch; ++i)
+            op();
+        double t1 = nowNs();
+        elapsed += t1 - t0;
+        iters += batch;
+        if (batch < (uint64_t(1) << 20))
+            batch *= 2;
+    }
+    return { name, elapsed / double(iters), iters };
+}
+
+Strand
+randomStrand(size_t len, Rng &rng)
+{
+    Strand s(len);
+    for (auto &b : s)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    return s;
+}
+
+FileBundle
+randomBundle(size_t bytes, Rng &rng)
+{
+    std::vector<uint8_t> data(bytes);
+    for (auto &x : data)
+        x = uint8_t(rng.next());
+    FileBundle bundle;
+    bundle.add("payload.bin", std::move(data));
+    return bundle;
+}
+
+void
+collect(std::vector<BenchResult> &results, const Options &opt)
+{
+    auto wants = [&opt](const char *name) {
+        return opt.only == nullptr ||
+            std::string(name).find(opt.only) != std::string::npos;
+    };
+    auto add = [&](const char *name,
+                   const std::function<void()> &op) {
+        if (wants(name))
+            results.push_back(runBench(name, opt, op));
+    };
+
+    // --- Galois field multiply (bench-scale and paper-scale fields).
+    for (unsigned m : { 10u, 16u }) {
+        GaloisField gf(m);
+        Rng rng(1);
+        uint32_t a = 1 + uint32_t(rng.nextBelow(gf.order()));
+        uint32_t b = 1 + uint32_t(rng.nextBelow(gf.order()));
+        std::string name = "gf_mul_m" + std::to_string(m);
+        add(name.c_str(), [gf = std::move(gf), a, b]() mutable {
+            // 1024 dependent multiplies per op to swamp loop overhead.
+            uint32_t x = a;
+            for (int i = 0; i < 1024; ++i)
+                x = gf.mul(x, b) | 1;
+            g_sink ^= x;
+        });
+    }
+
+    // --- Reed-Solomon at the default operating point: GF(2^10),
+    // E = 188 (18.4% redundancy), as benchScale() uses.
+    {
+        GaloisField gf(10);
+        ReedSolomon rs(gf, 188);
+        Rng rng(2);
+        std::vector<uint32_t> data(rs.k());
+        for (auto &d : data)
+            d = uint32_t(rng.nextBelow(gf.size()));
+        auto clean = rs.encode(data);
+
+        add("rs_encode_m10", [&rs, &data]() {
+            g_sink ^= rs.encode(data)[0];
+        });
+
+        std::vector<uint32_t> buf = clean;
+        add("rs_decode_clean_m10", [&rs, &buf]() {
+            g_sink ^= uint64_t(rs.decode(buf).success);
+        });
+
+        auto noisy10 = clean;
+        {
+            Rng r2(3);
+            for (size_t e = 0; e < 10; ++e)
+                noisy10[r2.nextBelow(noisy10.size())] ^= 1;
+        }
+        std::vector<uint32_t> work;
+        add("rs_decode_err10_m10", [&rs, &noisy10, &work]() {
+            work = noisy10;
+            g_sink ^= uint64_t(rs.decode(work).success);
+        });
+
+        std::vector<size_t> erasures;
+        for (size_t i = 0; i < 20; ++i)
+            erasures.push_back(i * 37);
+        auto erased = clean;
+        for (size_t pos : erasures)
+            erased[pos] ^= 0x3f;
+        add("rs_decode_erasures20_m10",
+            [&rs, &erased, &erasures, &work]() {
+                work = erased;
+                g_sink ^= uint64_t(rs.decode(work, erasures).success);
+            });
+    }
+
+    // --- Paper-scale field: clean-codeword decode over GF(2^16).
+    {
+        GaloisField gf(16);
+        ReedSolomon rs(gf, 32);
+        Rng rng(4);
+        std::vector<uint32_t> data(rs.k());
+        for (auto &d : data)
+            d = uint32_t(rng.nextBelow(gf.size()));
+        // A clean decode leaves the buffer untouched, so it is safely
+        // reused across iterations.
+        std::vector<uint32_t> buf = rs.encode(data);
+        add("rs_decode_clean_m16", [&rs, &buf]() {
+            g_sink ^= uint64_t(rs.decode(buf).success);
+        });
+    }
+
+    // --- IDS channel transmission, default strand geometry.
+    {
+        IdsChannel channel(ErrorModel::uniform(0.05));
+        Rng rng(5);
+        Strand strand = randomStrand(455, rng);
+        add("ids_transmit_455", [&channel, &strand, &rng]() {
+            g_sink ^= channel.transmit(strand, rng).size();
+        });
+    }
+
+    // --- Edit distance between two noisy 455-base strands.
+    {
+        IdsChannel channel(ErrorModel::uniform(0.05));
+        Rng rng(6);
+        Strand original = randomStrand(455, rng);
+        Strand a = channel.transmit(original, rng);
+        Strand b = channel.transmit(original, rng);
+        add("edit_distance_455", [&a, &b]() {
+            g_sink ^= editDistance(a, b);
+        });
+    }
+
+    // --- Two-sided consensus at coverage 10.
+    {
+        IdsChannel channel(ErrorModel::uniform(0.05));
+        Rng rng(7);
+        Strand original = randomStrand(455, rng);
+        auto reads = channel.transmitCluster(original, 10, rng);
+        add("consensus_two_sided_c10", [&reads]() {
+            g_sink ^= reconstructTwoSided(reads, 455).size();
+        });
+    }
+
+#ifdef DNASTORE_HAVE_PACKED_STRAND
+    // --- 2-bit packing round trip (new API; skipped on baselines).
+    {
+        Rng rng(8);
+        Strand s = randomStrand(455, rng);
+        PackedStrand packed(s);
+        Strand out;
+        add("packed_pack_455", [&s, &packed]() {
+            packed.pack(s);
+            g_sink ^= packed.wordCount();
+        });
+        add("packed_unpack_455", [&packed, &out]() {
+            packed.unpack(out);
+            g_sink ^= uint64_t(bitsFromBase(out[17]));
+        });
+    }
+#endif
+
+    // --- End-to-end simulate at the default operating point:
+    // benchScale geometry, 5% IDS error, coverage 10.
+    {
+        StorageConfig cfg = StorageConfig::benchScale();
+        cfg.numThreads = 1; // measure single-thread throughput
+        Rng rng(9);
+        FileBundle bundle = randomBundle(cfg.capacityBytes() / 2, rng);
+        ErrorModel model = ErrorModel::uniform(0.05);
+
+        StorageSimulator sim(cfg, LayoutScheme::Baseline, model, 42);
+        add("e2e_store_cov10", [&sim, &bundle]() {
+            sim.store(bundle, 10);
+            g_sink ^= sim.unit().strands.size();
+        });
+        sim.store(bundle, 10);
+        add("e2e_retrieve_cov10", [&sim]() {
+            g_sink ^= uint64_t(sim.retrieve(10).exactPayload);
+        });
+        add("e2e_simulate_cov10", [&sim, &bundle]() {
+            sim.store(bundle, 10);
+            g_sink ^= uint64_t(sim.retrieve(10).exactPayload);
+        });
+    }
+}
+
+int
+perfReportMain(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            opt.out = argv[++i];
+        } else if (std::strcmp(argv[i], "--min-time-ms") == 0 &&
+                   i + 1 < argc) {
+            opt.minTimeMs = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            opt.quick = true;
+        } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+            opt.only = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    std::vector<BenchResult> results;
+    collect(results, opt);
+
+    std::FILE *f = opt.out ? std::fopen(opt.out, "w") : stdout;
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", opt.out);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"dnastore-perf-report-v1\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", opt.quick ? "true" : "false");
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                     "\"iters\": %llu}%s\n",
+                     results[i].name.c_str(), results[i].nsPerOp,
+                     (unsigned long long)results[i].iters,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    if (opt.out)
+        std::fclose(f);
+    return 0;
+}
+
+} // namespace
+} // namespace dnastore
+
+int
+main(int argc, char **argv)
+{
+    return dnastore::perfReportMain(argc, argv);
+}

@@ -4,6 +4,45 @@
 
 namespace dnastore {
 
+namespace {
+
+/**
+ * The shared per-base channel walk: at most one of {insert, delete,
+ * substitute} per input position, emitted through @p push. All public
+ * transmit variants route here so their RNG draw sequences — and
+ * therefore their outputs — are identical.
+ */
+template <typename Push>
+void
+transmitCore(StrandView input, Rng &rng, double p_ins, double p_del,
+             double p_sub, ChannelEvents *events, Push &&push)
+{
+    for (Base b : input) {
+        double u = rng.nextDouble();
+        if (u < p_ins) {
+            // Insert a uniform base before position i; the original
+            // base is kept, matching the paper's channel definition.
+            push(baseFromBits(unsigned(rng.nextBelow(4))));
+            push(b);
+            if (events)
+                ++events->insertions;
+        } else if (u < p_del) {
+            if (events)
+                ++events->deletions;
+        } else if (u < p_sub) {
+            // Replace with one of the three other bases.
+            unsigned offset = 1u + unsigned(rng.nextBelow(3));
+            push(baseFromBits(bitsFromBase(b) + offset));
+            if (events)
+                ++events->substitutions;
+        } else {
+            push(b);
+        }
+    }
+}
+
+} // namespace
+
 IdsChannel::IdsChannel(const ErrorModel &model)
     : model_(model)
 {
@@ -17,33 +56,32 @@ IdsChannel::transmit(const Strand &input, Rng &rng,
 {
     Strand out;
     out.reserve(input.size() + 8);
+    transmitInto(input, rng, out, events);
+    return out;
+}
+
+void
+IdsChannel::transmitInto(StrandView input, Rng &rng, Strand &out,
+                         ChannelEvents *events) const
+{
+    out.clear();
     const double p_ins = model_.insertion;
     const double p_del = p_ins + model_.deletion;
     const double p_sub = p_del + model_.substitution;
+    transmitCore(input, rng, p_ins, p_del, p_sub, events,
+                 [&out](Base b) { out.push_back(b); });
+}
 
-    for (Base b : input) {
-        double u = rng.nextDouble();
-        if (u < p_ins) {
-            // Insert a uniform base before position i; the original
-            // base is kept, matching the paper's channel definition.
-            out.push_back(baseFromBits(unsigned(rng.nextBelow(4))));
-            out.push_back(b);
-            if (events)
-                ++events->insertions;
-        } else if (u < p_del) {
-            if (events)
-                ++events->deletions;
-        } else if (u < p_sub) {
-            // Replace with one of the three other bases.
-            unsigned offset = 1u + unsigned(rng.nextBelow(3));
-            out.push_back(baseFromBits(bitsFromBase(b) + offset));
-            if (events)
-                ++events->substitutions;
-        } else {
-            out.push_back(b);
-        }
-    }
-    return out;
+void
+IdsChannel::transmitAppend(StrandView input, Rng &rng, StrandArena &out,
+                           ChannelEvents *events) const
+{
+    const double p_ins = model_.insertion;
+    const double p_del = p_ins + model_.deletion;
+    const double p_sub = p_del + model_.substitution;
+    transmitCore(input, rng, p_ins, p_del, p_sub, events,
+                 [&out](Base b) { out.push(b); });
+    out.endStrand();
 }
 
 std::vector<Strand>
@@ -54,6 +92,16 @@ IdsChannel::transmitCluster(const Strand &input, size_t n, Rng &rng) const
     for (size_t i = 0; i < n; ++i)
         reads.push_back(transmit(input, rng));
     return reads;
+}
+
+void
+IdsChannel::transmitClusterInto(StrandView input, size_t n, Rng &rng,
+                                StrandArena &out) const
+{
+    out.reserve(out.totalBases() + n * (input.size() + 8),
+                out.strandCount() + n);
+    for (size_t i = 0; i < n; ++i)
+        transmitAppend(input, rng, out);
 }
 
 } // namespace dnastore

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "channel/error_model.hh"
+#include "dna/packed_strand.hh"
 #include "dna/strand.hh"
 #include "util/rng.hh"
 
@@ -53,9 +54,34 @@ class IdsChannel
     Strand transmit(const Strand &input, Rng &rng,
                     ChannelEvents *events = nullptr) const;
 
+    /**
+     * Transmit into a caller-provided strand: @p out is cleared and
+     * refilled, reusing its capacity, so a warm buffer makes repeated
+     * transmissions allocation-free. Draws the same RNG sequence as
+     * transmit(), so outputs are bit-identical.
+     *
+     * @p input must not alias @p out (or, for transmitAppend, the
+     * destination arena): the output buffer may reallocate while the
+     * input is still being read.
+     */
+    void transmitInto(StrandView input, Rng &rng, Strand &out,
+                      ChannelEvents *events = nullptr) const;
+
+    /**
+     * Transmit as a new strand appended to @p out — the arena-backed
+     * path used by read pools, where a whole cluster's reads land in
+     * one contiguous buffer.
+     */
+    void transmitAppend(StrandView input, Rng &rng, StrandArena &out,
+                        ChannelEvents *events = nullptr) const;
+
     /** Generate @p n independent noisy copies (a perfect cluster). */
     std::vector<Strand> transmitCluster(const Strand &input, size_t n,
                                         Rng &rng) const;
+
+    /** Generate a cluster of @p n noisy copies into an arena. */
+    void transmitClusterInto(StrandView input, size_t n, Rng &rng,
+                             StrandArena &out) const;
 
     /** The configured error model. */
     const ErrorModel &model() const { return model_; }

@@ -9,17 +9,20 @@ namespace dnastore {
 ReadPool::ReadPool(const std::vector<Strand> &references,
                    const IdsChannel &channel, size_t max_coverage,
                    Rng &rng)
-    : maxCoverage_(max_coverage)
+    : storage_(ReadStorage::Flat), clusterCount_(references.size()),
+      maxCoverage_(max_coverage)
 {
-    pools_.reserve(references.size());
-    for (const Strand &ref : references)
-        pools_.push_back(channel.transmitCluster(ref, max_coverage, rng));
+    flat_.resize(references.size());
+    for (size_t c = 0; c < references.size(); ++c)
+        channel.transmitClusterInto(references[c], max_coverage, rng,
+                                    flat_[c]);
 }
 
 ReadPool::ReadPool(const std::vector<Strand> &references,
                    const IdsChannel &channel, size_t max_coverage,
-                   uint64_t seed, size_t num_threads)
-    : maxCoverage_(max_coverage)
+                   uint64_t seed, size_t num_threads, ReadStorage storage)
+    : storage_(storage), clusterCount_(references.size()),
+      maxCoverage_(max_coverage)
 {
     // Per-cluster seeds come from one serial base stream so that the
     // pools do not depend on the worker count or schedule.
@@ -28,32 +31,108 @@ ReadPool::ReadPool(const std::vector<Strand> &references,
     for (auto &s : seeds)
         s = base.next();
 
-    pools_.resize(references.size());
-    parallelFor(references.size(), num_threads, [&](size_t c) {
-        Rng rng(seeds[c]);
-        pools_[c] = channel.transmitCluster(references[c],
-                                            max_coverage, rng);
-    });
+    if (storage_ == ReadStorage::Flat) {
+        flat_.resize(references.size());
+        parallelFor(references.size(), num_threads, [&](size_t c) {
+            Rng rng(seeds[c]);
+            channel.transmitClusterInto(references[c], max_coverage,
+                                        rng, flat_[c]);
+        });
+    } else {
+        packed_.resize(references.size());
+        parallelFor(references.size(), num_threads, [&](size_t c) {
+            Rng rng(seeds[c]);
+            // Same RNG walk as the flat path, staged through a warm
+            // per-thread buffer, so both modes hold identical reads.
+            static thread_local Strand read;
+            PackedArena &arena = packed_[c];
+            arena.reserve(max_coverage * (references[c].size() + 8),
+                          max_coverage);
+            for (size_t i = 0; i < max_coverage; ++i) {
+                channel.transmitInto(references[c], rng, read);
+                arena.append(read);
+            }
+        });
+    }
 }
 
 std::vector<Strand>
 ReadPool::reads(size_t cluster, size_t coverage) const
 {
-    if (cluster >= pools_.size())
+    if (cluster >= clusterCount_)
         throw std::out_of_range("ReadPool: bad cluster index");
     if (coverage > maxCoverage_)
         throw std::out_of_range("ReadPool: coverage exceeds pool size");
-    const auto &pool = pools_[cluster];
-    return std::vector<Strand>(pool.begin(),
-                               pool.begin() + long(coverage));
+    std::vector<Strand> out(coverage);
+    for (size_t r = 0; r < coverage; ++r) {
+        if (storage_ == ReadStorage::Flat)
+            out[r] = flat_[cluster].view(r).toStrand();
+        else
+            packed_[cluster].unpackInto(r, out[r]);
+    }
+    return out;
+}
+
+void
+ReadPool::fillBatch(size_t coverage, ReadBatch &batch) const
+{
+    if (coverage > maxCoverage_)
+        throw std::out_of_range("ReadPool: coverage exceeds pool size");
+    static thread_local std::vector<size_t> uniform;
+    uniform.assign(clusterCount_, coverage);
+    fillBatch(uniform, batch);
+}
+
+void
+ReadPool::fillBatch(const std::vector<size_t> &counts,
+                    ReadBatch &batch) const
+{
+    if (counts.size() != clusterCount_)
+        throw std::invalid_argument("ReadPool: counts size mismatch");
+    for (size_t count : counts) {
+        if (count > maxCoverage_)
+            throw std::out_of_range(
+                "ReadPool: coverage exceeds pool size");
+    }
+
+    batch.clear();
+    batch.offsets.reserve(clusterCount_ + 1);
+    size_t total = 0;
+    for (size_t count : counts)
+        total += count;
+    batch.views.reserve(total);
+
+    if (storage_ == ReadStorage::Flat) {
+        // Views alias the pool arenas directly: zero copies.
+        batch.offsets.push_back(0);
+        for (size_t c = 0; c < clusterCount_; ++c) {
+            for (size_t r = 0; r < counts[c]; ++r)
+                batch.views.push_back(flat_[c].view(r));
+            batch.offsets.push_back(batch.views.size());
+        }
+    } else {
+        // Unpack every requested read into the batch scratch first;
+        // views are taken afterwards since arena growth relocates.
+        for (size_t c = 0; c < clusterCount_; ++c) {
+            for (size_t r = 0; r < counts[c]; ++r)
+                packed_[c].unpackInto(r, batch.scratch);
+        }
+        batch.offsets.push_back(0);
+        size_t idx = 0;
+        for (size_t c = 0; c < clusterCount_; ++c) {
+            for (size_t r = 0; r < counts[c]; ++r)
+                batch.views.push_back(batch.scratch.view(idx++));
+            batch.offsets.push_back(batch.views.size());
+        }
+    }
 }
 
 std::vector<size_t>
 ReadPool::sampleCounts(const CoverageModel &model, Rng &rng) const
 {
     std::vector<size_t> counts;
-    counts.reserve(pools_.size());
-    for (size_t i = 0; i < pools_.size(); ++i) {
+    counts.reserve(clusterCount_);
+    for (size_t i = 0; i < clusterCount_; ++i) {
         size_t n = model.sample(rng);
         counts.push_back(n > maxCoverage_ ? maxCoverage_ : n);
     }

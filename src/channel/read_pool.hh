@@ -7,6 +7,10 @@
  * progressively adds more reads from the pool for each coverage point.
  * Re-using the same pool across coverage points makes the sweep
  * monotone in information content, exactly as in the paper.
+ *
+ * Each cluster's reads live in one contiguous arena (optionally 2-bit
+ * packed) instead of N small vectors; queries hand out StrandViews via
+ * fillBatch() so the decode hot path never copies a read.
  */
 
 #ifndef DNASTORE_CHANNEL_READ_POOL_HH
@@ -17,10 +21,18 @@
 
 #include "channel/coverage.hh"
 #include "channel/ids_channel.hh"
+#include "dna/packed_strand.hh"
 #include "dna/strand.hh"
 #include "util/rng.hh"
 
 namespace dnastore {
+
+/** How a ReadPool stores its reads. */
+enum class ReadStorage
+{
+    Flat,   //!< One byte per base, views alias the pool directly.
+    Packed, //!< 2 bits per base; queries unpack into the batch scratch.
+};
 
 /** Noisy-read pools for a set of reference strands. */
 class ReadPool
@@ -43,24 +55,42 @@ class ReadPool
      *
      * Cluster seeds are drawn serially from a base stream seeded with
      * @p seed, so the pools are bit-identical for every
-     * @p num_threads value (0 = all hardware threads).
+     * @p num_threads value (0 = all hardware threads) and for either
+     * storage mode.
      */
     ReadPool(const std::vector<Strand> &references,
              const IdsChannel &channel, size_t max_coverage,
-             uint64_t seed, size_t num_threads);
+             uint64_t seed, size_t num_threads,
+             ReadStorage storage = ReadStorage::Flat);
 
     /** Number of clusters. */
-    size_t clusters() const { return pools_.size(); }
+    size_t clusters() const { return clusterCount_; }
 
     /** Maximum coverage available per cluster. */
     size_t maxCoverage() const { return maxCoverage_; }
 
+    /** Storage mode of this pool. */
+    ReadStorage storage() const { return storage_; }
+
     /**
-     * The first @p coverage reads of cluster @p cluster.
+     * The first @p coverage reads of cluster @p cluster, as owning
+     * copies (compatibility API; hot paths use fillBatch instead).
      *
      * @throws std::out_of_range if coverage exceeds maxCoverage().
      */
     std::vector<Strand> reads(size_t cluster, size_t coverage) const;
+
+    /**
+     * Fill @p batch with the first @p coverage reads of every cluster
+     * as views — no read is copied for flat pools; packed pools unpack
+     * into the batch's scratch arena. The batch's buffers are reused
+     * across calls.
+     */
+    void fillBatch(size_t coverage, ReadBatch &batch) const;
+
+    /** Fill @p batch with counts[c] reads of cluster c. */
+    void fillBatch(const std::vector<size_t> &counts,
+                   ReadBatch &batch) const;
 
     /**
      * Per-cluster read counts for a mean coverage under a coverage
@@ -71,7 +101,10 @@ class ReadPool
                                      Rng &rng) const;
 
   private:
-    std::vector<std::vector<Strand>> pools_;
+    std::vector<StrandArena> flat_;    //!< Per cluster (Flat mode).
+    std::vector<PackedArena> packed_;  //!< Per cluster (Packed mode).
+    ReadStorage storage_ = ReadStorage::Flat;
+    size_t clusterCount_ = 0;
     size_t maxCoverage_;
 };
 

@@ -20,14 +20,27 @@ majority(const std::array<int, kNumBases> &votes)
 /** Lookahead window used to classify an outlier's error type. */
 constexpr size_t kWindow = 3;
 
-} // namespace
-
-Strand
-reconstructOneWay(const std::vector<Strand> &reads, size_t target_len)
+/** Base @p i of read @p r, optionally through a reversing lens. */
+template <bool kRev>
+inline Base
+readAt(const StrandView &r, size_t i)
 {
-    const size_t n = reads.size();
-    std::vector<size_t> cursor(n, 0);
-    Strand out;
+    return kRev ? r[r.size() - 1 - i] : r[i];
+}
+
+/**
+ * The one-way lookahead-majority scan, shared by the forward and
+ * reversed entry points. Reads are only ever accessed through
+ * readAt<kRev>, so the reversed pass needs no materialized copies.
+ */
+template <bool kRev>
+void
+reconstructCore(const StrandView *reads, size_t n, size_t target_len,
+                BmaScratch &scratch, Strand &out)
+{
+    std::vector<size_t> &cursor = scratch.cursor;
+    cursor.assign(n, 0);
+    out.clear();
     out.reserve(target_len);
 
     Base last_consensus = Base::A;
@@ -37,7 +50,7 @@ reconstructOneWay(const std::vector<Strand> &reads, size_t target_len)
         size_t active = 0;
         for (size_t r = 0; r < n; ++r) {
             if (cursor[r] < reads[r].size()) {
-                ++votes[bitsFromBase(reads[r][cursor[r]])];
+                ++votes[bitsFromBase(readAt<kRev>(reads[r], cursor[r]))];
                 ++active;
             }
         }
@@ -46,28 +59,47 @@ reconstructOneWay(const std::vector<Strand> &reads, size_t target_len)
             out.push_back(last_consensus);
             continue;
         }
-        Base c = baseFromBits(unsigned(majority(votes)));
+        int best_vote = majority(votes);
+        Base c = baseFromBits(unsigned(best_vote));
+
+        // Unanimity fast path: with no outlier there is nothing to
+        // classify, so the lookahead estimation below is dead weight;
+        // advance every active cursor and move on. At realistic error
+        // rates this skips the dominant cost for most positions.
+        if (votes[best_vote] == int(active)) {
+            for (size_t r = 0; r < n; ++r) {
+                if (cursor[r] < reads[r].size())
+                    ++cursor[r];
+            }
+            out.push_back(c);
+            last_consensus = c;
+            continue;
+        }
 
         // Estimate the next kWindow consensus bases from the reads
         // that agree at the current position. These drive the
         // error-type classification below, mirroring the Figure 2
         // reasoning ("the next two characters are GT in most
-        // sequences...").
+        // sequences..."). One pass per read fills all windows.
+        std::array<std::array<int, kNumBases>, kWindow> nv{};
+        std::array<int, kWindow> voters{};
+        for (size_t r = 0; r < n; ++r) {
+            size_t cur = cursor[r];
+            const StrandView &read = reads[r];
+            if (cur >= read.size() || readAt<kRev>(read, cur) != c)
+                continue;
+            for (size_t w = 0; w < kWindow; ++w) {
+                if (cur + w + 1 >= read.size())
+                    break;
+                ++nv[w][bitsFromBase(readAt<kRev>(read, cur + w + 1))];
+                ++voters[w];
+            }
+        }
         std::array<Base, kWindow> next{};
         std::array<bool, kWindow> have_next{};
         for (size_t w = 0; w < kWindow; ++w) {
-            std::array<int, kNumBases> nv{};
-            int voters = 0;
-            for (size_t r = 0; r < n; ++r) {
-                size_t cur = cursor[r];
-                if (cur < reads[r].size() && reads[r][cur] == c &&
-                    cur + w + 1 < reads[r].size()) {
-                    ++nv[bitsFromBase(reads[r][cur + w + 1])];
-                    ++voters;
-                }
-            }
-            have_next[w] = voters > 0;
-            next[w] = baseFromBits(unsigned(majority(nv)));
+            have_next[w] = voters[w] > 0;
+            next[w] = baseFromBits(unsigned(majority(nv[w])));
         }
 
         // Classify each outlier read by scoring the three hypotheses
@@ -76,13 +108,13 @@ reconstructOneWay(const std::vector<Strand> &reads, size_t target_len)
             size_t cur = cursor[r];
             if (cur >= reads[r].size())
                 continue;
-            if (reads[r][cur] == c) {
+            if (readAt<kRev>(reads[r], cur) == c) {
                 cursor[r] = cur + 1;
                 continue;
             }
-            const Strand &read = reads[r];
+            const StrandView &read = reads[r];
             auto read_at = [&read](size_t i, Base expect) {
-                return i < read.size() && read[i] == expect;
+                return i < read.size() && readAt<kRev>(read, i) == expect;
             };
             // Score each hypothesis with the same number of evidence
             // terms (kWindow) so no hypothesis is favored merely by
@@ -118,6 +150,35 @@ reconstructOneWay(const std::vector<Strand> &reads, size_t target_len)
         out.push_back(c);
         last_consensus = c;
     }
+}
+
+} // namespace
+
+void
+reconstructOneWayInto(const StrandView *reads, size_t n_reads,
+                      size_t target_len, BmaScratch &scratch,
+                      Strand &out)
+{
+    reconstructCore<false>(reads, n_reads, target_len, scratch, out);
+}
+
+void
+reconstructOneWayReversed(const StrandView *reads, size_t n_reads,
+                          size_t target_len, BmaScratch &scratch,
+                          Strand &out)
+{
+    reconstructCore<true>(reads, n_reads, target_len, scratch, out);
+}
+
+Strand
+reconstructOneWay(const std::vector<Strand> &reads, size_t target_len)
+{
+    static thread_local std::vector<StrandView> views;
+    static thread_local BmaScratch scratch;
+    views.assign(reads.begin(), reads.end());
+    Strand out;
+    reconstructCore<false>(views.data(), views.size(), target_len,
+                           scratch, out);
     return out;
 }
 

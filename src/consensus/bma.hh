@@ -17,9 +17,20 @@
 #include <cstddef>
 #include <vector>
 
+#include "dna/packed_strand.hh"
 #include "dna/strand.hh"
 
 namespace dnastore {
+
+/**
+ * Reusable per-call working state for the BMA reconstructions. One
+ * scratch per thread; buffers grow once and are then reused so the
+ * per-cluster loop performs no heap allocation.
+ */
+struct BmaScratch
+{
+    std::vector<size_t> cursor;
+};
 
 /**
  * Reconstruct a strand of known length from noisy reads, scanning
@@ -31,6 +42,24 @@ namespace dnastore {
  */
 Strand reconstructOneWay(const std::vector<Strand> &reads,
                          size_t target_len);
+
+/**
+ * View-based variant for the hot path: reconstruct from @p n_reads
+ * strand views into @p out (cleared and refilled), reusing @p scratch.
+ * Bit-identical to the vector overload.
+ */
+void reconstructOneWayInto(const StrandView *reads, size_t n_reads,
+                           size_t target_len, BmaScratch &scratch,
+                           Strand &out);
+
+/**
+ * Reconstruct as if every read were reversed, without materializing
+ * the reversed reads: the output estimates the reversed original.
+ * Bit-identical to reversing each read and calling reconstructOneWay.
+ */
+void reconstructOneWayReversed(const StrandView *reads, size_t n_reads,
+                               size_t target_len, BmaScratch &scratch,
+                               Strand &out);
 
 } // namespace dnastore
 

@@ -11,13 +11,25 @@ alignToReference(const Strand &reference, const Strand &read,
                  std::vector<int> *aligned,
                  std::vector<std::vector<Base>> *ins_after)
 {
+    static thread_local RealignScratch scratch;
+    alignToReference(reference, read, aligned, ins_after, scratch);
+}
+
+void
+alignToReference(const Strand &reference, const Strand &read,
+                 std::vector<int> *aligned,
+                 std::vector<std::vector<Base>> *ins_after,
+                 RealignScratch &scratch)
+{
     const size_t n = reference.size();
     const size_t m = read.size();
 
     // Full DP matrix with traceback. Moves: 0 = diagonal (match/sub),
     // 1 = up (delete reference base), 2 = left (insert read base).
-    std::vector<uint16_t> dist((n + 1) * (m + 1));
-    std::vector<uint8_t> move((n + 1) * (m + 1));
+    std::vector<uint16_t> &dist = scratch.dist;
+    std::vector<uint8_t> &move = scratch.move;
+    dist.resize((n + 1) * (m + 1));
+    move.resize((n + 1) * (m + 1));
     auto at = [m](size_t i, size_t j) { return i * (m + 1) + j; };
 
     for (size_t j = 0; j <= m; ++j) {
@@ -47,7 +59,11 @@ alignToReference(const Strand &reference, const Strand &read,
     }
 
     aligned->assign(n, -1);
-    ins_after->assign(n + 1, {});
+    // resize + clear (not assign) keeps the inner vectors' capacity,
+    // so repeated realignment rounds stop churning tiny allocations.
+    ins_after->resize(n + 1);
+    for (auto &v : *ins_after)
+        v.clear();
     size_t i = n, j = m;
     while (i > 0 || j > 0) {
         uint8_t mv = move[at(i, j)];
@@ -88,6 +104,7 @@ reconstructIterative(const std::vector<Strand> &reads, size_t target_len,
         estimate = Strand(target_len, Base::A);
 
     const size_t n_reads = reads.size();
+    RealignScratch align_scratch;
     for (size_t iter = 0; iter < iterations; ++iter) {
         const size_t len = estimate.size();
         // Per-position base votes, deletion votes, and insertion votes.
@@ -101,7 +118,8 @@ reconstructIterative(const std::vector<Strand> &reads, size_t target_len,
         std::vector<int> aligned;
         std::vector<std::vector<Base>> ins_after;
         for (const Strand &read : reads) {
-            alignToReference(estimate, read, &aligned, &ins_after);
+            alignToReference(estimate, read, &aligned, &ins_after,
+                             align_scratch);
             for (size_t i = 0; i < len; ++i) {
                 if (aligned[i] >= 0)
                     ++votes[i][size_t(aligned[i])];
@@ -168,7 +186,8 @@ reconstructIterative(const std::vector<Strand> &reads, size_t target_len,
         std::vector<int> aligned;
         std::vector<std::vector<Base>> ins_after;
         for (const Strand &read : reads) {
-            alignToReference(estimate, read, &aligned, &ins_after);
+            alignToReference(estimate, read, &aligned, &ins_after,
+                             align_scratch);
             for (size_t i = 0; i < len; ++i)
                 if (aligned[i] >= 0)
                     ++votes[i][size_t(aligned[i])];

@@ -37,6 +37,17 @@ Strand reconstructIterative(const std::vector<Strand> &reads,
                             size_t target_len, size_t iterations = 5);
 
 /**
+ * Reusable DP buffers for alignToReference. One per thread; the
+ * matrices grow to the largest alignment seen and are then reused so
+ * realignment rounds perform no per-read allocation.
+ */
+struct RealignScratch
+{
+    std::vector<uint16_t> dist;
+    std::vector<uint8_t> move;
+};
+
+/**
  * Align @p read against @p reference with minimal edit distance and
  * return, for every reference position, the read base aligned to it
  * (-1 when the alignment deletes that reference position). Insertions
@@ -49,6 +60,12 @@ Strand reconstructIterative(const std::vector<Strand> &reads,
 void alignToReference(const Strand &reference, const Strand &read,
                       std::vector<int> *aligned,
                       std::vector<std::vector<Base>> *ins_after);
+
+/** As above, with caller-provided DP scratch (allocation-free warm). */
+void alignToReference(const Strand &reference, const Strand &read,
+                      std::vector<int> *aligned,
+                      std::vector<std::vector<Base>> *ins_after,
+                      RealignScratch &scratch);
 
 } // namespace dnastore
 

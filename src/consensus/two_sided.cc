@@ -1,27 +1,39 @@
 #include "consensus/two_sided.hh"
 
-#include "consensus/bma.hh"
-
 namespace dnastore {
+
+void
+reconstructTwoSidedInto(const StrandView *reads, size_t n_reads,
+                        size_t target_len, TwoSidedScratch &scratch,
+                        Strand &out)
+{
+    reconstructOneWayInto(reads, n_reads, target_len, scratch.bma,
+                          scratch.forward);
+    // scratch.backward estimates the reversed original; position i of
+    // the original is its position target_len - 1 - i.
+    reconstructOneWayReversed(reads, n_reads, target_len, scratch.bma,
+                              scratch.backward);
+
+    // Best of both worlds: the forward pass is most accurate near the
+    // beginning, the backward pass near the end.
+    const size_t half = target_len / 2;
+    out.clear();
+    out.reserve(target_len);
+    out.insert(out.end(), scratch.forward.begin(),
+               scratch.forward.begin() + long(half));
+    for (size_t i = half; i < target_len; ++i)
+        out.push_back(scratch.backward[target_len - 1 - i]);
+}
 
 Strand
 reconstructTwoSided(const std::vector<Strand> &reads, size_t target_len)
 {
-    Strand forward = reconstructOneWay(reads, target_len);
-
-    std::vector<Strand> rev_reads;
-    rev_reads.reserve(reads.size());
-    for (const Strand &r : reads)
-        rev_reads.push_back(reversed(r));
-    Strand backward = reversed(reconstructOneWay(rev_reads, target_len));
-
-    // Best of both worlds: the forward pass is most accurate near the
-    // beginning, the backward pass near the end.
+    static thread_local std::vector<StrandView> views;
+    static thread_local TwoSidedScratch scratch;
+    views.assign(reads.begin(), reads.end());
     Strand out;
-    out.reserve(target_len);
-    size_t half = target_len / 2;
-    out.insert(out.end(), forward.begin(), forward.begin() + long(half));
-    out.insert(out.end(), backward.begin() + long(half), backward.end());
+    reconstructTwoSidedInto(views.data(), views.size(), target_len,
+                            scratch, out);
     return out;
 }
 

@@ -17,9 +17,22 @@
 #include <cstddef>
 #include <vector>
 
+#include "consensus/bma.hh"
+#include "dna/packed_strand.hh"
 #include "dna/strand.hh"
 
 namespace dnastore {
+
+/**
+ * Reusable working state for reconstructTwoSided: the BMA cursor
+ * buffer plus the forward/backward estimates. One per thread.
+ */
+struct TwoSidedScratch
+{
+    BmaScratch bma;
+    Strand forward;
+    Strand backward;
+};
 
 /**
  * Reconstruct a strand of known length from noisy reads using the
@@ -31,6 +44,17 @@ namespace dnastore {
  */
 Strand reconstructTwoSided(const std::vector<Strand> &reads,
                            size_t target_len);
+
+/**
+ * View-based variant for the hot path: reconstruct from @p n_reads
+ * strand views into @p out (cleared and refilled), reusing
+ * @p scratch. The backward pass reads the views through a reversing
+ * lens instead of materializing reversed copies. Bit-identical to the
+ * vector overload.
+ */
+void reconstructTwoSidedInto(const StrandView *reads, size_t n_reads,
+                             size_t target_len, TwoSidedScratch &scratch,
+                             Strand &out);
 
 } // namespace dnastore
 

@@ -9,9 +9,9 @@ std::string
 strandToString(const Strand &s)
 {
     std::string out;
-    out.reserve(s.size());
-    for (Base b : s)
-        out.push_back(baseToChar(b));
+    out.resize(s.size());
+    for (size_t i = 0; i < s.size(); ++i)
+        out[i] = baseToChar(s[i]);
     return out;
 }
 
@@ -19,13 +19,12 @@ Strand
 strandFromString(const std::string &str)
 {
     Strand out;
-    out.reserve(str.size());
-    for (char c : str) {
+    out.resize(str.size());
+    for (size_t i = 0; i < str.size(); ++i) {
         bool ok = false;
-        Base b = charToBase(c, &ok);
+        out[i] = charToBase(str[i], &ok);
         if (!ok)
             throw std::invalid_argument("invalid base character in strand");
-        out.push_back(b);
     }
     return out;
 }
@@ -33,16 +32,20 @@ strandFromString(const std::string &str)
 Strand
 reversed(const Strand &s)
 {
-    return Strand(s.rbegin(), s.rend());
+    const size_t n = s.size();
+    Strand out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = s[n - 1 - i];
+    return out;
 }
 
 Strand
 reverseComplement(const Strand &s)
 {
-    Strand out;
-    out.reserve(s.size());
-    for (auto it = s.rbegin(); it != s.rend(); ++it)
-        out.push_back(complement(*it));
+    const size_t n = s.size();
+    Strand out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = complement(s[n - 1 - i]);
     return out;
 }
 
@@ -75,24 +78,79 @@ maxHomopolymerRun(const Strand &s)
 }
 
 size_t
-editDistance(const Strand &a, const Strand &b)
+editDistanceRange(const Base *a, size_t na, const Base *b, size_t nb)
 {
-    const size_t n = a.size(), m = b.size();
-    std::vector<size_t> row(m + 1);
-    for (size_t j = 0; j <= m; ++j)
-        row[j] = j;
-    for (size_t i = 1; i <= n; ++i) {
-        size_t diag = row[0];
-        row[0] = i;
-        for (size_t j = 1; j <= m; ++j) {
-            size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
-            size_t best = std::min({ row[j] + 1, row[j - 1] + 1,
-                                     diag + cost });
-            diag = row[j];
-            row[j] = best;
+    // Myers' bit-parallel algorithm (Hyyrö's block formulation for
+    // global distance): the DP column is encoded as vertical-delta
+    // bit vectors VP/VN, advanced 64 rows per word operation instead
+    // of one cell at a time. The 4-letter alphabet makes the Peq
+    // match masks tiny. All buffers are thread-local scratch, so the
+    // steady state is allocation-free.
+    //
+    // The pattern is the shorter strand (fewer 64-row blocks).
+    if (nb > na) {
+        std::swap(a, b);
+        std::swap(na, nb);
+    }
+    if (nb == 0)
+        return na;
+
+    const size_t m = nb;
+    const size_t blocks = (m + 63) / 64;
+    static thread_local std::vector<uint64_t> peq; // per base, per block
+    static thread_local std::vector<uint64_t> vp, vn;
+    peq.assign(size_t(kNumBases) * blocks, 0);
+    for (size_t i = 0; i < m; ++i)
+        peq[size_t(bitsFromBase(b[i])) * blocks + (i >> 6)] |=
+            uint64_t(1) << (i & 63);
+    // Global alignment boundary D(i, 0) = i: all vertical deltas +1.
+    vp.assign(blocks, ~uint64_t(0));
+    vn.assign(blocks, 0);
+
+    size_t score = m;
+    const uint64_t last_bit = uint64_t(1) << ((m - 1) & 63);
+    for (size_t j = 0; j < na; ++j) {
+        const uint64_t *eq_row =
+            peq.data() + size_t(bitsFromBase(a[j])) * blocks;
+        // Boundary D(0, j) = j: horizontal carry into row 0 is +1.
+        int hin = 1;
+        for (size_t blk = 0; blk < blocks; ++blk) {
+            uint64_t eq = eq_row[blk];
+            const uint64_t pv = vp[blk], mv = vn[blk];
+            const uint64_t xv = eq | mv;
+            if (hin < 0)
+                eq |= 1;
+            const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+            uint64_t ph = mv | ~(xh | pv);
+            uint64_t mh = pv & xh;
+            if (blk == blocks - 1) {
+                // Track the score at the true last pattern row; the
+                // pad rows above it only ever receive carries.
+                if (ph & last_bit)
+                    ++score;
+                if (mh & last_bit)
+                    --score;
+            }
+            const int hout =
+                (ph >> 63) ? 1 : ((mh >> 63) ? -1 : 0);
+            ph <<= 1;
+            mh <<= 1;
+            if (hin < 0)
+                mh |= 1;
+            else if (hin > 0)
+                ph |= 1;
+            vp[blk] = mh | ~(xv | ph);
+            vn[blk] = ph & xv;
+            hin = hout;
         }
     }
-    return row[m];
+    return score;
+}
+
+size_t
+editDistance(const Strand &a, const Strand &b)
+{
+    return editDistanceRange(a.data(), a.size(), b.data(), b.size());
 }
 
 size_t

@@ -42,8 +42,17 @@ size_t maxHomopolymerRun(const Strand &s);
 /**
  * Levenshtein edit distance between two strands (unit costs for
  * insertion, deletion, and substitution).
+ *
+ * Computed with Myers' bit-parallel algorithm (Hyyrö's block
+ * formulation): 64 DP rows advance per word operation, over
+ * thread-local scratch bit vectors, so the steady state does no heap
+ * allocation. Fuzz-checked against a full-matrix reference.
  */
 size_t editDistance(const Strand &a, const Strand &b);
+
+/** Edit distance over raw base ranges (same DP as editDistance). */
+size_t editDistanceRange(const Base *a, size_t na, const Base *b,
+                         size_t nb);
 
 /** Number of positions where equal-length prefixes differ. */
 size_t hammingDistance(const Strand &a, const Strand &b);

@@ -36,12 +36,15 @@ GaloisField::GaloisField(unsigned m)
     n_ = (uint32_t(1) << m) - 1;
     poly_ = kPrimitivePolys[m];
 
+    // uint16_t entries: element values and logs are both < 2^16 for
+    // every supported degree, and the halved footprint keeps the
+    // m=16 tables (256 KB exp + 128 KB log) resident in L2.
     exp_.resize(size_t(n_) * 2);
     log_.assign(size_t(n_) + 1, 0);
     uint32_t x = 1;
     for (uint32_t i = 0; i < n_; ++i) {
-        exp_[i] = x;
-        log_[x] = i;
+        exp_[i] = uint16_t(x);
+        log_[x] = uint16_t(i);
         x <<= 1;
         if (x > n_)
             x ^= poly_;

@@ -72,12 +72,24 @@ class GaloisField
     /** The primitive polynomial used (bit i = coefficient of x^i). */
     uint32_t primitivePoly() const { return poly_; }
 
+    /**
+     * Raw log table (size 2^m; entry 0 is unused). Logs fit uint16_t
+     * for every supported degree, which halves the table footprint and
+     * keeps the m=16 hot set inside L2. Hot loops that have already
+     * excluded zero operands can fuse lookups directly:
+     * `exp[log[a] + log[b]]` is mul(a, b) for nonzero a, b.
+     */
+    const uint16_t *logData() const { return log_.data(); }
+
+    /** Raw antilog table, size 2n: expData()[i] = alpha^(i mod n). */
+    const uint16_t *expData() const { return exp_.data(); }
+
   private:
     unsigned m_;
     uint32_t n_;
     uint32_t poly_;
-    std::vector<uint32_t> exp_; // exp_[i] = alpha^i, length 2n
-    std::vector<uint32_t> log_; // log_[a] = i with alpha^i = a
+    std::vector<uint16_t> exp_; // exp_[i] = alpha^i, length 2n
+    std::vector<uint16_t> log_; // log_[a] = i with alpha^i = a
 };
 
 } // namespace dnastore

@@ -22,28 +22,36 @@ polyMul(const GaloisField &gf, const std::vector<uint32_t> &a,
     return out;
 }
 
-/** Evaluate a polynomial (low-first coefficients) at x. */
-uint32_t
-polyEval(const GaloisField &gf, const std::vector<uint32_t> &p,
-         uint32_t x)
+/** Polynomial product into a reusable output buffer. */
+void
+polyMulInto(const GaloisField &gf, const std::vector<uint32_t> &a,
+            const std::vector<uint32_t> &b, std::vector<uint32_t> &out)
 {
-    uint32_t acc = 0;
-    for (size_t i = p.size(); i-- > 0;)
-        acc = gf.mul(acc, x) ^ p[i];
-    return acc;
+    out.assign(a.size() + b.size() - 1, 0);
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == 0)
+            continue;
+        for (size_t j = 0; j < b.size(); ++j)
+            out[i + j] ^= gf.mul(a[i], b[j]);
+    }
 }
 
-/** Formal derivative over GF(2^m): odd-degree terms survive. */
-std::vector<uint32_t>
-polyDerivative(const std::vector<uint32_t> &p)
+/**
+ * Evaluate a polynomial (low-first coefficients) at nonzero x with a
+ * fused Horner loop: the multiplier's log is hoisted so each step is
+ * one log and one antilog lookup.
+ */
+uint32_t
+polyEvalAt(const GaloisField &gf, const uint32_t *p, size_t len,
+           uint32_t x)
 {
-    std::vector<uint32_t> d;
-    if (p.size() <= 1)
-        return { 0 };
-    d.resize(p.size() - 1, 0);
-    for (size_t i = 1; i < p.size(); ++i)
-        d[i - 1] = (i & 1) ? p[i] : 0;
-    return d;
+    const uint16_t *lg = gf.logData();
+    const uint16_t *ex = gf.expData();
+    const uint32_t lx = lg[x];
+    uint32_t acc = 0;
+    for (size_t i = len; i-- > 0;)
+        acc = (acc ? ex[lg[acc] + lx] : 0) ^ p[i];
+    return acc;
 }
 
 } // namespace
@@ -60,6 +68,11 @@ ReedSolomon::ReedSolomon(const GaloisField &gf, size_t n_par)
     generator_ = { 1 };
     for (size_t i = 1; i <= nPar_; ++i)
         generator_ = polyMul(gf_, generator_, { gf_.alphaPow(i), 1 });
+
+    genLog_.resize(generator_.size());
+    for (size_t i = 0; i < generator_.size(); ++i)
+        genLog_[i] = generator_[i]
+            ? int32_t(gf_.logOf(generator_[i])) : -1;
 }
 
 std::vector<uint32_t>
@@ -68,16 +81,29 @@ ReedSolomon::encode(const std::vector<uint32_t> &data) const
     if (data.size() != k())
         throw std::invalid_argument("ReedSolomon: data size != k");
 
+    const uint16_t *lg = gf_.logData();
+    const uint16_t *ex = gf_.expData();
+
     // Systematic encoding: remainder of data * x^E divided by g(x).
-    // Work with the data high-order first for the long division.
+    // Work with the data high-order first for the long division; the
+    // feedback log is hoisted so each tap is a single antilog lookup.
     std::vector<uint32_t> rem(nPar_, 0);
     for (size_t i = data.size(); i-- > 0;) {
         uint32_t feedback = data[i] ^ rem[nPar_ - 1];
-        for (size_t j = nPar_; j-- > 1;) {
-            rem[j] = rem[j - 1] ^
-                (feedback ? gf_.mul(feedback, generator_[j]) : 0);
+        if (feedback) {
+            const uint32_t lf = lg[feedback];
+            for (size_t j = nPar_; j-- > 1;) {
+                rem[j] = rem[j - 1] ^
+                    (genLog_[j] >= 0 ? ex[lf + uint32_t(genLog_[j])]
+                                     : 0);
+            }
+            rem[0] =
+                genLog_[0] >= 0 ? ex[lf + uint32_t(genLog_[0])] : 0;
+        } else {
+            for (size_t j = nPar_; j-- > 1;)
+                rem[j] = rem[j - 1];
+            rem[0] = 0;
         }
-        rem[0] = feedback ? gf_.mul(feedback, generator_[0]) : 0;
     }
 
     std::vector<uint32_t> codeword;
@@ -89,37 +115,85 @@ ReedSolomon::encode(const std::vector<uint32_t> &data) const
     return codeword;
 }
 
-std::vector<uint32_t>
-ReedSolomon::computeSyndromes(const std::vector<uint32_t> &cw) const
+void
+ReedSolomon::syndromesInto(const uint32_t *cw,
+                           std::vector<uint32_t> &syn) const
 {
     // The codeword polynomial c(x) maps position i to the coefficient
     // of x^i; we store data at positions [0, k) and parity at [k, n).
     // Encoding guarantees c(alpha^j) = 0 for j = 1..E when the
     // codeword polynomial is data * x^E + parity, i.e., coefficient
-    // order (parity low, data high). Build syndromes accordingly.
-    std::vector<uint32_t> syn(nPar_);
-    for (size_t j = 0; j < nPar_; ++j) {
-        const uint32_t a = gf_.alphaPow(j + 1);
-        uint32_t acc = 0;
-        // Horner over coefficients high-to-low: data (high part) first.
-        for (size_t i = k(); i-- > 0;)
-            acc = gf_.mul(acc, a) ^ cw[i];
-        for (size_t i = n_; i-- > k();)
-            acc = gf_.mul(acc, a) ^ cw[i];
-        syn[j] = acc;
+    // order (parity low, data high). Build syndromes accordingly,
+    // Horner high-to-low with the evaluation points' logs hoisted.
+    //
+    // Each Horner chain is a dependent load-add-load sequence, so a
+    // single chain is latency-bound; syndromes are independent, so
+    // running kLanes chains through one pass over the coefficients
+    // hides that latency and reads the codeword once per block
+    // instead of once per syndrome.
+    const uint16_t *lg = gf_.logData();
+    const uint16_t *ex = gf_.expData();
+    const size_t kk = k();
+    syn.resize(nPar_);
+
+    constexpr size_t kLanes = 8;
+    uint32_t acc[kLanes];
+    size_t j = 0;
+    for (; j + kLanes <= nPar_; j += kLanes) {
+        for (size_t l = 0; l < kLanes; ++l)
+            acc[l] = 0;
+        // log of alpha^(j+1+l) is j+1+l (< n since j+l+1 <= E < n).
+        const uint32_t la = uint32_t(j + 1);
+        auto step = [&](uint32_t c) {
+            for (size_t l = 0; l < kLanes; ++l) {
+                uint32_t a = acc[l];
+                acc[l] = (a ? ex[lg[a] + la + uint32_t(l)] : 0) ^ c;
+            }
+        };
+        for (size_t i = kk; i-- > 0;)
+            step(cw[i]);
+        for (size_t i = n_; i-- > kk;)
+            step(cw[i]);
+        for (size_t l = 0; l < kLanes; ++l)
+            syn[j + l] = acc[l];
     }
-    return syn;
+    // Scalar tail for the last nPar_ % kLanes syndromes.
+    for (; j < nPar_; ++j) {
+        const uint32_t la = uint32_t(j + 1);
+        uint32_t a = 0;
+        for (size_t i = kk; i-- > 0;)
+            a = (a ? ex[lg[a] + la] : 0) ^ cw[i];
+        for (size_t i = n_; i-- > kk;)
+            a = (a ? ex[lg[a] + la] : 0) ^ cw[i];
+        syn[j] = a;
+    }
 }
 
 RsDecodeResult
 ReedSolomon::decode(std::vector<uint32_t> &codeword,
                     const std::vector<size_t> &erasures) const
 {
+    static thread_local RsScratch scratch;
+    return decode(codeword, erasures, scratch);
+}
+
+RsDecodeResult
+ReedSolomon::decode(std::vector<uint32_t> &codeword,
+                    const std::vector<size_t> &erasures,
+                    RsScratch &s) const
+{
     RsDecodeResult result;
     if (codeword.size() != n_)
         return result;
     if (erasures.size() > nPar_)
         return result;
+    for (size_t pos : erasures) {
+        if (pos >= n_)
+            return result;
+    }
+
+    const uint16_t *lg = gf_.logData();
+    const uint16_t *ex = gf_.expData();
 
     // Map external position (data index i, parity index) to the
     // exponent of its coefficient in the codeword polynomial:
@@ -128,132 +202,196 @@ ReedSolomon::decode(std::vector<uint32_t> &codeword,
         return pos < k() ? nPar_ + pos : pos - k();
     };
 
-    // Zero out erased symbols so their (unknown) values do not
-    // contaminate the syndromes.
-    std::vector<uint32_t> work = codeword;
-    for (size_t pos : erasures) {
-        if (pos >= n_)
+    // Fast path: with no erasures the syndromes can be computed on the
+    // received buffer directly, so a clean codeword — the dominant
+    // case at realistic coverage — returns without copying anything.
+    bool all_zero;
+    if (erasures.empty()) {
+        syndromesInto(codeword.data(), s.syn);
+        all_zero = std::all_of(s.syn.begin(), s.syn.end(),
+                               [](uint32_t v) { return v == 0; });
+        if (all_zero) {
+            result.success = true;
             return result;
-        work[pos] = 0;
+        }
+        s.work = codeword;
+    } else {
+        // Zero out erased symbols so their (unknown) values do not
+        // contaminate the syndromes.
+        s.work = codeword;
+        for (size_t pos : erasures)
+            s.work[pos] = 0;
+        syndromesInto(s.work.data(), s.syn);
+        all_zero = std::all_of(s.syn.begin(), s.syn.end(),
+                               [](uint32_t v) { return v == 0; });
+        if (all_zero) {
+            // Erased values happened to be zero already; accept.
+            codeword = s.work;
+            result.success = true;
+            result.erasuresCorrected = erasures.size();
+            return result;
+        }
     }
 
-    std::vector<uint32_t> syn = computeSyndromes(work);
-    bool all_zero = std::all_of(syn.begin(), syn.end(),
-                                [](uint32_t s) { return s == 0; });
-    if (all_zero && erasures.empty()) {
-        result.success = true;
-        return result;
-    }
-    if (all_zero) {
-        // Erased values happened to be zero already; accept.
-        codeword = work;
-        result.success = true;
-        result.erasuresCorrected = erasures.size();
-        return result;
-    }
-
-    // Erasure locator Gamma(x) = prod (1 - X_k x).
-    std::vector<uint32_t> gamma = { 1 };
+    // Erasure locator Gamma(x) = prod (1 - X_k x), built in place.
+    s.gamma.assign(1, 1);
     for (size_t pos : erasures) {
         uint32_t xk = gf_.alphaPow(degree_of(pos));
-        gamma = polyMul(gf_, gamma, { 1, xk });
+        s.gamma.push_back(0);
+        for (size_t j = s.gamma.size() - 1; j >= 1; --j)
+            s.gamma[j] ^= gf_.mul(xk, s.gamma[j - 1]);
     }
 
     // Modified syndromes T(x) = S(x) * Gamma(x) mod x^E.
-    std::vector<uint32_t> modified(nPar_, 0);
+    s.modified.assign(nPar_, 0);
     for (size_t i = 0; i < nPar_; ++i) {
         uint32_t acc = 0;
-        for (size_t j = 0; j <= i && j < gamma.size(); ++j)
-            acc ^= gf_.mul(gamma[j], syn[i - j]);
-        modified[i] = acc;
+        for (size_t j = 0; j <= i && j < s.gamma.size(); ++j)
+            acc ^= gf_.mul(s.gamma[j], s.syn[i - j]);
+        s.modified[i] = acc;
     }
 
     // Berlekamp-Massey on the modified syndromes for the error locator.
     const size_t rho = erasures.size();
-    std::vector<uint32_t> lambda = { 1 };
-    std::vector<uint32_t> prev = { 1 };
+    s.lambda.assign(1, 1);
+    s.prev.assign(1, 1);
     size_t l = 0;
     for (size_t r = 0; r + rho < nPar_; ++r) {
-        uint32_t delta = modified[r + rho];
-        for (size_t i = 1; i < lambda.size() && i <= r + rho; ++i)
-            delta ^= gf_.mul(lambda[i], modified[r + rho - i]);
-        prev.insert(prev.begin(), 0); // prev *= x
+        uint32_t delta = s.modified[r + rho];
+        for (size_t i = 1; i < s.lambda.size() && i <= r + rho; ++i)
+            delta ^= gf_.mul(s.lambda[i], s.modified[r + rho - i]);
+        s.prev.insert(s.prev.begin(), 0); // prev *= x
         if (delta != 0) {
             if (2 * l <= r) {
-                std::vector<uint32_t> tmp = lambda;
+                s.tmp = s.lambda;
                 // lambda -= delta * prev ; prev = old lambda / delta
-                if (prev.size() > lambda.size())
-                    lambda.resize(prev.size(), 0);
-                for (size_t i = 0; i < prev.size(); ++i)
-                    lambda[i] ^= gf_.mul(delta, prev[i]);
-                prev = tmp;
+                if (s.prev.size() > s.lambda.size())
+                    s.lambda.resize(s.prev.size(), 0);
+                for (size_t i = 0; i < s.prev.size(); ++i)
+                    s.lambda[i] ^= gf_.mul(delta, s.prev[i]);
+                std::swap(s.prev, s.tmp);
                 uint32_t inv = gf_.inverse(delta);
-                for (auto &c : prev)
+                for (auto &c : s.prev)
                     c = gf_.mul(c, inv);
                 l = r + 1 - l;
             } else {
-                if (prev.size() > lambda.size())
-                    lambda.resize(prev.size(), 0);
-                for (size_t i = 0; i < prev.size(); ++i)
-                    lambda[i] ^= gf_.mul(delta, prev[i]);
+                if (s.prev.size() > s.lambda.size())
+                    s.lambda.resize(s.prev.size(), 0);
+                for (size_t i = 0; i < s.prev.size(); ++i)
+                    s.lambda[i] ^= gf_.mul(delta, s.prev[i]);
             }
         }
     }
-    while (!lambda.empty() && lambda.back() == 0)
-        lambda.pop_back();
-    if (lambda.empty())
+    while (!s.lambda.empty() && s.lambda.back() == 0)
+        s.lambda.pop_back();
+    if (s.lambda.empty())
         return result;
-    const size_t n_errors = lambda.size() - 1;
+    const size_t n_errors = s.lambda.size() - 1;
     if (2 * n_errors + rho > nPar_)
         return result;
 
     // Combined locator Psi = Lambda * Gamma; roots give all bad
     // positions (errors + erasures).
-    std::vector<uint32_t> psi = polyMul(gf_, lambda, gamma);
+    if (n_errors > 0)
+        polyMulInto(gf_, s.lambda, s.gamma, s.psi);
+    const std::vector<uint32_t> &psi =
+        n_errors > 0 ? s.psi : s.gamma;
+    const size_t psi_deg = psi.size() - 1;
 
-    // Chien search: position with degree d is bad iff
-    // Psi(alpha^{-d}) == 0.
-    std::vector<size_t> bad_positions;
-    std::vector<uint32_t> bad_x; // X_k = alpha^{d_k}
-    for (size_t pos = 0; pos < n_; ++pos) {
-        size_t d = degree_of(pos);
-        uint32_t x_inv = gf_.alphaPow(gf_.order() - (d % gf_.order()));
-        if (polyEval(gf_, psi, x_inv) == 0) {
-            bad_positions.push_back(pos);
-            bad_x.push_back(gf_.alphaPow(d));
+    s.badPositions.clear();
+    s.badX.clear();
+    if (n_errors == 0) {
+        // Erasure-only fast path: Psi = Gamma, whose roots are exactly
+        // the distinct erasure positions, so the Chien search is
+        // redundant. Duplicated erasure positions give Gamma a
+        // repeated root and fewer distinct roots than its degree —
+        // the classical search would fail below; replicate that.
+        s.badPositions.assign(erasures.begin(), erasures.end());
+        std::sort(s.badPositions.begin(), s.badPositions.end());
+        if (std::adjacent_find(s.badPositions.begin(),
+                               s.badPositions.end()) !=
+            s.badPositions.end()) {
+            return result;
+        }
+        for (size_t pos : s.badPositions)
+            s.badX.push_back(gf_.alphaPow(degree_of(pos)));
+    } else {
+        // Chien search over coefficient degrees: degree d is bad iff
+        // Psi(alpha^{-d}) == 0. Evaluated incrementally — term i is
+        // multiplied by alpha^{-i} per step — and cut short once all
+        // deg(Psi) roots are found.
+        s.chien.assign(psi.begin(), psi.end());
+        for (size_t d = 0; d < n_; ++d) {
+            uint32_t eval = 0;
+            for (size_t i = 0; i <= psi_deg; ++i)
+                eval ^= s.chien[i];
+            if (eval == 0) {
+                size_t pos =
+                    d < nPar_ ? k() + d : d - nPar_;
+                s.badPositions.push_back(pos);
+                s.badX.push_back(gf_.alphaPow(d));
+                if (s.badPositions.size() == psi_deg)
+                    break;
+            }
+            for (size_t i = 1; i <= psi_deg; ++i) {
+                uint32_t t = s.chien[i];
+                if (t)
+                    s.chien[i] = ex[lg[t] + n_ - uint32_t(i)];
+            }
         }
     }
-    if (bad_positions.size() != psi.size() - 1)
+    if (s.badPositions.size() != psi_deg)
         return result; // locator degree mismatch: decoding failure
 
     // Error evaluator Omega(x) = S(x) * Psi(x) mod x^E.
-    std::vector<uint32_t> omega(nPar_, 0);
+    s.omega.assign(nPar_, 0);
     for (size_t i = 0; i < nPar_; ++i) {
         uint32_t acc = 0;
         for (size_t j = 0; j <= i && j < psi.size(); ++j)
-            acc ^= gf_.mul(psi[j], syn[i - j]);
-        omega[i] = acc;
+            acc ^= gf_.mul(psi[j], s.syn[i - j]);
+        s.omega[i] = acc;
     }
-    std::vector<uint32_t> psi_deriv = polyDerivative(psi);
+    // Formal derivative over GF(2^m): odd-degree terms survive.
+    s.psiDeriv.assign(psi_deg > 0 ? psi_deg : 1, 0);
+    for (size_t i = 1; i < psi.size(); ++i)
+        s.psiDeriv[i - 1] = (i & 1) ? psi[i] : 0;
 
     // Forney: e_k = Omega(X_k^{-1}) / Psi'(X_k^{-1})  (fcr = 1).
-    for (size_t idx = 0; idx < bad_positions.size(); ++idx) {
-        uint32_t x_inv = gf_.inverse(bad_x[idx]);
-        uint32_t num = polyEval(gf_, omega, x_inv);
-        uint32_t den = polyEval(gf_, psi_deriv, x_inv);
+    s.evals.resize(s.badPositions.size());
+    for (size_t idx = 0; idx < s.badPositions.size(); ++idx) {
+        uint32_t x_inv = gf_.inverse(s.badX[idx]);
+        uint32_t num =
+            polyEvalAt(gf_, s.omega.data(), s.omega.size(), x_inv);
+        uint32_t den = polyEvalAt(gf_, s.psiDeriv.data(),
+                                  s.psiDeriv.size(), x_inv);
         if (den == 0)
             return result;
-        work[bad_positions[idx]] ^= gf_.div(num, den);
+        uint32_t e = gf_.div(num, den);
+        s.evals[idx] = e;
+        s.work[s.badPositions[idx]] ^= e;
     }
 
-    // Verify the correction actually produced a codeword.
-    std::vector<uint32_t> check = computeSyndromes(work);
-    if (!std::all_of(check.begin(), check.end(),
-                     [](uint32_t s) { return s == 0; })) {
+    // Verify the correction produced a codeword: update the syndromes
+    // incrementally with the applied error values — correcting e at
+    // codeword degree d changes syndrome j by e * alpha^{(j+1) d} =
+    // e * X^(j+1) — instead of recomputing all n symbols.
+    for (size_t idx = 0; idx < s.badPositions.size(); ++idx) {
+        const uint32_t e = s.evals[idx];
+        if (e == 0)
+            continue;
+        const uint32_t x = s.badX[idx];
+        uint32_t p = x;
+        for (size_t j = 0; j < nPar_; ++j) {
+            s.syn[j] ^= gf_.mul(e, p);
+            p = gf_.mul(p, x);
+        }
+    }
+    if (!std::all_of(s.syn.begin(), s.syn.end(),
+                     [](uint32_t v) { return v == 0; })) {
         return result;
     }
 
-    codeword = work;
+    codeword = s.work;
     result.success = true;
     result.erasuresCorrected = rho;
     result.errorsCorrected = n_errors;
@@ -265,9 +403,10 @@ ReedSolomon::isCodeword(const std::vector<uint32_t> &codeword) const
 {
     if (codeword.size() != n_)
         return false;
-    auto syn = computeSyndromes(codeword);
+    static thread_local std::vector<uint32_t> syn;
+    syndromesInto(codeword.data(), syn);
     return std::all_of(syn.begin(), syn.end(),
-                       [](uint32_t s) { return s == 0; });
+                       [](uint32_t v) { return v == 0; });
 }
 
 } // namespace dnastore

@@ -9,7 +9,21 @@
  * or any mix with (2 * errors + erasures) <= E.
  *
  * Decoding is classical: syndromes, erasure-modified Berlekamp-Massey,
- * Chien search, Forney's algorithm.
+ * Chien search, Forney's algorithm. The hot path is engineered for the
+ * simulator's realistic operating point, where most received codewords
+ * are clean or erasure-only:
+ *
+ *  - syndromes use a fused Horner loop on the raw log/antilog tables
+ *    (one log and one antilog lookup per step instead of a full mul);
+ *  - an all-zero-syndrome early-out returns before any buffer copy;
+ *  - erasure-only decodes (Berlekamp-Massey found no errors) skip the
+ *    Chien search entirely — the bad positions are the erasures;
+ *  - the post-correction verification updates the syndromes
+ *    incrementally from the applied error values, O(bad * E) instead
+ *    of recomputing O(n * E);
+ *  - all working buffers live in an RsScratch that callers (or a
+ *    thread-local default) reuse, so steady-state decodes perform no
+ *    heap allocation.
  */
 
 #ifndef DNASTORE_ECC_RS_HH
@@ -29,6 +43,20 @@ struct RsDecodeResult
     bool success = false;          //!< True if decoding converged.
     size_t errorsCorrected = 0;    //!< Unknown-location errors fixed.
     size_t erasuresCorrected = 0;  //!< Erasure positions repaired.
+};
+
+/**
+ * Reusable working buffers for ReedSolomon::decode. A default-
+ * constructed scratch works for any code; buffers grow to the high-
+ * water mark of the codes it serves and are then reused allocation-
+ * free. Not thread-safe: use one scratch per thread.
+ */
+struct RsScratch
+{
+    std::vector<uint32_t> syn, work, gamma, modified, lambda, prev, tmp,
+        psi, omega, psiDeriv, chien, evals;
+    std::vector<size_t> badPositions;
+    std::vector<uint32_t> badX;
 };
 
 /**
@@ -74,6 +102,15 @@ class ReedSolomon
     RsDecodeResult decode(std::vector<uint32_t> &codeword,
                           const std::vector<size_t> &erasures = {}) const;
 
+    /**
+     * Decode with caller-provided scratch buffers (allocation-free
+     * once the scratch is warm). The two-argument overload uses a
+     * thread-local scratch and is equivalent.
+     */
+    RsDecodeResult decode(std::vector<uint32_t> &codeword,
+                          const std::vector<size_t> &erasures,
+                          RsScratch &scratch) const;
+
     /** True if @p codeword is a valid codeword (all syndromes zero). */
     bool isCodeword(const std::vector<uint32_t> &codeword) const;
 
@@ -81,13 +118,15 @@ class ReedSolomon
     const GaloisField &field() const { return gf_; }
 
   private:
-    std::vector<uint32_t> computeSyndromes(
-        const std::vector<uint32_t> &codeword) const;
+    /** Fused-Horner syndromes of @p cw (n symbols) into @p syn. */
+    void syndromesInto(const uint32_t *cw,
+                       std::vector<uint32_t> &syn) const;
 
     const GaloisField &gf_;
     size_t n_;
     size_t nPar_;
     std::vector<uint32_t> generator_; // generator polynomial, low-first
+    std::vector<int32_t> genLog_;     // log of each coeff, -1 for zero
 };
 
 } // namespace dnastore

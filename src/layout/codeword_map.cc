@@ -14,12 +14,20 @@ CodewordMap::CodewordMap(size_t rows, size_t cols)
 std::vector<uint32_t>
 CodewordMap::gather(const SymbolMatrix &m, size_t j) const
 {
-    std::vector<uint32_t> out(cols_);
+    std::vector<uint32_t> out;
+    gatherInto(m, j, out);
+    return out;
+}
+
+void
+CodewordMap::gatherInto(const SymbolMatrix &m, size_t j,
+                        std::vector<uint32_t> &out) const
+{
+    out.resize(cols_);
     for (size_t t = 0; t < cols_; ++t) {
         MatrixPos p = position(j, t);
         out[t] = m.at(p.row, p.col);
     }
-    return out;
 }
 
 void

@@ -71,6 +71,10 @@ class CodewordMap
     /** Collect codeword @p j from the matrix. */
     std::vector<uint32_t> gather(const SymbolMatrix &m, size_t j) const;
 
+    /** Collect codeword @p j into a reusable buffer (resized to fit). */
+    void gatherInto(const SymbolMatrix &m, size_t j,
+                    std::vector<uint32_t> &out) const;
+
     /** Write codeword @p j back into the matrix. */
     void scatter(SymbolMatrix &m, size_t j,
                  const std::vector<uint32_t> &symbols) const;

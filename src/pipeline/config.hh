@@ -52,6 +52,14 @@ struct StorageConfig
      */
     size_t numThreads = 1;
 
+    /**
+     * Store read pools 2-bit packed (quarter the memory) instead of
+     * one byte per base. Retrieval unpacks per query, so this trades
+     * decode time for the footprint needed by production-scale read
+     * sets. Results are bit-identical either way.
+     */
+    bool packedReadPools = false;
+
     /** Codeword length n = 2^m - 1 (= molecules per unit, M + E). */
     size_t codewordLen() const { return (size_t(1) << symbolBits) - 1; }
 

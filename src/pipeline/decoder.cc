@@ -29,6 +29,10 @@ UnitDecoder::UnitDecoder(const StorageConfig &cfg, LayoutScheme scheme,
 {
     cfg_.validate();
     if (!reconstruct_) {
+        // The default two-sided reconstruction runs through the
+        // view-based scratch fast path in decode(); the std::function
+        // fallback only serves substituted reconstructors.
+        defaultReconstruct_ = true;
         reconstruct_ = [](const std::vector<Strand> &reads,
                           size_t target_len) {
             return reconstructTwoSided(reads, target_len);
@@ -38,6 +42,27 @@ UnitDecoder::UnitDecoder(const StorageConfig &cfg, LayoutScheme scheme,
 
 DecodedUnit
 UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
+                    const std::vector<size_t> &forced_erasures) const
+{
+    // Adapt to the view-batch hot path without copying a single base:
+    // views alias the caller's strands.
+    ReadBatch batch;
+    batch.offsets.reserve(clusters.size() + 1);
+    size_t total = 0;
+    for (const auto &cluster : clusters)
+        total += cluster.size();
+    batch.views.reserve(total);
+    batch.offsets.push_back(0);
+    for (const auto &cluster : clusters) {
+        for (const Strand &read : cluster)
+            batch.views.push_back(read);
+        batch.offsets.push_back(batch.views.size());
+    }
+    return decode(batch, forced_erasures);
+}
+
+DecodedUnit
+UnitDecoder::decode(const ReadBatch &batch,
                     const std::vector<size_t> &forced_erasures) const
 {
     const size_t n_cols = cfg_.codewordLen();
@@ -61,20 +86,37 @@ UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
     // claim/fault bookkeeping below merges the per-cluster outcomes
     // serially in cluster order, which keeps the result bit-identical
     // to a serial pass (first claim of a column wins either way).
+    // All per-cluster working memory is thread-local scratch, so the
+    // steady-state loop does no heap allocation per read.
     struct ClusterOutcome
     {
         enum Kind { Empty, Fault, Usable } kind = Empty;
         uint64_t idx = 0;
         std::vector<uint32_t> symbols;
     };
-    const size_t n_clusters = std::min(clusters.size(), size_t(n_cols));
+    const size_t n_clusters = std::min(batch.clusters(), size_t(n_cols));
     std::vector<ClusterOutcome> outcomes(n_clusters);
     parallelFor(n_clusters, cfg_.numThreads, [&](size_t cl) {
-        const auto &reads = clusters[cl];
+        const StrandView *reads = batch.cluster(cl);
+        const size_t n_reads = batch.clusterSize(cl);
         ClusterOutcome &o = outcomes[cl];
-        if (reads.empty())
+        if (n_reads == 0)
             return;
-        Strand consensus = reconstruct_(reads, strand_len);
+
+        static thread_local TwoSidedScratch ts_scratch;
+        static thread_local Strand consensus;
+        static thread_local std::vector<Strand> compat_reads;
+        if (defaultReconstruct_) {
+            reconstructTwoSidedInto(reads, n_reads, strand_len,
+                                    ts_scratch, consensus);
+        } else {
+            // Substituted reconstructors keep the historical
+            // vector-of-strands interface; materialize copies.
+            compat_reads.resize(n_reads);
+            for (size_t r = 0; r < n_reads; ++r)
+                compat_reads[r].assign(reads[r].begin(), reads[r].end());
+            consensus = reconstruct_(compat_reads, strand_len);
+        }
         if (consensus.size() != strand_len) {
             // A substituted reconstructor may miss the length; treat
             // the cluster as unusable (erasure).
@@ -89,22 +131,30 @@ UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
             o.kind = ClusterOutcome::Fault;
             return;
         }
-        // Unpack payload bases into row symbols.
-        BitWriter w;
-        size_t payload_off = idx_off + cfg_.indexBases();
-        for (size_t b = 0; b < cfg_.payloadBases(); ++b) {
-            size_t p = payload_off + b;
-            unsigned bits =
-                p < consensus.size() ? bitsFromBase(consensus[p]) : 0u;
-            w.writeBits(bits, 2);
-        }
-        auto bytes = w.take();
-        BitReader r(bytes);
+        // Unpack payload bases into row symbols directly: the bases
+        // form one MSB-first bitstream consumed symbolBits at a time.
         o.kind = ClusterOutcome::Usable;
         o.idx = idx;
         o.symbols.resize(cfg_.rows);
-        for (size_t row = 0; row < cfg_.rows; ++row)
-            o.symbols[row] = r.readBits(int(cfg_.symbolBits));
+        const size_t payload_off = idx_off + cfg_.indexBases();
+        const unsigned sym_bits = cfg_.symbolBits;
+        const uint32_t sym_mask = (uint32_t(1) << sym_bits) - 1;
+        uint64_t acc = 0;
+        unsigned bits = 0;
+        size_t row = 0;
+        for (size_t b = 0;
+             b < cfg_.payloadBases() && row < cfg_.rows; ++b) {
+            size_t p = payload_off + b;
+            unsigned two =
+                p < consensus.size() ? bitsFromBase(consensus[p]) : 0u;
+            acc = (acc << 2) | two;
+            bits += 2;
+            if (bits >= sym_bits) {
+                o.symbols[row++] =
+                    uint32_t(acc >> (bits - sym_bits)) & sym_mask;
+                bits -= sym_bits;
+            }
+        }
     });
 
     SymbolMatrix received(cfg_.rows, n_cols);
@@ -141,16 +191,22 @@ UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
 
     // Codewords occupy disjoint matrix cells (position() is a
     // bijection), so gather/decode/scatter parallelizes with no
-    // shared writes; only the failure count is merged serially.
+    // shared writes; only the failure count is merged serially. The
+    // gather buffer, erasure list, and RS working set are all
+    // per-thread scratch reused across codewords.
     std::vector<uint8_t> codeword_ok(map_->codewords(), 0);
     parallelFor(map_->codewords(), cfg_.numThreads, [&](size_t j) {
-        std::vector<uint32_t> codeword = map_->gather(received, j);
-        std::vector<size_t> erasures;
+        static thread_local std::vector<uint32_t> codeword;
+        static thread_local std::vector<size_t> erasures;
+        static thread_local RsScratch rs_scratch;
+        map_->gatherInto(received, j, codeword);
+        erasures.clear();
         for (size_t t = 0; t < map_->length(); ++t) {
             if (col_erased[map_->position(j, t).col])
                 erasures.push_back(t);
         }
-        RsDecodeResult result = rs_.decode(codeword, erasures);
+        RsDecodeResult result = rs_.decode(codeword, erasures,
+                                           rs_scratch);
         if (result.success) {
             map_->scatter(received, j, codeword);
             out.stats.errorsPerCodeword[j] =

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "consensus/profiler.hh"
+#include "dna/packed_strand.hh"
 #include "dna/primer.hh"
 #include "dna/strand.hh"
 #include "ecc/gf.hh"
@@ -87,6 +88,16 @@ class UnitDecoder
         const std::vector<std::vector<Strand>> &clusters,
         const std::vector<size_t> &forced_erasures = {}) const;
 
+    /**
+     * Decode from a view batch — the zero-copy hot path used by the
+     * simulator: reads stay wherever the pool put them and only
+     * StrandViews flow through consensus. Bit-identical to the
+     * vector-of-vectors overload.
+     */
+    DecodedUnit decode(
+        const ReadBatch &batch,
+        const std::vector<size_t> &forced_erasures = {}) const;
+
     const StorageConfig &config() const { return cfg_; }
     LayoutScheme scheme() const { return scheme_; }
 
@@ -98,6 +109,7 @@ class UnitDecoder
     std::unique_ptr<CodewordMap> map_;
     PrimerPair primers_;
     Reconstructor reconstruct_;
+    bool defaultReconstruct_ = false;
 };
 
 } // namespace dnastore

@@ -19,20 +19,24 @@ StorageSimulator::store(const FileBundle &bundle, size_t max_coverage)
     const bool priority = scheme_ == LayoutScheme::DnaMapper;
     stored_ = priority ? bundle.serializePriority() : bundle.serialize();
     // Per-cluster RNG streams keep the pools bit-identical for every
-    // cfg_.numThreads value, serial included.
+    // cfg_.numThreads value, serial included, and for either storage
+    // mode.
     pool_ = std::make_unique<ReadPool>(unit_.strands, channel_,
                                        max_coverage, seed_,
-                                       cfg_.numThreads);
+                                       cfg_.numThreads,
+                                       cfg_.packedReadPools
+                                           ? ReadStorage::Packed
+                                           : ReadStorage::Flat);
 }
 
 RetrievalResult
-StorageSimulator::decodeClusters(
-    std::vector<std::vector<Strand>> clusters, size_t coverage_label,
+StorageSimulator::decodeBatch(
+    const ReadBatch &batch, size_t coverage_label,
     const std::vector<size_t> &forced_erasures) const
 {
     RetrievalResult result;
     result.coverage = coverage_label;
-    result.decoded = decoder_.decode(clusters, forced_erasures);
+    result.decoded = decoder_.decode(batch, forced_erasures);
     const auto &raw = result.decoded.rawStream;
     result.exactPayload = raw.size() >= stored_.size() &&
         std::equal(stored_.begin(), stored_.end(), raw.begin());
@@ -45,12 +49,11 @@ StorageSimulator::retrieve(
 {
     if (!pool_)
         throw std::logic_error("StorageSimulator: store() first");
-    std::vector<std::vector<Strand>> clusters;
-    clusters.reserve(pool_->clusters());
-    for (size_t c = 0; c < pool_->clusters(); ++c)
-        clusters.push_back(pool_->reads(c, coverage));
-    return decodeClusters(std::move(clusters), coverage,
-                          forced_erasures);
+    // The batch views alias the pool arenas: no read is copied on the
+    // way to the decoder.
+    ReadBatch batch;
+    pool_->fillBatch(coverage, batch);
+    return decodeBatch(batch, coverage, forced_erasures);
 }
 
 RetrievalResult
@@ -63,12 +66,9 @@ StorageSimulator::retrieveGamma(double mean_coverage, double shape,
     auto counts =
         pool_->sampleCounts(CoverageModel::gamma(mean_coverage, shape),
                             rng);
-    std::vector<std::vector<Strand>> clusters;
-    clusters.reserve(pool_->clusters());
-    for (size_t c = 0; c < pool_->clusters(); ++c)
-        clusters.push_back(pool_->reads(c, counts[c]));
-    return decodeClusters(std::move(clusters),
-                          size_t(mean_coverage + 0.5), {});
+    ReadBatch batch;
+    pool_->fillBatch(counts, batch);
+    return decodeBatch(batch, size_t(mean_coverage + 0.5), {});
 }
 
 std::optional<size_t>
@@ -76,8 +76,14 @@ StorageSimulator::minCoverageForExact(
     size_t lo, size_t hi,
     const std::vector<size_t> &forced_erasures) const
 {
+    // One batch reused across the scan: views are re-pointed per
+    // coverage, never copied.
+    if (!pool_)
+        throw std::logic_error("StorageSimulator: store() first");
+    ReadBatch batch;
     for (size_t cov = lo; cov <= hi; ++cov) {
-        if (retrieve(cov, forced_erasures).exactPayload)
+        pool_->fillBatch(cov, batch);
+        if (decodeBatch(batch, cov, forced_erasures).exactPayload)
             return cov;
     }
     return std::nullopt;

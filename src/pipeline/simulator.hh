@@ -88,9 +88,8 @@ class StorageSimulator
     const std::vector<uint8_t> &storedStream() const { return stored_; }
 
   private:
-    RetrievalResult decodeClusters(
-        std::vector<std::vector<Strand>> clusters,
-        size_t coverage_label,
+    RetrievalResult decodeBatch(
+        const ReadBatch &batch, size_t coverage_label,
         const std::vector<size_t> &forced_erasures) const;
 
     StorageConfig cfg_;

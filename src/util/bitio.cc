@@ -5,8 +5,21 @@ namespace dnastore {
 void
 BitWriter::writeBits(uint32_t value, int count)
 {
-    for (int i = count - 1; i >= 0; --i)
-        writeBit((value >> i) & 1u);
+    // Byte-at-a-time: splice up to 8 bits per step into the current
+    // byte instead of looping per bit (this runs once per symbol on
+    // the stream pack/unpack hot paths).
+    while (count > 0) {
+        size_t byte_index = bitCount_ >> 3;
+        if (byte_index >= bytes_.size())
+            bytes_.push_back(0);
+        int free_bits = 8 - int(bitCount_ & 7);
+        int take = count < free_bits ? count : free_bits;
+        uint32_t chunk =
+            (value >> (count - take)) & ((uint32_t(1) << take) - 1);
+        bytes_[byte_index] |= uint8_t(chunk << (free_bits - take));
+        bitCount_ += size_t(take);
+        count -= take;
+    }
 }
 
 void
@@ -38,9 +51,26 @@ BitWriter::take()
 uint32_t
 BitReader::readBits(int count)
 {
+    // Byte-at-a-time with the historical tail semantics: bits past
+    // the end of the buffer read as zero and set exhausted().
     uint32_t v = 0;
-    for (int i = 0; i < count; ++i)
-        v = (v << 1) | uint32_t(readBit());
+    while (count > 0) {
+        if (bitPos_ >= bitLimit_) {
+            exhausted_ = true;
+            // Missing low bits are zero (count == 32 implies v == 0).
+            return count < 32 ? v << count : 0;
+        }
+        int in_byte = 8 - int(bitPos_ & 7);
+        int avail = bitLimit_ - bitPos_ < size_t(in_byte)
+            ? int(bitLimit_ - bitPos_) : in_byte;
+        int take = count < avail ? count : avail;
+        uint32_t chunk =
+            (uint32_t(bytes_[bitPos_ >> 3]) >> (in_byte - take)) &
+            ((uint32_t(1) << take) - 1);
+        v = (v << take) | chunk;
+        bitPos_ += size_t(take);
+        count -= take;
+    }
     return v;
 }
 

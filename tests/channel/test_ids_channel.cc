@@ -104,5 +104,37 @@ TEST(IdsChannel, DeterministicGivenSeed)
     EXPECT_EQ(ch.transmit(s, rng_a), ch.transmit(s, rng_b));
 }
 
+TEST(IdsChannel, TransmitIntoMatchesTransmitBitForBit)
+{
+    // The buffer-reusing variant must draw the same RNG walk and emit
+    // the same strand and event counts as the allocating one.
+    IdsChannel ch(ErrorModel::uniform(0.12));
+    Rng rng_a(88), rng_b(88), mk(7);
+    auto s = randomStrand(300, mk);
+    Strand reused;
+    for (int rep = 0; rep < 10; ++rep) {
+        ChannelEvents ev_a, ev_b;
+        Strand fresh = ch.transmit(s, rng_a, &ev_a);
+        ch.transmitInto(s, rng_b, reused, &ev_b);
+        ASSERT_EQ(reused, fresh);
+        EXPECT_EQ(ev_a.insertions, ev_b.insertions);
+        EXPECT_EQ(ev_a.deletions, ev_b.deletions);
+        EXPECT_EQ(ev_a.substitutions, ev_b.substitutions);
+    }
+}
+
+TEST(IdsChannel, ArenaClusterMatchesVectorCluster)
+{
+    IdsChannel ch(ErrorModel::uniform(0.1));
+    Rng rng_a(99), rng_b(99), mk(8);
+    auto s = randomStrand(150, mk);
+    auto vec_reads = ch.transmitCluster(s, 9, rng_a);
+    StrandArena arena;
+    ch.transmitClusterInto(s, 9, rng_b, arena);
+    ASSERT_EQ(arena.strandCount(), vec_reads.size());
+    for (size_t i = 0; i < vec_reads.size(); ++i)
+        EXPECT_EQ(arena.view(i).toStrand(), vec_reads[i]);
+}
+
 } // namespace
 } // namespace dnastore

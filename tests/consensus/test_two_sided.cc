@@ -78,6 +78,46 @@ TEST(TwoSided, BeatsOneWayOnIndelChannel)
     EXPECT_LT(err_two, err_one);
 }
 
+TEST(TwoSided, ViewScratchVariantMatchesVectorApi)
+{
+    // The allocation-free Into variant (views + reversing lens) must
+    // be bit-identical to the historical vector interface, including
+    // reuse of one scratch across many clusters.
+    Rng rng(6);
+    IdsChannel ch(ErrorModel::uniform(0.1));
+    TwoSidedScratch scratch;
+    Strand out;
+    for (int rep = 0; rep < 25; ++rep) {
+        size_t len = 30 + size_t(rng.nextBelow(200));
+        auto s = randomStrand(len, rng);
+        auto reads = ch.transmitCluster(s, 1 + rng.nextBelow(8), rng);
+        std::vector<StrandView> views(reads.begin(), reads.end());
+        reconstructTwoSidedInto(views.data(), views.size(), len,
+                                scratch, out);
+        ASSERT_EQ(out, reconstructTwoSided(reads, len));
+    }
+}
+
+TEST(TwoSided, ReversedOneWayMatchesMaterializedReversal)
+{
+    Rng rng(7);
+    IdsChannel ch(ErrorModel::uniform(0.12));
+    BmaScratch scratch;
+    Strand out;
+    for (int rep = 0; rep < 25; ++rep) {
+        size_t len = 20 + size_t(rng.nextBelow(150));
+        auto s = randomStrand(len, rng);
+        auto reads = ch.transmitCluster(s, 1 + rng.nextBelow(6), rng);
+        std::vector<Strand> rev_reads;
+        for (const auto &r : reads)
+            rev_reads.push_back(reversed(r));
+        std::vector<StrandView> views(reads.begin(), reads.end());
+        reconstructOneWayReversed(views.data(), views.size(), len,
+                                  scratch, out);
+        ASSERT_EQ(out, reconstructOneWay(rev_reads, len));
+    }
+}
+
 TEST(TwoSided, SubstitutionOnlyChannelIsMuchEasier)
 {
     // Figure 5 (brown vs orange): a 10% substitution-only channel is

@@ -213,6 +213,106 @@ TEST_P(RsGfSweep, RoundTripWithHalfCapacityErrors)
 INSTANTIATE_TEST_SUITE_P(FieldSweep, RsGfSweep,
                          ::testing::Values(3u, 4u, 6u, 8u, 10u, 12u));
 
+TEST(ReedSolomon, ZeroErrorDecodeLeavesBufferUntouchedAndCountsZero)
+{
+    // The all-zero-syndrome early-out must report success with zero
+    // corrections and not move a single symbol.
+    GaloisField gf(10);
+    ReedSolomon rs(gf, 188);
+    Rng rng(20);
+    auto cw = rs.encode(randomData(rs, rng));
+    auto copy = cw;
+    for (int rep = 0; rep < 3; ++rep) { // scratch reuse across calls
+        auto result = rs.decode(copy);
+        EXPECT_TRUE(result.success);
+        EXPECT_EQ(result.errorsCorrected, 0u);
+        EXPECT_EQ(result.erasuresCorrected, 0u);
+        EXPECT_EQ(copy, cw);
+    }
+}
+
+TEST(ReedSolomon, ErasureOnlyDecodeSkipsChienAndMatchesFullPath)
+{
+    // Erasure-only decodes (Berlekamp-Massey finds no errors) take the
+    // skip-Chien fast path; outcomes must be identical to the classic
+    // errors-and-erasures result across many erasure patterns.
+    GaloisField gf(8);
+    ReedSolomon rs(gf, 32);
+    Rng rng(21);
+    for (int rep = 0; rep < 20; ++rep) {
+        auto cw = rs.encode(randomData(rs, rng));
+        auto noisy = cw;
+        size_t n_erase = 1 + size_t(rng.nextBelow(32));
+        std::set<size_t> pos_set;
+        while (pos_set.size() < n_erase)
+            pos_set.insert(size_t(rng.nextBelow(noisy.size())));
+        std::vector<size_t> erasures(pos_set.begin(), pos_set.end());
+        for (size_t pos : erasures)
+            noisy[pos] = uint32_t(rng.nextBelow(gf.size()));
+        auto result = rs.decode(noisy, erasures);
+        ASSERT_TRUE(result.success) << n_erase << " erasures";
+        EXPECT_EQ(result.errorsCorrected, 0u);
+        EXPECT_EQ(result.erasuresCorrected, n_erase);
+        EXPECT_EQ(noisy, cw);
+    }
+}
+
+TEST(ReedSolomon, DuplicateErasurePositionsFail)
+{
+    // A repeated erasure position gives the locator a double root;
+    // the decoder must reject it rather than miscount.
+    GaloisField gf(8);
+    ReedSolomon rs(gf, 16);
+    Rng rng(22);
+    auto cw = rs.encode(randomData(rs, rng));
+    auto noisy = cw;
+    noisy[5] ^= 0x11;
+    auto before = noisy;
+    auto result = rs.decode(noisy, { 5, 5 });
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(noisy, before);
+}
+
+TEST(ReedSolomon, ExplicitScratchMatchesThreadLocalDefault)
+{
+    GaloisField gf(8);
+    ReedSolomon rs(gf, 20);
+    Rng rng(23);
+    RsScratch scratch;
+    for (int rep = 0; rep < 10; ++rep) {
+        auto cw = rs.encode(randomData(rs, rng));
+        auto with_default = cw;
+        auto with_scratch = cw;
+        size_t n_err = size_t(rng.nextBelow(11));
+        corrupt(with_default, n_err, gf, rng);
+        with_scratch = with_default;
+        auto a = rs.decode(with_default);
+        auto b = rs.decode(with_scratch, {}, scratch);
+        EXPECT_EQ(a.success, b.success);
+        EXPECT_EQ(a.errorsCorrected, b.errorsCorrected);
+        EXPECT_EQ(with_default, with_scratch);
+    }
+}
+
+TEST(ReedSolomon, ScratchIsReusableAcrossDifferentCodes)
+{
+    // One scratch serving codes over different fields must not leak
+    // state between them.
+    RsScratch scratch;
+    Rng rng(24);
+    for (unsigned m : { 4u, 8u, 10u, 8u, 4u }) {
+        GaloisField gf(m);
+        size_t parity = std::max<size_t>(2, gf.order() / 8) & ~size_t(1);
+        ReedSolomon rs(gf, parity);
+        auto cw = rs.encode(randomData(rs, rng));
+        auto noisy = cw;
+        corrupt(noisy, parity / 2, gf, rng);
+        auto result = rs.decode(noisy, {}, scratch);
+        EXPECT_TRUE(result.success) << "m=" << m;
+        EXPECT_EQ(noisy, cw);
+    }
+}
+
 TEST(ReedSolomon, PaperScaleGf16Codeword)
 {
     // GF(2^16): n = 65535 as in the paper's architecture. Parity kept

@@ -46,6 +46,35 @@ TEST(StorageSimulator, HighNoiseLowCoverageFails)
     EXPECT_FALSE(sim.retrieve(2).exactPayload);
 }
 
+TEST(StorageSimulator, PackedPoolsAreBitIdenticalToFlat)
+{
+    // packedReadPools trades retrieval time for a quarter of the pool
+    // memory; every retrieval result must stay bit-identical.
+    auto cfg = StorageConfig::tinyTest();
+    auto packed_cfg = cfg;
+    packed_cfg.packedReadPools = true;
+
+    StorageSimulator flat(cfg, LayoutScheme::Gini,
+                          ErrorModel::uniform(0.06), 7);
+    StorageSimulator packed(packed_cfg, LayoutScheme::Gini,
+                            ErrorModel::uniform(0.06), 7);
+    FileBundle bundle = randomBundle(1500, 9);
+    flat.store(bundle, 10);
+    packed.store(bundle, 10);
+
+    for (size_t cov : { size_t(1), size_t(5), size_t(10) }) {
+        auto a = flat.retrieve(cov);
+        auto b = packed.retrieve(cov);
+        EXPECT_EQ(a.exactPayload, b.exactPayload);
+        EXPECT_EQ(a.decoded.rawStream, b.decoded.rawStream);
+        EXPECT_EQ(a.decoded.stats.errorsPerCodeword,
+                  b.decoded.stats.errorsPerCodeword);
+    }
+    auto ga = flat.retrieveGamma(5.0, 4.0, 31);
+    auto gb = packed.retrieveGamma(5.0, 4.0, 31);
+    EXPECT_EQ(ga.decoded.rawStream, gb.decoded.rawStream);
+}
+
 TEST(StorageSimulator, MinCoverageSearchFindsBoundary)
 {
     auto cfg = StorageConfig::tinyTest();

@@ -10,7 +10,7 @@
  *            Read strands back (one cluster per original line group),
  *            run consensus + ECC, and write the recovered files.
  *   simulate <files...> [--scheme ...] [--error-rate p] [--coverage n]
- *            [--threads t]
+ *            [--threads t] [--packed-pools]
  *            End-to-end store/retrieve through the noisy channel and
  *            report recovery statistics.
  *
@@ -40,6 +40,7 @@ struct CliOptions
     double errorRate = 0.06;
     size_t coverage = 10;
     size_t threads = 1; // 0 = all hardware threads
+    bool packedPools = false;
     bool ok = true;
 };
 
@@ -90,6 +91,8 @@ parseArgs(int argc, char **argv, int first)
         } else if (arg == "--threads") {
             opt.threads = std::strtoull(next("--threads").c_str(),
                                         nullptr, 10);
+        } else if (arg == "--packed-pools") {
+            opt.packedPools = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             opt.ok = false;
@@ -261,6 +264,7 @@ cmdSimulate(const CliOptions &opt)
     if (!ok)
         return 1;
     cfg.numThreads = opt.threads;
+    cfg.packedReadPools = opt.packedPools;
 
     StorageSimulator sim(cfg, opt.scheme,
                          ErrorModel::uniform(opt.errorRate),
@@ -288,9 +292,11 @@ usage()
         "[--scheme gini|baseline|dnamapper]\n"
         "  dnastore decode <unit.dna> [--outdir DIR]\n"
         "  dnastore simulate <files...> [--scheme S] "
-        "[--error-rate P] [--coverage N] [--threads T]\n"
-        "    (--threads 0 uses all hardware threads; results are\n"
-        "     identical for every thread count)\n");
+        "[--error-rate P] [--coverage N] [--threads T] "
+        "[--packed-pools]\n"
+        "    (--threads 0 uses all hardware threads; --packed-pools\n"
+        "     stores reads 2-bit packed; results are identical for\n"
+        "     every thread count and storage mode)\n");
 }
 
 } // namespace

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Merge two perf-report JSONs into a before/after regression record.
+
+Usage:
+    tools/perf_compare.py --before base.json --after new.json \
+        [--out BENCH_PR2.json] [--label "PR 2"]
+
+The inputs are emitted by bench_perf_report (schema
+dnastore-perf-report-v1). The output records, per bench, the before and
+after ns/op and the speedup, and a markdown table is printed to stdout
+for pasting into docs. Benches present in only one input (e.g. new-API
+benches that the baseline build cannot compile) are carried through
+with null on the missing side.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "dnastore-perf-report-v1":
+        sys.exit(f"{path}: not a dnastore perf report")
+    if report.get("quick"):
+        print(f"warning: {path} is a --quick run; timings are noisy",
+              file=sys.stderr)
+    return {r["name"]: r for r in report["results"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--before", required=True)
+    ap.add_argument("--after", required=True)
+    ap.add_argument("--out")
+    ap.add_argument("--label", default="")
+    args = ap.parse_args()
+
+    before = load(args.before)
+    after = load(args.after)
+
+    names = list(dict.fromkeys(list(before) + list(after)))
+    rows = []
+    for name in names:
+        b = before.get(name)
+        a = after.get(name)
+        speedup = (b["ns_per_op"] / a["ns_per_op"]
+                   if b and a and a["ns_per_op"] > 0 else None)
+        rows.append({
+            "name": name,
+            "before_ns_per_op": b["ns_per_op"] if b else None,
+            "after_ns_per_op": a["ns_per_op"] if a else None,
+            "speedup": round(speedup, 2) if speedup else None,
+        })
+
+    merged = {
+        "schema": "dnastore-perf-compare-v1",
+        "label": args.label,
+        "results": rows,
+    }
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(merged, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    def fmt(ns):
+        if ns is None:
+            return "—"
+        if ns >= 1e6:
+            return f"{ns / 1e6:.2f} ms"
+        if ns >= 1e3:
+            return f"{ns / 1e3:.2f} µs"
+        return f"{ns:.0f} ns"
+
+    print("| bench | before | after | speedup |")
+    print("|---|---:|---:|---:|")
+    for r in rows:
+        speed = f"{r['speedup']:.2f}x" if r["speedup"] else "—"
+        print(f"| {r['name']} | {fmt(r['before_ns_per_op'])} "
+              f"| {fmt(r['after_ns_per_op'])} | {speed} |")
+
+
+if __name__ == "__main__":
+    main()
