@@ -39,6 +39,21 @@
 #include "dna/packed_strand.hh"
 #define DNASTORE_HAVE_PACKED_STRAND 1
 #endif
+#if __has_include("cluster/clusterer.hh")
+#include "cluster/clusterer.hh"
+#define DNASTORE_HAVE_CLUSTERER 1
+#endif
+#if __has_include("consensus/bma.hh")
+#include "consensus/bma.hh"
+#define DNASTORE_HAVE_BMA 1
+#endif
+#if __has_include("util/thread_pool.hh")
+// Marks the PR 3 API surface: SIMD kernels, sharded clustering,
+// thread-pool-backed parallel loops.
+#include "util/simd.hh"
+#include "util/thread_pool.hh"
+#define DNASTORE_HAVE_THREAD_POOL 1
+#endif
 #endif
 
 namespace dnastore {
@@ -260,6 +275,77 @@ collect(std::vector<BenchResult> &results, const Options &opt)
     }
 #endif
 
+#ifdef DNASTORE_HAVE_BMA
+    // --- One-way BMA consensus at coverage 10 (the decode-side inner
+    // loop the SIMD unanimity/histogram kernels accelerate).
+    {
+        IdsChannel channel(ErrorModel::uniform(0.05));
+        Rng rng(12);
+        Strand original = randomStrand(455, rng);
+        auto reads = channel.transmitCluster(original, 10, rng);
+        add("consensus_bma_c10", [&reads]() {
+            g_sink ^= reconstructOneWay(reads, 455).size();
+        });
+    }
+#endif
+
+#ifdef DNASTORE_HAVE_CLUSTERER
+    // --- Read clustering: 1000 strands x coverage 10 = 10k noisy
+    // reads, the Rashtchian-style pre-consensus grouping stage.
+    {
+        IdsChannel channel(ErrorModel::uniform(0.05));
+        Rng rng(13);
+        std::vector<Strand> reads;
+        reads.reserve(10000);
+        for (size_t s = 0; s < 1000; ++s) {
+            Strand original = randomStrand(120, rng);
+            for (size_t c = 0; c < 10; ++c)
+                reads.push_back(channel.transmit(original, rng));
+        }
+        add("cluster_reads_n10k", [&reads]() {
+            g_sink ^= clusterReads(reads).count();
+        });
+#ifdef DNASTORE_HAVE_THREAD_POOL
+        ClusterParams par8;
+        par8.numThreads = 8;
+        add("cluster_reads_n10k_t8", [&reads, par8]() {
+            g_sink ^= clusterReads(reads, par8).count();
+        });
+#endif
+    }
+#endif
+
+#ifdef DNASTORE_HAVE_THREAD_POOL
+    // --- SIMD kernel microbenches (new API; skipped on baselines).
+    {
+        Rng rng(14);
+        Strand s = randomStrand(455, rng);
+        Strand t = s;
+        t[100] = baseFromBits(bitsFromBase(t[100]) ^ 1);
+        PackedStrand pa(s), pb(t);
+        add("packed_mismatch_455", [&pa, &pb]() {
+            g_sink ^= pa.mismatchCount(pb);
+        });
+
+        IdsChannel channel(ErrorModel::uniform(0.05));
+        Rng rng2(15);
+        Strand original = randomStrand(455, rng2);
+        Strand pattern = channel.transmit(original, rng2);
+        std::vector<Strand> cand_store;
+        for (int i = 0; i < 8; ++i)
+            cand_store.push_back(channel.transmit(original, rng2));
+        std::vector<StrandView> cands(cand_store.begin(),
+                                      cand_store.end());
+        std::vector<uint32_t> dists(cands.size());
+        add("edit_batch8_455", [&pattern, &cands, &dists]() {
+            editDistanceBatch(pattern.data(), pattern.size(),
+                              cands.data(), cands.size(),
+                              dists.data());
+            g_sink ^= dists[7];
+        });
+    }
+#endif
+
     // --- End-to-end simulate at the default operating point:
     // benchScale geometry, 5% IDS error, coverage 10.
     {
@@ -282,6 +368,25 @@ collect(std::vector<BenchResult> &results, const Options &opt)
             sim.store(bundle, 10);
             g_sink ^= uint64_t(sim.retrieve(10).exactPayload);
         });
+
+        // Thread-scaling points for the same retrieve: the decoder's
+        // per-cluster consensus and per-codeword RS loops run as
+        // stealable batches on cfg.numThreads workers. Results are
+        // bit-identical across thread counts; only the wall clock
+        // moves (and only on hosts with that many cores).
+        for (size_t t : { size_t(1), size_t(4), size_t(8) }) {
+            StorageConfig tcfg = cfg;
+            tcfg.numThreads = t;
+            std::string name = "e2e_retrieve_t" + std::to_string(t);
+            if (!wants(name.c_str()))
+                continue;
+            StorageSimulator tsim(tcfg, LayoutScheme::Baseline, model,
+                                  42);
+            tsim.store(bundle, 10);
+            results.push_back(runBench(name.c_str(), opt, [&tsim]() {
+                g_sink ^= uint64_t(tsim.retrieve(10).exactPayload);
+            }));
+        }
     }
 }
 

@@ -4,6 +4,9 @@
 #include <limits>
 #include <unordered_map>
 
+#include "dna/packed_strand.hh"
+#include "util/parallel.hh"
+
 namespace dnastore {
 
 size_t
@@ -89,78 +92,239 @@ signature(const Strand &read, const ClusterParams &params, size_t cap)
     return hashes;
 }
 
+/**
+ * The minimizer: the smallest q-gram hash of the read. Content-only,
+ * so the shard a read lands in never depends on thread count or read
+ * order; noisy copies of one strand usually share it, which keeps
+ * same-strand reads in one shard.
+ */
+uint64_t
+minimizer(const Strand &read, const ClusterParams &params)
+{
+    if (read.size() < params.qgram)
+        return 0;
+    uint64_t gram = 0;
+    const uint64_t mask = (uint64_t(1) << (2 * params.qgram)) - 1;
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    for (size_t i = 0; i < read.size(); ++i) {
+        gram = ((gram << 2) | bitsFromBase(read[i])) & mask;
+        if (i + 1 >= params.qgram)
+            best = std::min(best, mix(gram));
+    }
+    return best;
+}
+
+/** Greedy single-linkage-to-representative clustering state. */
+struct GreedyClusters
+{
+    /** cluster (creation order) -> representative read (global id). */
+    std::vector<size_t> representative;
+
+    /** cluster -> member reads (global ids, ascending). */
+    std::vector<std::vector<size_t>> members;
+
+    /** q-gram hash -> clusters whose representative contains it. */
+    std::unordered_map<uint64_t, std::vector<size_t>> index;
+};
+
+/**
+ * Candidate clusters sharing at least two query hashes with a
+ * representative (one shared gram happens by chance; two is a strong
+ * hint). Ascending cluster ids.
+ */
+void
+candidateClusters(const GreedyClusters &state,
+                  const std::vector<uint64_t> &sig,
+                  std::vector<size_t> &hits,
+                  std::vector<size_t> &candidates)
+{
+    hits.clear();
+    candidates.clear();
+    for (uint64_t h : sig) {
+        auto it = state.index.find(h);
+        if (it == state.index.end())
+            continue;
+        for (size_t cluster : it->second)
+            hits.push_back(cluster);
+    }
+    std::sort(hits.begin(), hits.end());
+    for (size_t i = 0; i < hits.size();) {
+        size_t j = i;
+        while (j < hits.size() && hits[j] == hits[i])
+            ++j;
+        if (j - i >= 2 || sig.size() < 4)
+            candidates.push_back(hits[i]);
+        i = j;
+    }
+}
+
+/**
+ * Best matching cluster for @p read among @p candidates, by exact
+ * batched edit distance against the candidate representatives:
+ * smallest distance <= limit wins, earliest candidate on ties.
+ * Returns size_t(-1) when nothing is close enough.
+ */
+size_t
+bestCluster(const std::vector<Strand> &reads, const Strand &read,
+            const GreedyClusters &state,
+            const std::vector<size_t> &candidates, size_t limit)
+{
+    static thread_local std::vector<StrandView> reps;
+    static thread_local std::vector<uint32_t> dists;
+    const size_t k = candidates.size();
+    if (k == 0)
+        return size_t(-1);
+    reps.clear();
+    for (size_t cluster : candidates)
+        reps.push_back(reads[state.representative[cluster]]);
+    dists.resize(k);
+    editDistanceBatch(read.data(), read.size(), reps.data(), k,
+                      dists.data());
+    size_t best_cluster = size_t(-1);
+    size_t best_dist = size_t(-1);
+    for (size_t i = 0; i < k; ++i) {
+        if (dists[i] <= limit && dists[i] < best_dist) {
+            best_dist = dists[i];
+            best_cluster = candidates[i];
+        }
+    }
+    return best_cluster;
+}
+
+/** Open a new cluster represented by read @p r, indexing its grams. */
+size_t
+openCluster(GreedyClusters &state, const std::vector<Strand> &reads,
+            size_t r, const ClusterParams &params)
+{
+    size_t cluster = state.members.size();
+    state.members.emplace_back();
+    state.representative.push_back(r);
+    // Index the representative with ALL its grams so future noisy
+    // reads still find it.
+    auto full = signature(reads[r], params, size_t(-1));
+    for (uint64_t h : full)
+        state.index[h].push_back(cluster);
+    return cluster;
+}
+
+/**
+ * Greedy clustering of the reads selected by @p subset (global ids,
+ * ascending), in read order — the classic serial algorithm.
+ */
+GreedyClusters
+greedyCluster(const std::vector<Strand> &reads,
+              const std::vector<size_t> &subset,
+              const ClusterParams &params)
+{
+    GreedyClusters state;
+    const size_t query_cap =
+        std::max<size_t>(params.signatureSize, 24);
+    std::vector<size_t> hits, candidates;
+    for (size_t r : subset) {
+        const Strand &read = reads[r];
+        auto sig = signature(read, params, query_cap);
+        candidateClusters(state, sig, hits, candidates);
+        size_t limit = size_t(params.maxDistanceFrac *
+                              double(read.size()));
+        size_t cluster =
+            bestCluster(reads, read, state, candidates, limit);
+        if (cluster == size_t(-1))
+            cluster = openCluster(state, reads, r, params);
+        state.members[cluster].push_back(r);
+    }
+    return state;
+}
+
+/** Shard count: explicit, or sized from the read count (content-only). */
+size_t
+resolveShardCount(const ClusterParams &params, size_t n_reads)
+{
+    if (params.numShards != 0)
+        return std::min(params.numShards, std::max<size_t>(n_reads, 1));
+    if (n_reads < 2048)
+        return 1;
+    return std::min<size_t>(64, n_reads / 512);
+}
+
+/** Convert greedy state into the public Clustering shape. */
+Clustering
+finalize(GreedyClusters &&state, size_t n_reads)
+{
+    // Canonical ids: clusters ordered by smallest member, members
+    // ascending. The single-shard greedy pass already produces this
+    // order; the sharded merge needs the sort.
+    for (auto &m : state.members)
+        std::sort(m.begin(), m.end());
+    std::vector<size_t> order(state.members.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return state.members[a].front() < state.members[b].front();
+    });
+
+    Clustering out;
+    out.clusterOf.assign(n_reads, 0);
+    out.members.reserve(order.size());
+    for (size_t cluster : order) {
+        for (size_t r : state.members[cluster])
+            out.clusterOf[r] = out.members.size();
+        out.members.push_back(std::move(state.members[cluster]));
+    }
+    return out;
+}
+
 } // namespace
 
 Clustering
 clusterReads(const std::vector<Strand> &reads,
              const ClusterParams &params)
 {
-    Clustering out;
-    out.clusterOf.assign(reads.size(), 0);
+    const size_t shards = resolveShardCount(params, reads.size());
+    if (shards <= 1) {
+        std::vector<size_t> all(reads.size());
+        for (size_t r = 0; r < reads.size(); ++r)
+            all[r] = r;
+        return finalize(greedyCluster(reads, all, params),
+                        reads.size());
+    }
 
-    // Representatives of formed clusters and a q-gram hash index over
-    // their signatures.
-    std::vector<size_t> representative; // cluster -> read index
-    std::unordered_map<uint64_t, std::vector<size_t>> index;
+    // Partition by content minimizer and cluster each shard
+    // independently; the shard jobs are what the thread pool steals.
+    std::vector<std::vector<size_t>> shard_reads(shards);
+    for (size_t r = 0; r < reads.size(); ++r)
+        shard_reads[minimizer(reads[r], params) % shards].push_back(r);
 
+    std::vector<GreedyClusters> shard_state(shards);
+    parallelFor(shards, params.numThreads, [&](size_t s) {
+        shard_state[s] = greedyCluster(reads, shard_reads[s], params);
+    });
+
+    // Deterministic merge, shard-major: re-run the greedy join over
+    // shard-cluster representatives, folding whole member lists into
+    // the matched global cluster. Thread count never enters here.
+    GreedyClusters merged;
     const size_t query_cap =
         std::max<size_t>(params.signatureSize, 24);
-    for (size_t r = 0; r < reads.size(); ++r) {
-        const Strand &read = reads[r];
-        auto sig = signature(read, params, query_cap);
-
-        // Candidate clusters sharing at least two query hashes with a
-        // representative (one shared gram happens by chance; two is a
-        // strong hint).
-        std::vector<size_t> hits;
-        for (uint64_t h : sig) {
-            auto it = index.find(h);
-            if (it == index.end())
-                continue;
-            for (size_t cluster : it->second)
-                hits.push_back(cluster);
+    std::vector<size_t> hits, candidates;
+    for (size_t s = 0; s < shards; ++s) {
+        GreedyClusters &local = shard_state[s];
+        for (size_t c = 0; c < local.members.size(); ++c) {
+            size_t rep = local.representative[c];
+            const Strand &rep_read = reads[rep];
+            auto sig = signature(rep_read, params, query_cap);
+            candidateClusters(merged, sig, hits, candidates);
+            size_t limit = size_t(params.maxDistanceFrac *
+                                  double(rep_read.size()));
+            size_t target =
+                bestCluster(reads, rep_read, merged, candidates, limit);
+            if (target == size_t(-1))
+                target = openCluster(merged, reads, rep, params);
+            auto &dst = merged.members[target];
+            dst.insert(dst.end(), local.members[c].begin(),
+                       local.members[c].end());
         }
-        std::sort(hits.begin(), hits.end());
-        std::vector<size_t> candidates;
-        for (size_t i = 0; i < hits.size();) {
-            size_t j = i;
-            while (j < hits.size() && hits[j] == hits[i])
-                ++j;
-            if (j - i >= 2 || sig.size() < 4)
-                candidates.push_back(hits[i]);
-            i = j;
-        }
-
-        // Verify against representatives with banded edit distance.
-        size_t best_cluster = size_t(-1);
-        size_t best_dist = size_t(-1);
-        size_t limit = size_t(params.maxDistanceFrac *
-                              double(read.size()));
-        size_t band = std::max<size_t>(
-            4, size_t(params.bandFrac * double(read.size())));
-        for (size_t cluster : candidates) {
-            const Strand &rep = reads[representative[cluster]];
-            size_t d = bandedEditDistance(read, rep, limit, band);
-            if (d <= limit && d < best_dist) {
-                best_dist = d;
-                best_cluster = cluster;
-            }
-        }
-
-        if (best_cluster == size_t(-1)) {
-            best_cluster = out.members.size();
-            out.members.emplace_back();
-            representative.push_back(r);
-            // Index the representative with ALL its grams so future
-            // noisy reads still find it.
-            auto full = signature(read, params, size_t(-1));
-            for (uint64_t h : full)
-                index[h].push_back(best_cluster);
-        }
-        out.clusterOf[r] = best_cluster;
-        out.members[best_cluster].push_back(r);
     }
-    return out;
+    return finalize(std::move(merged), reads.size());
 }
 
 ClusterQuality

@@ -42,12 +42,28 @@ struct ClusterParams
     /**
      * Maximum edit distance (as a fraction of read length) to join an
      * existing cluster. 0.25 tolerates ~12% per-strand error rates on
-     * both the representative and the read.
+     * both the representative and the read. Candidates are verified
+     * with exact batched edit distances (editDistanceBatch); the
+     * standalone bandedEditDistance remains available for callers
+     * that want the banded approximation.
      */
     double maxDistanceFrac = 0.25;
 
-    /** Band half-width for the banded edit distance, as a fraction. */
-    double bandFrac = 0.3;
+    /**
+     * Worker threads for the sharded parallel mode: 1 = serial
+     * (default), 0 = all hardware threads. The clustering produced is
+     * bit-identical for every value — the shard structure depends
+     * only on read content, never on the thread count.
+     */
+    size_t numThreads = 1;
+
+    /**
+     * Number of minimizer-signature shards clustered independently
+     * before the deterministic shard merge. 0 (default) sizes the
+     * shard set from the read count (1 for small inputs); 1 forces
+     * the classic single-pass greedy clustering.
+     */
+    size_t numShards = 0;
 };
 
 /** Result of clustering a read set. */
@@ -73,7 +89,20 @@ struct Clustering
 size_t bandedEditDistance(const Strand &a, const Strand &b,
                           size_t limit, size_t band);
 
-/** Cluster reads by similarity. Deterministic for a given input. */
+/**
+ * Cluster reads by similarity. Deterministic for a given input:
+ * results are bit-identical for every ClusterParams::numThreads value
+ * and for every SIMD dispatch tier (candidate verification uses exact
+ * batched edit distances).
+ *
+ * With more than one shard, reads are partitioned by the minimizer
+ * (smallest q-gram hash) of their content, each shard is clustered
+ * independently — this is what parallelizes — and the per-shard
+ * clusters are then merged serially in shard order by re-verifying
+ * shard representatives against the merged set (Rashtchian et al.'s
+ * distributed clustering shape). Cluster ids are canonicalized by
+ * each cluster's smallest member index.
+ */
 Clustering clusterReads(const std::vector<Strand> &reads,
                         const ClusterParams &params = {});
 

@@ -1,6 +1,10 @@
 #include "consensus/bma.hh"
 
 #include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/simd.hh"
 
 namespace dnastore {
 
@@ -8,11 +12,11 @@ namespace {
 
 /** Majority base among the given votes; ties break to the lowest. */
 int
-majority(const std::array<int, kNumBases> &votes)
+majority(const std::array<uint32_t, kNumBases> &votes)
 {
     int best = 0;
     for (int b = 1; b < kNumBases; ++b)
-        if (votes[b] > votes[best])
+        if (votes[size_t(b)] > votes[size_t(best)])
             best = b;
     return best;
 }
@@ -28,93 +32,247 @@ readAt(const StrandView &r, size_t i)
     return kRev ? r[r.size() - 1 - i] : r[i];
 }
 
+/** Raw byte pointer of a view (Base is a uint8_t enum). */
+inline const uint8_t *
+bytes(const StrandView &r)
+{
+    return reinterpret_cast<const uint8_t *>(r.data());
+}
+
+/**
+ * The next min(rem, 8) bases of the read starting at lens position
+ * @p cur, packed one per byte (byte i = base cur + i); missing bytes
+ * are zero. One word load serves the vote, the lookahead windows, and
+ * the outlier classification, replacing up to eight scattered
+ * per-base fetches. The reversed lens walks the strand downward, so
+ * the load is byte-swapped into lens order.
+ */
+template <bool kRev>
+inline uint64_t
+loadWindow(const StrandView &read, size_t cur, size_t rem)
+{
+    const uint8_t *base = bytes(read);
+    if (!kRev) {
+        uint64_t w;
+        if (rem >= 8) {
+            std::memcpy(&w, base + cur, 8);
+            return w;
+        }
+        w = 0;
+        std::memcpy(&w, base + cur, rem);
+        return w;
+    }
+    size_t p = read.size() - 1 - cur;
+    uint64_t t;
+    if (p >= 7) {
+        std::memcpy(&t, base + p - 7, 8);
+        return __builtin_bswap64(t);
+    }
+    t = 0;
+    std::memcpy(&t, base, p + 1);
+    return __builtin_bswap64(t) >> (8 * (7 - p));
+}
+
+/**
+ * Length of the run of positions, starting at the current cursors,
+ * over which reads @p read and @p read0 agree — at most @p cap
+ * positions. Through the reversing lens the windows walk down the
+ * strands, so the comparison is a common-suffix scan of the
+ * underlying bytes.
+ */
+template <bool kRev>
+inline size_t
+agreeRun(const StrandView &read, size_t cur, const StrandView &read0,
+         size_t cur0, size_t cap)
+{
+    if (!kRev)
+        return simd::matchRunForward(bytes(read) + cur,
+                                     bytes(read0) + cur0, cap);
+    size_t p = read.size() - 1 - cur;
+    size_t p0 = read0.size() - 1 - cur0;
+    return simd::matchRunBackward(bytes(read) + p + 1 - cap,
+                                  bytes(read0) + p0 + 1 - cap, cap);
+}
+
 /**
  * The one-way lookahead-majority scan, shared by the forward and
  * reversed entry points. Reads are only ever accessed through
- * readAt<kRev>, so the reversed pass needs no materialized copies.
+ * readAt<kRev> (or its bulk equivalents), so the reversed pass needs
+ * no materialized copies.
+ *
+ * Positions where every active read agrees are the common case at
+ * realistic error rates, and a whole run of them is detected with one
+ * vectorized compare per read (32 bases per step) instead of a
+ * per-position vote: the run's bases are emitted in bulk and every
+ * cursor jumps forward by the run length, which is exactly what the
+ * per-position unanimity fast path did one base at a time.
+ * Disagreeing positions take the vote path: one packed 8-base window
+ * load per active read feeds the SIMD column histogram, the lookahead
+ * majority windows, and the Figure 2 error-type classification.
  */
 template <bool kRev>
 void
 reconstructCore(const StrandView *reads, size_t n, size_t target_len,
                 BmaScratch &scratch, Strand &out)
 {
+    // The packed 16-bit vote counters bound the cluster size; real
+    // coverages are orders of magnitude below this.
+    if (n >= 0xffff)
+        throw std::invalid_argument(
+            "BMA consensus supports at most 65534 reads per cluster");
+
     std::vector<size_t> &cursor = scratch.cursor;
     cursor.assign(n, 0);
     out.clear();
     out.reserve(target_len);
 
+    std::vector<uint8_t> &column = scratch.column;
+    std::vector<uint64_t> &window = scratch.window;
+    std::vector<uint8_t> &wlen = scratch.windowLen;
+    std::vector<uint32_t> &aread = scratch.activeRead;
+
     Base last_consensus = Base::A;
-    for (size_t pos = 0; pos < target_len; ++pos) {
-        // Vote on the current base across active reads.
-        std::array<int, kNumBases> votes{};
-        size_t active = 0;
+    size_t pos = 0;
+    while (pos < target_len) {
+        // Cheap unanimity probe: find the first active read and check
+        // whether every other active read shows the same base. Run
+        // positions (the common case) pay only these one-byte loads.
+        size_t first = n;
+        bool unanimous = true;
+        Base c = Base::A;
         for (size_t r = 0; r < n; ++r) {
-            if (cursor[r] < reads[r].size()) {
-                ++votes[bitsFromBase(readAt<kRev>(reads[r], cursor[r]))];
-                ++active;
+            if (cursor[r] >= reads[r].size())
+                continue;
+            Base b = readAt<kRev>(reads[r], cursor[r]);
+            if (first == n) {
+                first = r;
+                c = b;
+            } else if (b != c) {
+                unanimous = false;
+                break;
             }
         }
-        if (active == 0) {
+
+        if (first == n) {
             // All reads exhausted: pad with the last consensus base.
             out.push_back(last_consensus);
+            ++pos;
             continue;
         }
-        int best_vote = majority(votes);
-        Base c = baseFromBits(unsigned(best_vote));
 
-        // Unanimity fast path: with no outlier there is nothing to
-        // classify, so the lookahead estimation below is dead weight;
-        // advance every active cursor and move on. At realistic error
-        // rates this skips the dominant cost for most positions.
-        if (votes[best_vote] == int(active)) {
-            for (size_t r = 0; r < n; ++r) {
+        if (unanimous) {
+            // Extend the unanimous stretch as far as every active
+            // read keeps matching the first active read (equality is
+            // transitive, so pairwise-vs-first suffices): one
+            // vectorized compare per read covers the whole run
+            // instead of a vote per position.
+            size_t run = target_len - pos;
+            for (size_t r = first; r < n; ++r) {
                 if (cursor[r] < reads[r].size())
-                    ++cursor[r];
+                    run = std::min(run, reads[r].size() - cursor[r]);
             }
-            out.push_back(c);
-            last_consensus = c;
+            const StrandView &read0 = reads[first];
+            for (size_t r = first + 1; r < n && run > 1; ++r) {
+                if (cursor[r] >= reads[r].size())
+                    continue;
+                run = agreeRun<kRev>(reads[r], cursor[r], read0,
+                                     cursor[first], run);
+            }
+            // run >= 1: the probe already matched the current bases.
+            for (size_t i = 0; i < run; ++i)
+                out.push_back(readAt<kRev>(read0, cursor[first] + i));
+            for (size_t r = first; r < n; ++r) {
+                if (cursor[r] < reads[r].size())
+                    cursor[r] += run;
+            }
+            last_consensus = out.back();
+            pos += run;
             continue;
         }
+
+        // Vote path. Gather each active read's packed 8-base window
+        // once; everything below runs on the gathered words.
+        column.resize(n);
+        window.resize(n);
+        wlen.resize(n);
+        aread.resize(n);
+        size_t active = 0;
+        for (size_t r = 0; r < n; ++r) {
+            size_t cur = cursor[r];
+            if (cur >= reads[r].size())
+                continue;
+            size_t rem = reads[r].size() - cur;
+            uint64_t w = loadWindow<kRev>(reads[r], cur, rem);
+            column[active] = uint8_t(w & 0xff);
+            window[active] = w;
+            wlen[active] = uint8_t(rem < 8 ? rem : 8);
+            aread[active] = uint32_t(r);
+            ++active;
+        }
+
+        // Column base histogram (SIMD kernel), then majority vote.
+        std::array<uint32_t, kNumBases> votes{};
+        simd::histogram4(column.data(), active, votes.data());
+        int best_vote = majority(votes);
+        c = baseFromBits(unsigned(best_vote));
+        const uint8_t c_byte = uint8_t(c);
 
         // Estimate the next kWindow consensus bases from the reads
         // that agree at the current position. These drive the
         // error-type classification below, mirroring the Figure 2
         // reasoning ("the next two characters are GT in most
-        // sequences..."). One pass per read fills all windows.
-        std::array<std::array<int, kNumBases>, kWindow> nv{};
-        std::array<int, kWindow> voters{};
-        for (size_t r = 0; r < n; ++r) {
-            size_t cur = cursor[r];
-            const StrandView &read = reads[r];
-            if (cur >= read.size() || readAt<kRev>(read, cur) != c)
+        // sequences..."). The gathered windows already hold the
+        // lookahead bases.
+        // Each window position's votes live in one packed word of
+        // four 16-bit counters (same trick as the narrow histogram).
+        std::array<uint64_t, kWindow> nv_packed{};
+        std::array<uint32_t, kWindow> voters{};
+        for (size_t a = 0; a < active; ++a) {
+            if (column[a] != c_byte)
                 continue;
-            for (size_t w = 0; w < kWindow; ++w) {
-                if (cur + w + 1 >= read.size())
-                    break;
-                ++nv[w][bitsFromBase(readAt<kRev>(read, cur + w + 1))];
-                ++voters[w];
+            const uint64_t w = window[a];
+            const size_t len = wlen[a];
+            // Branchless: an out-of-range window position contributes
+            // a zero addend instead of taking a data-dependent branch.
+            for (size_t wi = 0; wi < kWindow; ++wi) {
+                uint64_t valid = uint64_t(wi + 1 < len);
+                nv_packed[wi] += valid
+                    << (16 * ((w >> (8 * (wi + 1))) & 0xff));
+                voters[wi] += uint32_t(valid);
             }
         }
         std::array<Base, kWindow> next{};
         std::array<bool, kWindow> have_next{};
         for (size_t w = 0; w < kWindow; ++w) {
             have_next[w] = voters[w] > 0;
-            next[w] = baseFromBits(unsigned(majority(nv[w])));
+            std::array<uint32_t, kNumBases> nv = {
+                uint32_t(nv_packed[w] & 0xffff),
+                uint32_t((nv_packed[w] >> 16) & 0xffff),
+                uint32_t((nv_packed[w] >> 32) & 0xffff),
+                uint32_t((nv_packed[w] >> 48) & 0xffff),
+            };
+            next[w] = baseFromBits(unsigned(majority(nv)));
         }
 
         // Classify each outlier read by scoring the three hypotheses
         // over the lookahead window and resynchronize its cursor.
-        for (size_t r = 0; r < n; ++r) {
-            size_t cur = cursor[r];
-            if (cur >= reads[r].size())
-                continue;
-            if (readAt<kRev>(reads[r], cur) == c) {
+        // Every probe reads the gathered window word (all hypothesis
+        // offsets fit in its 8 bases).
+        for (size_t a = 0; a < active; ++a) {
+            const size_t r = aread[a];
+            const size_t cur = cursor[r];
+            if (column[a] == c_byte) {
                 cursor[r] = cur + 1;
                 continue;
             }
-            const StrandView &read = reads[r];
-            auto read_at = [&read](size_t i, Base expect) {
-                return i < read.size() && readAt<kRev>(read, i) == expect;
+            const uint64_t w = window[a];
+            const size_t len = wlen[a];
+            // Branchless probe: 1 when the window holds @p expect at
+            // @p off, 0 otherwise (including out of range).
+            auto at = [w, len](size_t off, Base expect) -> int {
+                return int(off < len) &
+                    int(uint8_t((w >> (8 * off)) & 0xff) ==
+                        uint8_t(expect));
             };
             // Score each hypothesis with the same number of evidence
             // terms (kWindow) so no hypothesis is favored merely by
@@ -127,17 +285,16 @@ reconstructCore(const StrandView *reads, size_t n, size_t target_len,
             int score_sub = 0;
             // Insertion: read[cur] is an extra base; c and then the
             // upcoming consensus follow it.
-            int score_ins = read_at(cur + 1, c) ? 1 : 0;
+            int score_ins = at(1, c);
             // Deletion: the read lost c; read[cur] itself should
             // match the upcoming consensus.
             int score_del = 0;
-            for (size_t w = 0; w < kWindow; ++w) {
-                if (!have_next[w])
-                    continue;
-                score_sub += read_at(cur + 1 + w, next[w]) ? 1 : 0;
-                if (w + 1 < kWindow)
-                    score_ins += read_at(cur + 2 + w, next[w]) ? 1 : 0;
-                score_del += read_at(cur + w, next[w]) ? 1 : 0;
+            for (size_t wi = 0; wi < kWindow; ++wi) {
+                const int have = int(have_next[wi]);
+                score_sub += have & at(1 + wi, next[wi]);
+                if (wi + 1 < kWindow)
+                    score_ins += have & at(2 + wi, next[wi]);
+                score_del += have & at(wi, next[wi]);
             }
             if (score_sub >= score_ins && score_sub >= score_del) {
                 cursor[r] = cur + 1; // substitution
@@ -149,6 +306,7 @@ reconstructCore(const StrandView *reads, size_t n, size_t target_len,
         }
         out.push_back(c);
         last_consensus = c;
+        ++pos;
     }
 }
 

@@ -30,6 +30,18 @@ namespace dnastore {
 struct BmaScratch
 {
     std::vector<size_t> cursor;
+
+    /** Gathered current-position bases (histogram kernel input). */
+    std::vector<uint8_t> column;
+
+    /** Per active read: the next 8 bases packed one per byte. */
+    std::vector<uint64_t> window;
+
+    /** Per active read: valid byte count in window (<= 8). */
+    std::vector<uint8_t> windowLen;
+
+    /** Per active read: index into the reads array. */
+    std::vector<uint32_t> activeRead;
 };
 
 /**

@@ -7,16 +7,22 @@ reconstructTwoSidedInto(const StrandView *reads, size_t n_reads,
                         size_t target_len, TwoSidedScratch &scratch,
                         Strand &out)
 {
-    reconstructOneWayInto(reads, n_reads, target_len, scratch.bma,
+    // The combiner keeps only forward[0, half) and the last
+    // target_len - half entries of the backward estimate, and BMA is
+    // strictly left-to-right (output position p depends only on
+    // positions before it), so each pass reconstructs just the prefix
+    // it contributes: half the work of two full passes, bit-identical
+    // output.
+    const size_t half = target_len / 2;
+    reconstructOneWayInto(reads, n_reads, half, scratch.bma,
                           scratch.forward);
     // scratch.backward estimates the reversed original; position i of
     // the original is its position target_len - 1 - i.
-    reconstructOneWayReversed(reads, n_reads, target_len, scratch.bma,
-                              scratch.backward);
+    reconstructOneWayReversed(reads, n_reads, target_len - half,
+                              scratch.bma, scratch.backward);
 
     // Best of both worlds: the forward pass is most accurate near the
     // beginning, the backward pass near the end.
-    const size_t half = target_len / 2;
     out.clear();
     out.reserve(target_len);
     out.insert(out.end(), scratch.forward.begin(),

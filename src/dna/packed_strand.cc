@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/simd.hh"
+
 namespace dnastore {
 
 bool
@@ -71,15 +73,21 @@ PackedStrand::unpack(Strand &out) const
         unpackBases(words_.data(), size_, out.data());
 }
 
+size_t
+PackedStrand::mismatchCount(const PackedStrand &other) const
+{
+    // Pad fields beyond size() are zero on both sides, so whole-word
+    // compares never produce phantom mismatches.
+    return simd::diffCountPacked(words_.data(), other.words_.data(),
+                                 words_.size());
+}
+
 bool
 operator==(const PackedStrand &a, const PackedStrand &b)
 {
     if (a.size() != b.size())
         return false;
-    for (size_t i = 0; i < a.size(); ++i)
-        if (a.at(i) != b.at(i))
-            return false;
-    return true;
+    return a.mismatchCount(b) == 0;
 }
 
 void

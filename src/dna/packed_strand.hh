@@ -181,6 +181,14 @@ class PackedStrand
         return static_cast<Base>((words_[i >> 5] >> ((i & 31) * 2)) & 3);
     }
 
+    /**
+     * Number of positions where this strand and @p other differ,
+     * computed on the packed words directly (2-bit XOR compare +
+     * popcount, SIMD-dispatched): the Hamming distance without an
+     * unpack. Both strands must have the same length.
+     */
+    size_t mismatchCount(const PackedStrand &other) const;
+
     size_t wordCount() const { return words_.size(); }
 
   private:

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dna/packed_strand.hh"
+#include "util/simd.hh"
+
 namespace dnastore {
 
 std::string
@@ -151,6 +154,40 @@ size_t
 editDistance(const Strand &a, const Strand &b)
 {
     return editDistanceRange(a.data(), a.size(), b.data(), b.size());
+}
+
+void
+editDistanceBatch(const Base *pattern, size_t m,
+                  const StrandView *texts, size_t k, uint32_t *dists)
+{
+    if (m == 0) {
+        for (size_t i = 0; i < k; ++i)
+            dists[i] = uint32_t(texts[i].size());
+        return;
+    }
+
+    // Build the pattern's match masks once; every text comparison
+    // reuses them. Myers blocks advance 64 DP rows per word (or per
+    // vector lane) operation.
+    const size_t blocks = (m + 63) / 64;
+    static thread_local std::vector<uint64_t> peq;
+    peq.assign(size_t(kNumBases) * blocks, 0);
+    for (size_t i = 0; i < m; ++i)
+        peq[size_t(bitsFromBase(pattern[i])) * blocks + (i >> 6)] |=
+            uint64_t(1) << (i & 63);
+
+    for (size_t at = 0; at < k; at += 4) {
+        const size_t lanes = std::min<size_t>(4, k - at);
+        const uint8_t *ptrs[4] = {};
+        size_t lens[4] = {};
+        for (size_t l = 0; l < lanes; ++l) {
+            ptrs[l] =
+                reinterpret_cast<const uint8_t *>(texts[at + l].data());
+            lens[l] = texts[at + l].size();
+        }
+        simd::myersBatch(peq.data(), m, blocks, ptrs, lens, lanes,
+                         dists + at);
+    }
 }
 
 size_t

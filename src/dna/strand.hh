@@ -7,6 +7,7 @@
 #define DNASTORE_DNA_STRAND_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,23 @@ size_t editDistance(const Strand &a, const Strand &b);
 /** Edit distance over raw base ranges (same DP as editDistance). */
 size_t editDistanceRange(const Base *a, size_t na, const Base *b,
                          size_t nb);
+
+/**
+ * Batched edit distance: dists[i] = Levenshtein distance between
+ * @p pattern and texts[i], for all @p k texts.
+ *
+ * The pattern's Myers match masks are built once and shared by every
+ * comparison, and texts are verified four at a time in the 64-bit
+ * lanes of the SIMD kernel (util/simd.hh) when available. Results
+ * are exact and bit-identical to editDistance on every dispatch
+ * tier; this is the candidate-verification primitive behind read
+ * clustering, where one read is checked against several cluster
+ * representatives at once.
+ */
+class StrandView;
+void editDistanceBatch(const Base *pattern, size_t m,
+                       const StrandView *texts, size_t k,
+                       uint32_t *dists);
 
 /** Number of positions where equal-length prefixes differ. */
 size_t hammingDistance(const Strand &a, const Strand &b);

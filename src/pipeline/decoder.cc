@@ -82,10 +82,12 @@ UnitDecoder::decode(const ReadBatch &batch,
     // the unclaimed column becomes an erasure.
     //
     // Consensus dominates decode time and every cluster is
-    // independent, so this stage runs on cfg_.numThreads workers; the
-    // claim/fault bookkeeping below merges the per-cluster outcomes
-    // serially in cluster order, which keeps the result bit-identical
-    // to a serial pass (first claim of a column wins either way).
+    // independent, so this stage is dispatched to the shared
+    // work-stealing pool as stealable per-cluster batches (a slow
+    // cluster no longer idles the other workers); the claim/fault
+    // bookkeeping below merges the per-cluster outcomes serially in
+    // cluster order, which keeps the result bit-identical to a serial
+    // pass (first claim of a column wins either way).
     // All per-cluster working memory is thread-local scratch, so the
     // steady-state loop does no heap allocation per read.
     struct ClusterOutcome

@@ -71,6 +71,50 @@ StorageSimulator::retrieveGamma(double mean_coverage, double shape,
     return decodeBatch(batch, size_t(mean_coverage + 0.5), {});
 }
 
+ClusteredRetrievalResult
+StorageSimulator::retrieveClustered(size_t coverage,
+                                    const ClusterParams &params) const
+{
+    if (!pool_)
+        throw std::logic_error("StorageSimulator: store() first");
+    ReadBatch batch;
+    pool_->fillBatch(coverage, batch);
+
+    // Interleave reads round-robin across molecules so the clusterer
+    // sees them the way a sequencing run would deliver them, not
+    // pre-grouped.
+    std::vector<Strand> flat;
+    std::vector<size_t> truth;
+    flat.reserve(batch.views.size());
+    truth.reserve(batch.views.size());
+    for (size_t j = 0; j < coverage; ++j) {
+        for (size_t cl = 0; cl < batch.clusters(); ++cl) {
+            if (j < batch.clusterSize(cl)) {
+                flat.push_back(batch.cluster(cl)[j].toStrand());
+                truth.push_back(cl);
+            }
+        }
+    }
+
+    Clustering clustering = clusterReads(flat, params);
+
+    std::vector<std::vector<Strand>> clusters(clustering.count());
+    for (size_t c = 0; c < clustering.count(); ++c) {
+        for (size_t r : clustering.members[c])
+            clusters[c].push_back(flat[r]);
+    }
+
+    ClusteredRetrievalResult out;
+    out.clustersFound = clustering.count();
+    out.quality = scoreClustering(clustering, truth);
+    out.result.coverage = coverage;
+    out.result.decoded = decoder_.decode(clusters);
+    const auto &raw = out.result.decoded.rawStream;
+    out.result.exactPayload = raw.size() >= stored_.size() &&
+        std::equal(stored_.begin(), stored_.end(), raw.begin());
+    return out;
+}
+
 std::optional<size_t>
 StorageSimulator::minCoverageForExact(
     size_t lo, size_t hi,

@@ -19,6 +19,7 @@
 #include "channel/coverage.hh"
 #include "channel/ids_channel.hh"
 #include "channel/read_pool.hh"
+#include "cluster/clusterer.hh"
 #include "pipeline/bundle.hh"
 #include "pipeline/config.hh"
 #include "pipeline/decoder.hh"
@@ -33,6 +34,18 @@ struct RetrievalResult
     DecodedUnit decoded;
     /** True when the recovered stream matches the stored bits exactly. */
     bool exactPayload = false;
+};
+
+/** Retrieval through the real clusterer instead of perfect grouping. */
+struct ClusteredRetrievalResult
+{
+    RetrievalResult result;
+
+    /** Clustering accuracy against the pool's true grouping. */
+    ClusterQuality quality;
+
+    /** Clusters the clusterer formed (true count: one per strand). */
+    size_t clustersFound = 0;
 };
 
 /** Simulates storage and retrieval of one encoding unit. */
@@ -71,6 +84,17 @@ class StorageSimulator
      */
     RetrievalResult retrieveGamma(double mean_coverage, double shape,
                                   uint64_t draw_seed) const;
+
+    /**
+     * Decode without the perfect-clustering assumption: the pool's
+     * reads are flattened into one interleaved stream (round-robin
+     * across molecules, the order a sequencer might emit them), run
+     * through clusterReads with @p params, and the resulting clusters
+     * are decoded. Exercises the paper's side-stepped clustering
+     * stage end-to-end (section 2.1).
+     */
+    ClusteredRetrievalResult retrieveClustered(
+        size_t coverage, const ClusterParams &params = {}) const;
 
     /**
      * Smallest coverage in [lo, hi] whose retrieval is exact, or

@@ -1,9 +1,8 @@
 #include "util/parallel.hh"
 
-#include <algorithm>
-#include <exception>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.hh"
 
 namespace dnastore {
 
@@ -20,35 +19,11 @@ void
 parallelFor(size_t n, size_t num_threads,
             const std::function<void(size_t)> &body)
 {
-    size_t workers = std::min(resolveThreadCount(num_threads), n);
-    if (workers <= 1) {
-        for (size_t i = 0; i < n; ++i)
-            body(i);
-        return;
-    }
-
-    std::vector<std::exception_ptr> errors(workers);
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-        // Contiguous blocks, remainder spread over the first workers.
-        size_t base = n / workers, extra = n % workers;
-        size_t begin = w * base + std::min(w, extra);
-        size_t end = begin + base + (w < extra ? 1 : 0);
-        threads.emplace_back([&, w, begin, end] {
-            try {
-                for (size_t i = begin; i < end; ++i)
-                    body(i);
-            } catch (...) {
-                errors[w] = std::current_exception();
-            }
-        });
-    }
-    for (auto &t : threads)
-        t.join();
-    for (auto &err : errors)
-        if (err)
-            std::rethrow_exception(err);
+    // All parallel loops share the persistent work-stealing pool: no
+    // per-call thread spawn, dynamic chunk scheduling instead of one
+    // static block per worker, and per-worker thread_local scratch
+    // stays warm across calls.
+    ThreadPool::shared().forEach(n, num_threads, /*grain=*/0, body);
 }
 
 } // namespace dnastore

@@ -3,10 +3,13 @@
  * Minimal deterministic parallel-for used by the pipeline hot paths.
  *
  * The simulator parallelizes embarrassingly parallel per-cluster and
- * per-codeword loops. Work is split into contiguous blocks, one per
- * worker; callers are responsible for making iterations independent
- * (disjoint writes, per-iteration RNG streams), which also makes the
- * results bit-identical for every thread count.
+ * per-codeword loops. Work runs on the shared work-stealing pool
+ * (util/thread_pool.hh): each participant owns a contiguous slice of
+ * the range and drains it in stealable chunks, so a slow cluster no
+ * longer idles the other workers. Callers are responsible for making
+ * iterations independent (disjoint writes, per-iteration RNG
+ * streams), which also makes the results bit-identical for every
+ * thread count and steal schedule.
  */
 
 #ifndef DNASTORE_UTIL_PARALLEL_HH
@@ -27,9 +30,9 @@ size_t resolveThreadCount(size_t requested);
  * Run body(i) for every i in [0, n).
  *
  * Executes inline when @p num_threads resolves to 1 or n < 2;
- * otherwise spawns workers over contiguous index blocks. The first
- * exception thrown by any iteration (lowest block wins) is rethrown
- * on the calling thread after all workers join.
+ * otherwise dispatches stealable chunks onto the shared pool. The
+ * first exception thrown by any iteration (lowest-starting chunk
+ * wins) is rethrown on the calling thread after the loop completes.
  */
 void parallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)> &body);

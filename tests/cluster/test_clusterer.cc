@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "channel/ids_channel.hh"
 #include "cluster/clusterer.hh"
+#include "fuzz_iters.hh"
 #include "util/rng.hh"
 
 namespace dnastore {
@@ -14,6 +17,50 @@ randomStrand(size_t len, Rng &rng)
     for (auto &b : s)
         b = baseFromBits(unsigned(rng.nextBelow(4)));
     return s;
+}
+
+/** Full-matrix Levenshtein reference (no band, no early exit). */
+size_t
+referenceEditDistance(const Strand &a, const Strand &b)
+{
+    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t best = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            best = std::min(best, prev[j] + 1);
+            best = std::min(best, cur[j - 1] + 1);
+            cur[j] = best;
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+/** Mutate @p s with @p edits random indel/substitution edits. */
+Strand
+mutate(const Strand &s, size_t edits, Rng &rng)
+{
+    Strand out = s;
+    for (size_t e = 0; e < edits; ++e) {
+        size_t pos = out.empty() ? 0 : rng.nextBelow(out.size());
+        switch (rng.nextBelow(3)) {
+          case 0:
+            if (!out.empty())
+                out[pos] = baseFromBits(unsigned(rng.nextBelow(4)));
+            break;
+          case 1:
+            if (!out.empty())
+                out.erase(out.begin() + long(pos));
+            break;
+          default:
+            out.insert(out.begin() + long(pos),
+                       baseFromBits(unsigned(rng.nextBelow(4))));
+        }
+    }
+    return out;
 }
 
 TEST(BandedEditDistance, MatchesExactDistanceWithinBand)
@@ -60,6 +107,134 @@ TEST(BandedEditDistance, LengthGapShortCircuits)
     auto a = randomStrand(100, rng);
     auto b = randomStrand(10, rng);
     EXPECT_EQ(bandedEditDistance(a, b, 20, 10), 21u);
+}
+
+TEST(BandedEditDistanceFuzz, AgreesWithFullMatrixWhenInsideBand)
+{
+    // When the band covers the whole matrix and the limit covers the
+    // true distance, the banded result must equal the reference DP —
+    // including unequal-length pairs and empty strands.
+    Rng rng(101);
+    for (int iter = 0; iter < fuzzIters(300); ++iter) {
+        Strand a = randomStrand(rng.nextBelow(70), rng);
+        Strand b = mutate(a, rng.nextBelow(8), rng);
+        size_t exact = referenceEditDistance(a, b);
+        size_t wide_band = a.size() + b.size() + 1;
+        EXPECT_EQ(bandedEditDistance(a, b, exact + 5, wide_band),
+                  exact)
+            << "sizes " << a.size() << "/" << b.size();
+    }
+}
+
+TEST(BandedEditDistanceFuzz, LimitBoundaryIsExact)
+{
+    // d <= limit must return d exactly; limit = d - 1 must return
+    // limit + 1 (the early-exit sentinel), never a smaller value.
+    Rng rng(102);
+    int checked = 0;
+    for (int iter = 0; iter < fuzzIters(400) && checked < 120;
+         ++iter) {
+        Strand a = randomStrand(30 + rng.nextBelow(50), rng);
+        Strand b = mutate(a, 1 + rng.nextBelow(6), rng);
+        size_t exact = referenceEditDistance(a, b);
+        if (exact == 0)
+            continue;
+        size_t band = a.size() + b.size() + 1;
+        EXPECT_EQ(bandedEditDistance(a, b, exact, band), exact);
+        EXPECT_EQ(bandedEditDistance(a, b, exact - 1, band), exact);
+        ++checked;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(BandedEditDistanceFuzz, NarrowBandNeverUndershoots)
+{
+    // A too-narrow band may overestimate (the optimal path leaves the
+    // band) but must never report less than the true distance, and
+    // must stay deterministic.
+    Rng rng(103);
+    for (int iter = 0; iter < fuzzIters(300); ++iter) {
+        Strand a = randomStrand(20 + rng.nextBelow(60), rng);
+        Strand b = mutate(a, rng.nextBelow(10), rng);
+        size_t exact = referenceEditDistance(a, b);
+        for (size_t band : { size_t(1), size_t(2), size_t(4),
+                             size_t(9) }) {
+            size_t limit = exact + 10;
+            size_t banded = bandedEditDistance(a, b, limit, band);
+            EXPECT_GE(banded, std::min(exact, limit + 1));
+            EXPECT_EQ(banded, bandedEditDistance(a, b, limit, band));
+        }
+    }
+}
+
+TEST(BandedEditDistanceFuzz, UnequalLengthsAndEdges)
+{
+    Rng rng(104);
+    // Length gap beyond the limit short-circuits.
+    Strand a = randomStrand(90, rng);
+    Strand b = randomStrand(40, rng);
+    EXPECT_EQ(bandedEditDistance(a, b, 30, 100), 31u);
+    // Empty vs non-empty: distance is the length (insertions only).
+    Strand empty;
+    Strand c = randomStrand(12, rng);
+    EXPECT_EQ(bandedEditDistance(empty, c, 20, 20), 12u);
+    EXPECT_EQ(bandedEditDistance(c, empty, 20, 20), 12u);
+    EXPECT_EQ(bandedEditDistance(empty, empty, 5, 5), 0u);
+    // Band of zero still scores the pure-diagonal (substitution-only)
+    // path for equal lengths.
+    Strand d = c;
+    d[5] = baseFromBits(bitsFromBase(d[5]) ^ 2);
+    EXPECT_EQ(bandedEditDistance(c, d, 12, 0), 1u);
+}
+
+TEST(Clusterer, SerialAndParallelAreBitIdentical)
+{
+    Rng rng(105);
+    IdsChannel channel(ErrorModel::uniform(0.07));
+    std::vector<Strand> reads;
+    for (size_t s = 0; s < 60; ++s) {
+        Strand original = randomStrand(110, rng);
+        for (size_t c = 0; c < 8; ++c)
+            reads.push_back(channel.transmit(original, rng));
+    }
+
+    for (size_t shards : { size_t(0), size_t(1), size_t(4),
+                           size_t(13) }) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        ClusterParams serial;
+        serial.numShards = shards;
+        serial.numThreads = 1;
+        Clustering base = clusterReads(reads, serial);
+        for (size_t threads : { size_t(2), size_t(8), size_t(0) }) {
+            SCOPED_TRACE("threads " + std::to_string(threads));
+            ClusterParams par = serial;
+            par.numThreads = threads;
+            Clustering got = clusterReads(reads, par);
+            EXPECT_EQ(got.clusterOf, base.clusterOf);
+            EXPECT_EQ(got.members, base.members);
+        }
+    }
+}
+
+TEST(Clusterer, ShardedModeKeepsQuality)
+{
+    Rng rng(106);
+    IdsChannel channel(ErrorModel::uniform(0.05));
+    std::vector<Strand> reads;
+    std::vector<size_t> truth;
+    for (size_t s = 0; s < 40; ++s) {
+        Strand original = randomStrand(120, rng);
+        for (size_t c = 0; c < 6; ++c) {
+            reads.push_back(channel.transmit(original, rng));
+            truth.push_back(s);
+        }
+    }
+    ClusterParams params;
+    params.numShards = 8;
+    params.numThreads = 4;
+    auto quality = scoreClustering(clusterReads(reads, params), truth);
+    EXPECT_GT(quality.precision, 0.99);
+    EXPECT_GT(quality.recall, 0.93);
 }
 
 TEST(Clusterer, IdenticalReadsFormOneCluster)

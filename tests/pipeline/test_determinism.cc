@@ -55,8 +55,10 @@ TEST_P(ThreadDeterminism, ThreadedMatchesSerialBitForBit)
 
     StorageConfig serial_cfg = StorageConfig::tinyTest();
     serial_cfg.numThreads = 1;
+    StorageConfig two_cfg = serial_cfg;
+    two_cfg.numThreads = 2;
     StorageConfig threaded_cfg = serial_cfg;
-    threaded_cfg.numThreads = 4;
+    threaded_cfg.numThreads = 8;
     StorageConfig auto_cfg = serial_cfg;
     auto_cfg.numThreads = 0; // all hardware threads
 
@@ -64,15 +66,18 @@ TEST_P(ThreadDeterminism, ThreadedMatchesSerialBitForBit)
     ErrorModel model = ErrorModel::uniform(0.05);
 
     StorageSimulator serial(serial_cfg, scheme, model, seed);
+    StorageSimulator two(two_cfg, scheme, model, seed);
     StorageSimulator threaded(threaded_cfg, scheme, model, seed);
     StorageSimulator autothreaded(auto_cfg, scheme, model, seed);
     serial.store(bundle, max_cov);
+    two.store(bundle, max_cov);
     threaded.store(bundle, max_cov);
     autothreaded.store(bundle, max_cov);
 
     for (size_t cov : { size_t(1), size_t(4), max_cov }) {
         SCOPED_TRACE("coverage " + std::to_string(cov));
         RetrievalResult s = serial.retrieve(cov);
+        expectIdentical(s, two.retrieve(cov));
         expectIdentical(s, threaded.retrieve(cov));
         expectIdentical(s, autothreaded.retrieve(cov));
     }

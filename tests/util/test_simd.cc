@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dna/packed_strand.hh"
+#include "dna/strand.hh"
+#include "fuzz_iters.hh"
+#include "util/rng.hh"
+#include "util/simd.hh"
+
+namespace dnastore {
+namespace {
+
+/**
+ * Every kernel is checked against a plain reference on random inputs,
+ * on every dispatch tier the host supports — the bit-identical
+ * contract behind DNASTORE_FORCE_SCALAR.
+ */
+
+std::vector<simd::Level>
+supportedLevels()
+{
+    std::vector<simd::Level> levels = { simd::Level::Scalar };
+    if (simd::setLevel(simd::Level::Sse42) == simd::Level::Sse42)
+        levels.push_back(simd::Level::Sse42);
+    if (simd::setLevel(simd::Level::Avx2) == simd::Level::Avx2)
+        levels.push_back(simd::Level::Avx2);
+    simd::setLevel(simd::Level::Avx2); // restore best
+    return levels;
+}
+
+class SimdKernels : public ::testing::TestWithParam<simd::Level>
+{
+  public:
+    void
+    SetUp() override
+    {
+        if (simd::setLevel(GetParam()) != GetParam())
+            GTEST_SKIP() << "tier " << simd::levelName(GetParam())
+                         << " not supported on this host";
+    }
+
+    void TearDown() override { simd::setLevel(simd::Level::Avx2); }
+};
+
+TEST_P(SimdKernels, Histogram4MatchesReference)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < fuzzIters(200); ++iter) {
+        size_t n = rng.nextBelow(200);
+        std::vector<uint8_t> vals(n);
+        for (auto &v : vals)
+            v = uint8_t(rng.nextBelow(4));
+        uint32_t expect[4] = { 7, 0, 0, 0 }; // accumulates, not resets
+        uint32_t got[4] = { 7, 0, 0, 0 };
+        for (uint8_t v : vals)
+            ++expect[v];
+        simd::histogram4(vals.data(), n, got);
+        for (int b = 0; b < 4; ++b)
+            EXPECT_EQ(got[b], expect[b]);
+    }
+}
+
+TEST_P(SimdKernels, MatchRunsMatchReference)
+{
+    Rng rng(2);
+    for (int iter = 0; iter < fuzzIters(300); ++iter) {
+        size_t n = rng.nextBelow(150);
+        std::vector<uint8_t> a(n), b(n);
+        for (size_t i = 0; i < n; ++i)
+            a[i] = b[i] = uint8_t(rng.nextBelow(4));
+        // Sprinkle a few mismatches (sometimes none).
+        for (size_t e = 0; e < rng.nextBelow(4) && n > 0; ++e)
+            b[rng.nextBelow(n)] ^= 1;
+
+        size_t fwd = 0;
+        while (fwd < n && a[fwd] == b[fwd])
+            ++fwd;
+        size_t bwd = 0;
+        while (bwd < n && a[n - 1 - bwd] == b[n - 1 - bwd])
+            ++bwd;
+
+        EXPECT_EQ(simd::matchRunForward(a.data(), b.data(), n), fwd);
+        EXPECT_EQ(simd::matchRunBackward(a.data(), b.data(), n), bwd);
+    }
+}
+
+TEST_P(SimdKernels, DiffCountPackedMatchesPerBaseCount)
+{
+    Rng rng(3);
+    for (int iter = 0; iter < fuzzIters(200); ++iter) {
+        size_t n = rng.nextBelow(300);
+        Strand sa(n), sb(n);
+        for (size_t i = 0; i < n; ++i) {
+            sa[i] = baseFromBits(unsigned(rng.nextBelow(4)));
+            sb[i] = rng.nextBelow(10) == 0
+                ? baseFromBits(unsigned(rng.nextBelow(4)))
+                : sa[i];
+        }
+        size_t expect = 0;
+        for (size_t i = 0; i < n; ++i)
+            expect += sa[i] != sb[i];
+        PackedStrand pa{ StrandView(sa) }, pb{ StrandView(sb) };
+        EXPECT_EQ(pa.mismatchCount(pb), expect);
+        EXPECT_EQ(pa == pb, expect == 0);
+    }
+}
+
+TEST_P(SimdKernels, EditDistanceBatchMatchesPairwise)
+{
+    Rng rng(4);
+    for (int iter = 0; iter < fuzzIters(60); ++iter) {
+        size_t m = 1 + rng.nextBelow(180); // spans multiple blocks
+        Strand pattern(m);
+        for (auto &x : pattern)
+            x = baseFromBits(unsigned(rng.nextBelow(4)));
+
+        const size_t k = 1 + rng.nextBelow(7);
+        std::vector<Strand> store;
+        for (size_t i = 0; i < k; ++i) {
+            // A mix of mutated copies and unrelated strands, with
+            // unequal lengths (including empty).
+            size_t len = rng.nextBelow(220);
+            Strand t(len);
+            for (size_t j = 0; j < len; ++j)
+                t[j] = j < m && rng.nextBelow(10) > 1
+                    ? pattern[j]
+                    : baseFromBits(unsigned(rng.nextBelow(4)));
+            store.push_back(std::move(t));
+        }
+        std::vector<StrandView> texts(store.begin(), store.end());
+        std::vector<uint32_t> dists(k);
+        editDistanceBatch(pattern.data(), m, texts.data(), k,
+                          dists.data());
+        for (size_t i = 0; i < k; ++i)
+            EXPECT_EQ(dists[i], editDistance(pattern, store[i]))
+                << "text " << i << " len " << store[i].size();
+    }
+}
+
+TEST_P(SimdKernels, EditDistanceBatchEmptyPattern)
+{
+    Strand t = strandFromString("ACGTACGT");
+    StrandView view(t);
+    uint32_t dist = 0;
+    editDistanceBatch(nullptr, 0, &view, 1, &dist);
+    EXPECT_EQ(dist, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiers, SimdKernels,
+                         ::testing::Values(simd::Level::Scalar,
+                                           simd::Level::Sse42,
+                                           simd::Level::Avx2),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case simd::Level::Sse42:
+                                 return "sse42";
+                               case simd::Level::Avx2:
+                                 return "avx2";
+                               default:
+                                 return "scalar";
+                             }
+                         });
+
+TEST(SimdDispatch, LevelsReportNames)
+{
+    auto levels = supportedLevels();
+    EXPECT_FALSE(levels.empty());
+    EXPECT_STREQ(simd::levelName(simd::Level::Scalar), "scalar");
+    EXPECT_STREQ(simd::levelName(simd::Level::Sse42), "sse4.2");
+    EXPECT_STREQ(simd::levelName(simd::Level::Avx2), "avx2");
+}
+
+} // namespace
+} // namespace dnastore

@@ -10,9 +10,12 @@
  *            Read strands back (one cluster per original line group),
  *            run consensus + ECC, and write the recovered files.
  *   simulate <files...> [--scheme ...] [--error-rate p] [--coverage n]
- *            [--threads t] [--packed-pools]
+ *            [--threads t] [--packed-pools] [--cluster]
+ *            [--cluster-qgram q] [--cluster-maxdist f]
  *            End-to-end store/retrieve through the noisy channel and
- *            report recovery statistics.
+ *            report recovery statistics. With --cluster the reads are
+ *            regrouped by the real clusterer (instead of the perfect-
+ *            clustering assumption) before decoding.
  *
  * The unit format produced by `encode` is noiseless (it is what a
  * synthesizer would receive); `simulate` is where the channel lives.
@@ -41,6 +44,9 @@ struct CliOptions
     size_t coverage = 10;
     size_t threads = 1; // 0 = all hardware threads
     bool packedPools = false;
+    bool cluster = false;
+    size_t clusterQgram = 6;
+    double clusterMaxDist = 0.25;
     bool ok = true;
 };
 
@@ -93,6 +99,14 @@ parseArgs(int argc, char **argv, int first)
                                         nullptr, 10);
         } else if (arg == "--packed-pools") {
             opt.packedPools = true;
+        } else if (arg == "--cluster") {
+            opt.cluster = true;
+        } else if (arg == "--cluster-qgram") {
+            opt.clusterQgram = std::strtoull(
+                next("--cluster-qgram").c_str(), nullptr, 10);
+        } else if (arg == "--cluster-maxdist") {
+            opt.clusterMaxDist = std::strtod(
+                next("--cluster-maxdist").c_str(), nullptr);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             opt.ok = false;
@@ -270,7 +284,24 @@ cmdSimulate(const CliOptions &opt)
                          ErrorModel::uniform(opt.errorRate),
                          /*seed=*/20220618);
     sim.store(bundle, opt.coverage);
-    RetrievalResult result = sim.retrieve(opt.coverage);
+
+    RetrievalResult result;
+    if (opt.cluster) {
+        ClusterParams params;
+        params.qgram = opt.clusterQgram;
+        params.maxDistanceFrac = opt.clusterMaxDist;
+        params.numThreads = opt.threads;
+        ClusteredRetrievalResult clustered =
+            sim.retrieveClustered(opt.coverage, params);
+        result = std::move(clustered.result);
+        std::printf("clustering: %zu clusters "
+                    "(precision=%.4f recall=%.4f)\n",
+                    clustered.clustersFound,
+                    clustered.quality.precision,
+                    clustered.quality.recall);
+    } else {
+        result = sim.retrieve(opt.coverage);
+    }
     std::printf("scheme=%s error_rate=%.1f%% coverage=%zu: "
                 "exact=%s, %zu errors corrected, %zu molecules lost, "
                 "%zu codewords failed\n",
@@ -294,9 +325,12 @@ usage()
         "  dnastore simulate <files...> [--scheme S] "
         "[--error-rate P] [--coverage N] [--threads T] "
         "[--packed-pools]\n"
+        "                [--cluster] [--cluster-qgram Q] "
+        "[--cluster-maxdist F]\n"
         "    (--threads 0 uses all hardware threads; --packed-pools\n"
-        "     stores reads 2-bit packed; results are identical for\n"
-        "     every thread count and storage mode)\n");
+        "     stores reads 2-bit packed; --cluster regroups reads\n"
+        "     with the real clusterer before decoding; results are\n"
+        "     identical for every thread count and storage mode)\n");
 }
 
 } // namespace

@@ -10,7 +10,8 @@ dnastore-perf-report-v1). The output records, per bench, the before and
 after ns/op and the speedup, and a markdown table is printed to stdout
 for pasting into docs. Benches present in only one input (e.g. new-API
 benches that the baseline build cannot compile) are carried through
-with null on the missing side.
+with null on the missing side, rendered as "n/a" in the table; their
+speedup key is omitted from the JSON rather than emitted as null.
 """
 
 import argparse
@@ -43,16 +44,19 @@ def main():
     names = list(dict.fromkeys(list(before) + list(after)))
     rows = []
     for name in names:
-        b = before.get(name)
-        a = after.get(name)
-        speedup = (b["ns_per_op"] / a["ns_per_op"]
-                   if b and a and a["ns_per_op"] > 0 else None)
-        rows.append({
+        # A bench can be absent on one side (new or retired), or
+        # present with a null/missing ns_per_op; both render as n/a.
+        b_ns = (before.get(name) or {}).get("ns_per_op")
+        a_ns = (after.get(name) or {}).get("ns_per_op")
+        speedup = b_ns / a_ns if b_ns and a_ns else None
+        row = {
             "name": name,
-            "before_ns_per_op": b["ns_per_op"] if b else None,
-            "after_ns_per_op": a["ns_per_op"] if a else None,
-            "speedup": round(speedup, 2) if speedup else None,
-        })
+            "before_ns_per_op": b_ns,
+            "after_ns_per_op": a_ns,
+        }
+        if speedup is not None:
+            row["speedup"] = round(speedup, 2)
+        rows.append(row)
 
     merged = {
         "schema": "dnastore-perf-compare-v1",
@@ -67,7 +71,7 @@ def main():
 
     def fmt(ns):
         if ns is None:
-            return "—"
+            return "n/a"
         if ns >= 1e6:
             return f"{ns / 1e6:.2f} ms"
         if ns >= 1e3:
@@ -77,7 +81,8 @@ def main():
     print("| bench | before | after | speedup |")
     print("|---|---:|---:|---:|")
     for r in rows:
-        speed = f"{r['speedup']:.2f}x" if r["speedup"] else "—"
+        speed = (f"{r['speedup']:.2f}x"
+                 if r.get("speedup") is not None else "n/a")
         print(f"| {r['name']} | {fmt(r['before_ns_per_op'])} "
               f"| {fmt(r['after_ns_per_op'])} | {speed} |")
 
