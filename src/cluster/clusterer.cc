@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "dna/packed_strand.hh"
@@ -279,6 +280,12 @@ Clustering
 clusterReads(const std::vector<Strand> &reads,
              const ClusterParams &params)
 {
+    // 2 * qgram bits must fit a uint64_t hash; qgram 0 would hash
+    // every position identically.
+    if (params.qgram < 1 || params.qgram > 31)
+        throw std::invalid_argument(
+            "ClusterParams::qgram must be in [1, 31]");
+
     const size_t shards = resolveShardCount(params, reads.size());
     if (shards <= 1) {
         std::vector<size_t> all(reads.size());

@@ -176,18 +176,16 @@ editDistanceBatch(const Base *pattern, size_t m,
         peq[size_t(bitsFromBase(pattern[i])) * blocks + (i >> 6)] |=
             uint64_t(1) << (i & 63);
 
-    for (size_t at = 0; at < k; at += 4) {
-        const size_t lanes = std::min<size_t>(4, k - at);
-        const uint8_t *ptrs[4] = {};
-        size_t lens[4] = {};
-        for (size_t l = 0; l < lanes; ++l) {
-            ptrs[l] =
-                reinterpret_cast<const uint8_t *>(texts[at + l].data());
-            lens[l] = texts[at + l].size();
-        }
-        simd::myersBatch(peq.data(), m, blocks, ptrs, lens, lanes,
-                         dists + at);
+    static thread_local std::vector<const uint8_t *> ptrs;
+    static thread_local std::vector<size_t> lens;
+    ptrs.resize(k);
+    lens.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+        ptrs[i] = reinterpret_cast<const uint8_t *>(texts[i].data());
+        lens[i] = texts[i].size();
     }
+    simd::myersBatch(peq.data(), m, blocks, ptrs.data(), lens.data(),
+                     k, dists);
 }
 
 size_t

@@ -1,5 +1,7 @@
 #include "util/simd.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
@@ -485,11 +487,35 @@ makeDispatch(Level level)
     return d;
 }
 
-Dispatch &
+/**
+ * Immutable table for each tier, built once. setLevel swaps an atomic
+ * pointer between them, so kernels racing with the test hook read one
+ * coherent table instead of a half-rewritten one (either tier is
+ * correct — all tiers are bit-identical).
+ */
+const Dispatch &
+tierTable(Level level)
+{
+    static const Dispatch tables[3] = {
+        makeDispatch(Level::Scalar),
+        makeDispatch(Level::Sse42),
+        makeDispatch(Level::Avx2),
+    };
+    return tables[static_cast<size_t>(level)];
+}
+
+std::atomic<const Dispatch *> &
+dispatchPtr()
+{
+    static std::atomic<const Dispatch *> p{
+        &tierTable(detectBestLevel())};
+    return p;
+}
+
+const Dispatch &
 dispatch()
 {
-    static Dispatch d = makeDispatch(detectBestLevel());
-    return d;
+    return *dispatchPtr().load(std::memory_order_acquire);
 }
 
 } // namespace
@@ -533,8 +559,9 @@ setLevel(Level level)
 #else
     level = best;
 #endif
-    dispatch() = makeDispatch(level);
-    return dispatch().level;
+    const Dispatch &table = tierTable(level);
+    dispatchPtr().store(&table, std::memory_order_release);
+    return table.level;
 }
 
 namespace detail {
@@ -572,7 +599,17 @@ myersBatch(const uint64_t *peq, size_t m, size_t blocks,
 {
 #ifdef DNASTORE_SIMD_X86
     if (dispatch().level == Level::Avx2 && k > 1) {
-        myersBatch4Avx2(peq, m, blocks, texts, lens, k, dists);
+        // The AVX2 kernel drives at most 4 lanes; chunk larger
+        // batches so every tier fills all of dists[0..k).
+        for (size_t base = 0; base < k; base += 4) {
+            size_t lanes = std::min<size_t>(4, k - base);
+            if (lanes > 1)
+                myersBatch4Avx2(peq, m, blocks, texts + base,
+                                lens + base, lanes, dists + base);
+            else
+                myersBatchScalar(peq, m, blocks, texts + base,
+                                 lens + base, lanes, dists + base);
+        }
         return;
     }
 #endif

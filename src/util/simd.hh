@@ -48,6 +48,11 @@ const char *levelName(Level level);
  * Override the dispatch tier, clamped to what the CPU supports.
  * Testing hook: lets one process compare tiers against each other.
  * Returns the tier actually selected.
+ *
+ * Thread-safe: the swap is an atomic pointer flip between immutable
+ * per-tier tables, so kernels already in flight (e.g. on persistent
+ * pool workers) simply finish on the tier they started with — which
+ * is output-identical by the bit-identity contract above.
  */
 Level setLevel(Level level);
 
@@ -141,22 +146,24 @@ size_t diffCountPacked(const uint64_t *a, const uint64_t *b,
                        size_t words);
 
 /**
- * Advance up to four independent Myers global-edit-distance automata
- * that share one pattern.
+ * Advance k independent Myers global-edit-distance automata that
+ * share one pattern.
  *
  * @param peq    Pattern match masks, laid out [base * blocks + block]
  *               (4 * blocks words), as built by editDistanceBatch.
  * @param m      Pattern length in bases (>= 1).
  * @param blocks ceil(m / 64) 64-row blocks.
- * @param texts  k (<= 4) text base pointers (2-bit codes, one byte
- *               per base).
+ * @param texts  k text base pointers (2-bit codes, one byte per
+ *               base). Any k; the vector tier internally chunks the
+ *               batch into groups of 4.
  * @param lens   Text lengths.
- * @param dists  Out: exact Levenshtein distance pattern vs text i.
+ * @param dists  Out: exact Levenshtein distance pattern vs text i,
+ *               filled for all k texts on every tier.
  *
- * The AVX2 path runs the four automata in the four 64-bit lanes of a
- * vector register, column-lockstep; shorter texts retire their lane's
- * score early. Scalar/SSE tiers run the same recurrence one text at a
- * time; results are bit-identical.
+ * The AVX2 path runs four automata at a time in the four 64-bit lanes
+ * of a vector register, column-lockstep; shorter texts retire their
+ * lane's score early. Scalar/SSE tiers run the same recurrence one
+ * text at a time; results are bit-identical.
  */
 void myersBatch(const uint64_t *peq, size_t m, size_t blocks,
                 const uint8_t *const *texts, const size_t *lens,

@@ -68,11 +68,17 @@ ThreadPool::workerMain(size_t slot)
             if (stop_)
                 return;
             seen = epoch_;
-            job = job_;
+            // Participant 0 is the caller; worker `slot` is slot + 1.
+            // Extra workers beyond the job's participant count sit
+            // out. Decided under mutex_ from jobParticipants_: the
+            // Job lives on the caller's stack and only counted
+            // participants keep it alive, so an uncounted worker must
+            // not dereference job_ at all — by the time it runs, the
+            // counted ones may have finished and forEach returned.
+            if (job_ != nullptr && slot + 1 < jobParticipants_)
+                job = job_;
         }
-        // Participant 0 is the caller; worker `slot` is slot + 1.
-        // Extra workers beyond the job's participant count sit out.
-        if (job != nullptr && slot + 1 < job->participants)
+        if (job != nullptr)
             participate(*job, slot + 1);
     }
 }
@@ -171,6 +177,7 @@ ThreadPool::forEach(size_t n, size_t num_threads, size_t grain,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &job;
+        jobParticipants_ = participants;
         ++epoch_;
     }
     wake_.notify_all();
@@ -183,6 +190,7 @@ ThreadPool::forEach(size_t n, size_t num_threads, size_t grain,
             return job.unfinished.load(std::memory_order_acquire) == 0;
         });
         job_ = nullptr;
+        jobParticipants_ = 0;
     }
 
     if (job.error)

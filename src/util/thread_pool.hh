@@ -96,6 +96,14 @@ class ThreadPool
     std::condition_variable done_;
     std::vector<std::thread> workers_;
     Job *job_ = nullptr;
+    /**
+     * Participant count of the current job, mirrored from the Job so
+     * workers can decide whether they take part while still holding
+     * mutex_. Workers that sit out must never touch *job_ (it lives
+     * on the caller's stack and is only kept alive until the counted
+     * participants finish).
+     */
+    size_t jobParticipants_ = 0;
     uint64_t epoch_ = 0;
     bool stop_ = false;
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "channel/ids_channel.hh"
 #include "cluster/clusterer.hh"
@@ -235,6 +236,24 @@ TEST(Clusterer, ShardedModeKeepsQuality)
     auto quality = scoreClustering(clusterReads(reads, params), truth);
     EXPECT_GT(quality.precision, 0.99);
     EXPECT_GT(quality.recall, 0.93);
+}
+
+TEST(Clusterer, RejectsOutOfRangeQgram)
+{
+    // qgram >= 32 would overflow the 64-bit signature hash shift;
+    // qgram 0 hashes every position identically.
+    Rng rng(9);
+    std::vector<Strand> reads{ randomStrand(100, rng) };
+    for (size_t qgram : { size_t(0), size_t(32), size_t(100) }) {
+        ClusterParams params;
+        params.qgram = qgram;
+        EXPECT_THROW(clusterReads(reads, params),
+                     std::invalid_argument)
+            << "qgram " << qgram;
+    }
+    ClusterParams ok;
+    ok.qgram = 31;
+    EXPECT_EQ(clusterReads(reads, ok).count(), 1u);
 }
 
 TEST(Clusterer, IdenticalReadsFormOneCluster)

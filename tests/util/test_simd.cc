@@ -139,6 +139,46 @@ TEST_P(SimdKernels, EditDistanceBatchMatchesPairwise)
     }
 }
 
+TEST_P(SimdKernels, MyersBatchFillsEveryLaneBeyondFour)
+{
+    // Regression: the AVX2 kernel drives 4 lanes at a time; a k > 4
+    // call must fill dists[4..k) too, on every tier.
+    Rng rng(5);
+    const size_t m = 90; // two Myers blocks
+    Strand pattern(m);
+    for (auto &x : pattern)
+        x = baseFromBits(unsigned(rng.nextBelow(4)));
+
+    const size_t blocks = (m + 63) / 64;
+    std::vector<uint64_t> peq(size_t(kNumBases) * blocks, 0);
+    for (size_t i = 0; i < m; ++i)
+        peq[size_t(bitsFromBase(pattern[i])) * blocks + (i >> 6)] |=
+            uint64_t(1) << (i & 63);
+
+    for (size_t k : { size_t(5), size_t(7), size_t(9) }) {
+        std::vector<Strand> store;
+        std::vector<const uint8_t *> ptrs;
+        std::vector<size_t> lens;
+        for (size_t i = 0; i < k; ++i) {
+            Strand t(rng.nextBelow(150));
+            for (auto &x : t)
+                x = baseFromBits(unsigned(rng.nextBelow(4)));
+            store.push_back(std::move(t));
+        }
+        for (const auto &t : store) {
+            ptrs.push_back(
+                reinterpret_cast<const uint8_t *>(t.data()));
+            lens.push_back(t.size());
+        }
+        std::vector<uint32_t> dists(k, 0xdeadbeefu);
+        simd::myersBatch(peq.data(), m, blocks, ptrs.data(),
+                         lens.data(), k, dists.data());
+        for (size_t i = 0; i < k; ++i)
+            EXPECT_EQ(dists[i], editDistance(pattern, store[i]))
+                << "k " << k << " text " << i;
+    }
+}
+
 TEST_P(SimdKernels, EditDistanceBatchEmptyPattern)
 {
     Strand t = strandFromString("ACGTACGT");

@@ -93,6 +93,24 @@ TEST(ThreadPool, NestedLoopsRunInline)
         EXPECT_EQ(hits[i].load(), 1);
 }
 
+TEST(ThreadPool, ShrinkingJobsDoNotRaceExcessWorkers)
+{
+    // Regression: a wide loop spawns persistent workers, then narrow
+    // loops use fewer participants. Every spawned worker still wakes
+    // for each narrow job; the excess ones must decide to sit out
+    // under the pool lock without ever touching the caller's
+    // stack-allocated job, which the counted participants may have
+    // already retired by the time an excess worker gets scheduled.
+    ThreadPool &pool = ThreadPool::shared();
+    pool.forEach(1024, 8, 0, [](size_t) {});
+    ASSERT_GE(pool.spawnedWorkers(), 1u);
+    for (int round = 0; round < 200; ++round) {
+        std::atomic<size_t> count{0};
+        pool.forEach(2, 2, 1, [&](size_t) { count.fetch_add(1); });
+        EXPECT_EQ(count.load(), 2u) << "round " << round;
+    }
+}
+
 TEST(ThreadPool, MoreThreadsThanHardware)
 {
     // Requesting more workers than cores must still complete and

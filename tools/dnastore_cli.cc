@@ -104,6 +104,12 @@ parseArgs(int argc, char **argv, int first)
         } else if (arg == "--cluster-qgram") {
             opt.clusterQgram = std::strtoull(
                 next("--cluster-qgram").c_str(), nullptr, 10);
+            // 2 bits per base must fit the 64-bit signature hash.
+            if (opt.clusterQgram < 1 || opt.clusterQgram > 31) {
+                std::fprintf(stderr,
+                             "--cluster-qgram must be in [1, 31]\n");
+                opt.ok = false;
+            }
         } else if (arg == "--cluster-maxdist") {
             opt.clusterMaxDist = std::strtod(
                 next("--cluster-maxdist").c_str(), nullptr);
