@@ -54,6 +54,12 @@
 #include "util/thread_pool.hh"
 #define DNASTORE_HAVE_THREAD_POOL 1
 #endif
+#if __has_include("lab/scenario.hh")
+// Marks the PR 4 API surface: Scenario Lab channel stressors and
+// Monte-Carlo trials.
+#include "lab/scenario.hh"
+#define DNASTORE_HAVE_LAB 1
+#endif
 #endif
 
 namespace dnastore {
@@ -388,6 +394,35 @@ collect(std::vector<BenchResult> &results, const Options &opt)
             }));
         }
     }
+
+#ifdef DNASTORE_HAVE_LAB
+    // --- Scenario Lab: one Monte-Carlo trial of the nominal and the
+    // most stressor-heavy profiles (tinyTest geometry). Tracks the
+    // per-trial cost that bounds how many trials reliability CI can
+    // afford per scenario.
+    {
+        for (const char *name : { "nominal", "nanopore-hostile" }) {
+            const Scenario *scenario = findScenario(name);
+            if (scenario == nullptr)
+                continue;
+            std::string bench =
+                std::string("lab_trial_") + scenario->name;
+            if (!wants(bench.c_str()))
+                continue;
+            StorageSimulator sim(scenario->config, scenario->scheme,
+                                 scenario->channel, 42);
+            sim.prepare(scenario->makePayload());
+            CoverageModel coverage = scenario->makeCoverage();
+            uint64_t trial = 0;
+            results.push_back(runBench(
+                bench.c_str(), opt, [&sim, &coverage, &trial]() {
+                    g_sink ^= uint64_t(
+                        sim.runTrial(coverage, trial++)
+                            .result.exactPayload);
+                }));
+        }
+    }
+#endif
 }
 
 int

@@ -1,0 +1,177 @@
+#include "channel/stressors.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace dnastore {
+
+double
+PositionalRamp::multiplierAt(size_t i, size_t len) const
+{
+    if (!enabled() || len < 2)
+        return 1.0;
+    double frac = double(i) / double(len - 1);
+    if (frac <= startFrac)
+        return 1.0;
+    double progress = (frac - startFrac) / (1.0 - startFrac);
+    return 1.0 + progress * (endMultiplier - 1.0);
+}
+
+bool
+PositionalRamp::valid() const
+{
+    return startFrac >= 0.0 && startFrac <= 1.0 && endMultiplier >= 0.0;
+}
+
+bool
+PcrProfile::valid() const
+{
+    return efficiency >= 0.0 && efficiency <= 1.0 && errorRate >= 0.0 &&
+        errorRate <= 1.0 && maxLineage >= 1;
+}
+
+bool
+DropoutProfile::valid() const
+{
+    return rate >= 0.0 && rate <= 1.0 && burstLen >= 1;
+}
+
+bool
+ChannelProfile::valid() const
+{
+    return base.valid() && ramp.valid() && pcr.valid() &&
+        dropout.valid();
+}
+
+void
+ChannelProfile::validateOrThrow(const char *who) const
+{
+    std::string prefix = std::string(who) + ": ";
+    if (!base.valid())
+        throw std::invalid_argument(
+            prefix + "invalid base error model "
+                     "(negative rate or total() > 1)");
+    if (!ramp.valid())
+        throw std::invalid_argument(
+            prefix + "invalid positional ramp "
+                     "(startFrac outside [0,1] or negative multiplier)");
+    if (!pcr.valid())
+        throw std::invalid_argument(
+            prefix + "invalid PCR profile (efficiency/errorRate outside "
+                     "[0,1] or maxLineage == 0)");
+    if (!dropout.valid())
+        throw std::invalid_argument(
+            prefix + "invalid dropout profile (rate outside [0,1] or "
+                     "burstLen == 0)");
+}
+
+void
+applyDropout(const DropoutProfile &dropout, Rng &rng,
+             std::vector<size_t> &counts)
+{
+    if (!dropout.enabled())
+        return;
+    size_t burst_left = 0;
+    for (auto &count : counts) {
+        if (burst_left > 0) {
+            // Burst continuation: no draw, the burst already decided.
+            --burst_left;
+            count = 0;
+        } else if (rng.nextDouble() < dropout.rate) {
+            burst_left = dropout.burstLen - 1;
+            count = 0;
+        }
+    }
+}
+
+ProfileChannel::ProfileChannel(const ChannelProfile &profile)
+    : profile_(profile)
+{
+    profile.validateOrThrow("ProfileChannel");
+}
+
+void
+ProfileChannel::transmitAppend(StrandView input, Rng &rng,
+                               StrandArena &out) const
+{
+    // Mirrors IdsChannel's per-base walk (one uniform per position, at
+    // most one error event) so that a flat profile draws the identical
+    // RNG sequence; the ramp only rescales the event thresholds.
+    const ErrorModel &m = profile_.base;
+    const size_t len = input.size();
+    for (size_t i = 0; i < len; ++i) {
+        Base b = input[i];
+        double mult = profile_.ramp.multiplierAt(i, len);
+        double p_ins = m.insertion * mult;
+        double p_del = p_ins + m.deletion * mult;
+        double p_sub = p_del + m.substitution * mult;
+        if (p_sub > 1.0) {
+            // Clamp proportionally: an error is certain, but the
+            // ins/del/sub split keeps its shape.
+            double scale = 1.0 / p_sub;
+            p_ins *= scale;
+            p_del *= scale;
+            p_sub = 1.0;
+        }
+        double u = rng.nextDouble();
+        if (u < p_ins) {
+            out.push(baseFromBits(unsigned(rng.nextBelow(4))));
+            out.push(b);
+        } else if (u < p_del) {
+            // dropped
+        } else if (u < p_sub) {
+            unsigned offset = 1u + unsigned(rng.nextBelow(3));
+            out.push(baseFromBits(bitsFromBase(b) + offset));
+        } else {
+            out.push(b);
+        }
+    }
+    out.endStrand();
+}
+
+void
+ProfileChannel::generateCluster(StrandView reference, size_t n, Rng &rng,
+                                StrandArena &out) const
+{
+    out.reserve(out.totalBases() + n * (reference.size() + 8),
+                out.strandCount() + n);
+    if (!profile_.pcr.enabled()) {
+        for (size_t i = 0; i < n; ++i)
+            transmitAppend(reference, rng, out);
+        return;
+    }
+
+    // Amplify: each round duplicates existing templates (capped), and
+    // each duplication inherits its template's mutations plus fresh
+    // polymerase substitutions.
+    const PcrProfile &pcr = profile_.pcr;
+    std::vector<Strand> pool;
+    pool.reserve(pcr.maxLineage);
+    pool.push_back(reference.toStrand());
+    for (size_t cycle = 0; cycle < pcr.cycles; ++cycle) {
+        size_t round_size = pool.size();
+        for (size_t t = 0; t < round_size; ++t) {
+            if (pool.size() >= pcr.maxLineage)
+                break;
+            if (rng.nextDouble() >= pcr.efficiency)
+                continue;
+            Strand copy = pool[t];
+            for (auto &base : copy) {
+                if (rng.nextDouble() < pcr.errorRate) {
+                    unsigned offset = 1u + unsigned(rng.nextBelow(3));
+                    base = baseFromBits(bitsFromBase(base) + offset);
+                }
+            }
+            pool.push_back(std::move(copy));
+        }
+    }
+
+    // Sequence: each read picks a template uniformly — duplicated
+    // lineages are sampled proportionally to their amplified share.
+    for (size_t i = 0; i < n; ++i) {
+        const Strand &tmpl = pool[rng.nextBelow(pool.size())];
+        transmitAppend(tmpl, rng, out);
+    }
+}
+
+} // namespace dnastore

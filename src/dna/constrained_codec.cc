@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/rng.hh"
+
 namespace dnastore {
 
 namespace {
@@ -34,6 +36,24 @@ tritOf(Base prev, Base b)
 
 constexpr size_t kTritsPerByte = 6; // 3^6 = 729 >= 256
 
+/**
+ * Whitening rotation for the trit at strand position @p i: a fixed
+ * splitmix64-derived stream, identical for encode and decode. Without
+ * it, structured payloads (constant fills, short periods) repeat the
+ * same digit pattern forever and can walk the GC content far from
+ * 1/2; rotating each digit by a pseudo-random amount makes every
+ * payload's base choices look uniform, so GC concentrates tightly
+ * around 1/2 — the statistical GC constraint real synthesis pipelines
+ * get from payload randomization — while the homopolymer-free
+ * guarantee stays structural.
+ */
+unsigned
+whitenAt(size_t i)
+{
+    return unsigned(
+        splitmix64Mix((uint64_t(i) + 1) * 0x9e3779b97f4a7c15ULL) % 3);
+}
+
 } // namespace
 
 Strand
@@ -53,7 +73,7 @@ encodeConstrained(const std::vector<uint8_t> &bytes, Base start)
         for (int digit : digits) {
             Base alt[3];
             alternatives(prev, alt);
-            Base b = alt[digit];
+            Base b = alt[(unsigned(digit) + whitenAt(out.size())) % 3];
             out.push_back(b);
             prev = b;
         }
@@ -78,6 +98,8 @@ decodeConstrained(const Strand &s, Base start, bool *ok)
         unsigned value = 0;
         for (size_t j = 0; j < kTritsPerByte; ++j) {
             int trit = tritOf(prev, s[i + j]);
+            if (trit >= 0)
+                trit = int((unsigned(trit) + 3 - whitenAt(i + j)) % 3);
             if (trit < 0) {
                 // Constraint violated: a repeated base proves an
                 // error at this position (paper section 2.1).

@@ -15,6 +15,15 @@
  * covers the constrained regime too, and so the constraint-violation
  * detection trick (a homopolymer in a read *proves* an error there)
  * is available.
+ *
+ * GC content: each trit is whitened by a fixed position-indexed
+ * pseudo-random rotation (shared by encoder and decoder, so the
+ * mapping stays invertible and costs no capacity). Structured
+ * payloads — constant fills, short periods — therefore make the same
+ * uniform-looking base choices as random data, and the GC content of
+ * any non-trivial strand concentrates tightly around 1/2 instead of
+ * drifting with the payload's digit pattern. The homopolymer-free
+ * property remains structural (guaranteed for every payload).
  */
 
 #ifndef DNASTORE_DNA_CONSTRAINED_CODEC_HH

@@ -1,0 +1,156 @@
+#include "lab/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.hh"
+
+namespace dnastore {
+
+namespace {
+
+/**
+ * Deterministic decimal form for identical doubles ("%.17g" would be
+ * exact but noisy; 12 significant digits are plenty for rates and
+ * means built from <= millions of integer-valued samples). snprintf
+ * honors LC_NUMERIC, so the decimal separator is normalized back to
+ * '.' — the byte-identity and JSON-validity contract must not depend
+ * on the host program's locale.
+ */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    std::string out = buf;
+    for (auto &c : out) {
+        if (c == ',')
+            c = '.';
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+reportsToJson(const std::vector<ScenarioReport> &reports,
+              const SweepOptions &opt, bool include_timing)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"seed\": " << opt.seed << ",\n";
+    out << "  \"trials\": " << opt.trials << ",\n";
+    out << "  \"scenarios\": [";
+    bool first = true;
+    for (const auto &r : reports) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\n";
+        out << "      \"name\": \"" << jsonEscape(r.scenario) << "\",\n";
+        out << "      \"description\": \"" << jsonEscape(r.description)
+            << "\",\n";
+        out << "      \"trials\": " << r.trials << ",\n";
+        out << "      \"successes\": " << r.successes << ",\n";
+        out << "      \"success_rate\": " << fmtDouble(r.successRate)
+            << ",\n";
+        out << "      \"min_success_rate\": "
+            << fmtDouble(r.minSuccessRate) << ",\n";
+        out << "      \"passed\": " << (r.passed ? "true" : "false")
+            << ",\n";
+        out << "      \"byte_error_rate_mean\": "
+            << fmtDouble(r.meanByteErrorRate) << ",\n";
+        out << "      \"byte_error_rate_max\": "
+            << fmtDouble(r.maxByteErrorRate) << ",\n";
+        out << "      \"erased_columns_mean\": "
+            << fmtDouble(r.meanErasedColumns) << ",\n";
+        out << "      \"failed_codewords_mean\": "
+            << fmtDouble(r.meanFailedCodewords) << ",\n";
+        out << "      \"corrected_errors_mean\": "
+            << fmtDouble(r.meanCorrectedErrors) << ",\n";
+        out << "      \"reads_mean\": " << fmtDouble(r.meanReads)
+            << ",\n";
+        out << "      \"clusters_dropped_mean\": "
+            << fmtDouble(r.meanClustersDropped) << ",\n";
+        out << "      \"clustered\": "
+            << (r.clustered ? "true" : "false");
+        if (r.clustered) {
+            out << ",\n      \"cluster_precision_mean\": "
+                << fmtDouble(r.meanPrecision);
+            out << ",\n      \"cluster_recall_mean\": "
+                << fmtDouble(r.meanRecall);
+        }
+        if (include_timing)
+            out << ",\n      \"wall_ms\": " << fmtDouble(r.wallMs);
+        out << "\n    }";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+std::string
+reportsToCsv(const std::vector<ScenarioReport> &reports,
+             bool include_timing)
+{
+    std::ostringstream out;
+    std::vector<std::string> columns = {
+        "scenario",           "trials",
+        "successes",          "success_rate",
+        "min_success_rate",   "passed",
+        "byte_error_rate",    "byte_error_rate_max",
+        "erased_columns",     "failed_codewords",
+        "corrected_errors",   "reads",
+        "clusters_dropped",   "cluster_precision",
+        "cluster_recall",
+    };
+    if (include_timing)
+        columns.push_back("wall_ms");
+    CsvWriter csv(out, columns);
+    for (const auto &r : reports) {
+        // Non-clustered scenarios report empty precision/recall cells
+        // rather than misleading zeros.
+        std::string precision =
+            r.clustered ? fmtDouble(r.meanPrecision) : "";
+        std::string recall = r.clustered ? fmtDouble(r.meanRecall) : "";
+        if (include_timing) {
+            csv.row(r.scenario, r.trials, r.successes,
+                    fmtDouble(r.successRate),
+                    fmtDouble(r.minSuccessRate), r.passed ? 1 : 0,
+                    fmtDouble(r.meanByteErrorRate),
+                    fmtDouble(r.maxByteErrorRate),
+                    fmtDouble(r.meanErasedColumns),
+                    fmtDouble(r.meanFailedCodewords),
+                    fmtDouble(r.meanCorrectedErrors),
+                    fmtDouble(r.meanReads),
+                    fmtDouble(r.meanClustersDropped), precision, recall,
+                    fmtDouble(r.wallMs));
+        } else {
+            csv.row(r.scenario, r.trials, r.successes,
+                    fmtDouble(r.successRate),
+                    fmtDouble(r.minSuccessRate), r.passed ? 1 : 0,
+                    fmtDouble(r.meanByteErrorRate),
+                    fmtDouble(r.maxByteErrorRate),
+                    fmtDouble(r.meanErasedColumns),
+                    fmtDouble(r.meanFailedCodewords),
+                    fmtDouble(r.meanCorrectedErrors),
+                    fmtDouble(r.meanReads),
+                    fmtDouble(r.meanClustersDropped), precision,
+                    recall);
+        }
+    }
+    return out.str();
+}
+
+} // namespace dnastore

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Structured emission of Scenario Lab sweep reports.
+ *
+ * JSON is the machine interface (one object per scenario under a
+ * top-level "scenarios" array); CSV is the flat-table form for
+ * spreadsheets and plotting. Both serializations are byte-identical
+ * for a given (scenario grid, trials, seed) at any thread count:
+ * every field is aggregated deterministically by SweepRunner, and the
+ * one non-deterministic quantity — measured wall time — is only
+ * emitted when @p include_timing is set.
+ */
+
+#ifndef DNASTORE_LAB_REPORT_HH
+#define DNASTORE_LAB_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "lab/sweep.hh"
+
+namespace dnastore {
+
+/** Serialize sweep reports as pretty-printed JSON. */
+std::string reportsToJson(const std::vector<ScenarioReport> &reports,
+                          const SweepOptions &opt,
+                          bool include_timing = false);
+
+/** Serialize sweep reports as a CSV table (one row per scenario). */
+std::string reportsToCsv(const std::vector<ScenarioReport> &reports,
+                         bool include_timing = false);
+
+} // namespace dnastore
+
+#endif // DNASTORE_LAB_REPORT_HH

@@ -1,0 +1,158 @@
+#include "lab/scenario.hh"
+
+#include "util/rng.hh"
+
+namespace dnastore {
+
+CoverageModel
+Scenario::makeCoverage() const
+{
+    if (coverageShape <= 0.0)
+        return CoverageModel::fixed(size_t(coverageMean + 0.5));
+    return CoverageModel::gamma(coverageMean, coverageShape);
+}
+
+FileBundle
+Scenario::makePayload() const
+{
+    Rng rng(payloadSeed);
+    std::vector<uint8_t> bytes(payloadBytes);
+    for (auto &b : bytes)
+        b = uint8_t(rng.next());
+    FileBundle bundle;
+    bundle.add("payload.bin", std::move(bytes));
+    return bundle;
+}
+
+namespace {
+
+Scenario
+baseScenario(const char *name, const char *description)
+{
+    Scenario s;
+    s.name = name;
+    s.description = description;
+    s.config = StorageConfig::tinyTest();
+    s.channel.base = ErrorModel::uniform(0.03);
+    return s;
+}
+
+std::vector<Scenario>
+buildScenarios()
+{
+    std::vector<Scenario> all;
+
+    {
+        // The paper's basic channel at comfortable coverage: the
+        // anchor every optimization PR must keep near-perfect.
+        Scenario s = baseScenario(
+            "nominal", "i.i.d. IDS channel at 3% error, fixed "
+                       "coverage 8 (paper section 3 baseline)");
+        s.coverageMean = 8.0;
+        s.minSuccessRate = 0.99;
+        all.push_back(s);
+    }
+    {
+        // Gamma coverage with a mean low enough that a visible share
+        // of clusters gets one or two reads (paper section 4.1).
+        Scenario s = baseScenario(
+            "low-coverage", "1.5% IDS error with Gamma(mean 5, "
+                            "shape 3) coverage: many 1-2 read clusters");
+        s.channel.base = ErrorModel::uniform(0.015);
+        s.coverageMean = 5.0;
+        s.coverageShape = 3.0;
+        s.minSuccessRate = 0.80;
+        all.push_back(s);
+    }
+    {
+        // Nanopore-style: indel-dominated split (section 8) plus
+        // end-of-read degradation — the tail third of each strand
+        // degrades up to 3x the base rate.
+        Scenario s = baseScenario(
+            "nanopore-hostile", "6% nanopore-split error (60% indels) "
+                                "with a 3x end-of-read error ramp over "
+                                "the final third, Gamma(12, 4) coverage");
+        s.channel.base = ErrorModel::nanopore(0.06);
+        s.channel.ramp.startFrac = 0.66;
+        s.channel.ramp.endMultiplier = 3.0;
+        s.coverageMean = 12.0;
+        s.coverageShape = 4.0;
+        s.minSuccessRate = 0.75;
+        all.push_back(s);
+    }
+    {
+        // Independent whole-strand dropout in short bursts; the
+        // decoder sees the lost molecules as column erasures.
+        Scenario s = baseScenario(
+            "dropout-heavy", "3% IDS error with 5% strand dropout in "
+                             "bursts of 2 consecutive molecules");
+        s.channel.dropout.rate = 0.05;
+        s.channel.dropout.burstLen = 2;
+        s.minSuccessRate = 0.95;
+        all.push_back(s);
+    }
+    {
+        // Rare but long contiguous losses (synthesis batch / gel
+        // extraction failures): stresses the erasure budget harder
+        // than the same loss rate spread uniformly.
+        Scenario s = baseScenario(
+            "erasure-burst", "3% IDS error with rare 8-molecule "
+                             "erasure bursts (1.5% burst starts)");
+        s.channel.dropout.rate = 0.015;
+        s.channel.dropout.burstLen = 8;
+        s.minSuccessRate = 0.80;
+        all.push_back(s);
+    }
+    {
+        // PCR amplification bias: polymerase errors from early cycles
+        // are shared by whole read lineages, so consensus faces
+        // correlated — not independent — noise.
+        Scenario s = baseScenario(
+            "pcr-skew", "2% sequencing error over 8 PCR cycles "
+                        "(efficiency 0.5, 0.8% polymerase error): "
+                        "reads inherit correlated lineage mutations");
+        s.channel.base = ErrorModel::uniform(0.02);
+        s.channel.pcr.cycles = 8;
+        s.channel.pcr.efficiency = 0.5;
+        s.channel.pcr.errorRate = 0.008;
+        s.channel.pcr.maxLineage = 48;
+        s.minSuccessRate = 0.90;
+        all.push_back(s);
+    }
+    {
+        // The nominal channel without the perfect-clustering
+        // assumption: reads arrive as one interleaved soup and must
+        // be regrouped by the real clusterer first.
+        Scenario s = baseScenario(
+            "clustered-nominal", "3% IDS error, fixed coverage 6, "
+                                 "decoded through the real clusterer "
+                                 "instead of perfect grouping");
+        s.coverageMean = 6.0;
+        s.clustered = true;
+        s.minSuccessRate = 0.90;
+        all.push_back(s);
+    }
+
+    return all;
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+allScenarios()
+{
+    static const std::vector<Scenario> scenarios = buildScenarios();
+    return scenarios;
+}
+
+const Scenario *
+findScenario(const std::string &name)
+{
+    for (const auto &s : allScenarios()) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+} // namespace dnastore

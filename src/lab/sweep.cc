@@ -1,0 +1,124 @@
+#include "lab/sweep.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "pipeline/simulator.hh"
+#include "util/parallel.hh"
+
+namespace dnastore {
+
+namespace {
+
+/** FNV-1a over the scenario name: stable across platforms (unlike
+ *  std::hash), so per-scenario seed streams never depend on the
+ *  standard library in use. */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= uint8_t(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+ScenarioReport
+SweepRunner::run(const Scenario &scenario) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    StorageSimulator sim(scenario.config, scenario.scheme,
+                         scenario.channel,
+                         opt_.seed ^ fnv1a(scenario.name));
+    sim.prepare(scenario.makePayload());
+    const CoverageModel coverage = scenario.makeCoverage();
+
+    // Per-trial seeds are drawn serially from one stream before the
+    // fan-out, exactly like ReadPool's per-cluster seeds: the trial
+    // schedule can never leak into the results.
+    Rng seed_stream(opt_.seed ^ fnv1a(scenario.name));
+    std::vector<uint64_t> trial_seeds(opt_.trials);
+    for (auto &s : trial_seeds)
+        s = seed_stream.next();
+
+    std::vector<TrialRecord> records(opt_.trials);
+    parallelFor(opt_.trials, opt_.threads, [&](size_t t) {
+        TrialOutcome outcome = sim.runTrial(
+            coverage, trial_seeds[t],
+            scenario.clustered ? &scenario.clusterParams : nullptr);
+        TrialRecord &rec = records[t];
+        rec.success = outcome.result.exactPayload;
+        rec.byteErrorRate = outcome.byteErrorRate;
+        rec.erasedColumns = outcome.result.decoded.stats.erasedColumns;
+        rec.failedCodewords =
+            outcome.result.decoded.stats.failedCodewords;
+        rec.correctedErrors =
+            outcome.result.decoded.stats.totalCorrected();
+        rec.readsGenerated = outcome.readsGenerated;
+        rec.clustersDropped = outcome.clustersDropped;
+        rec.precision = outcome.quality.precision;
+        rec.recall = outcome.quality.recall;
+    });
+
+    // Serial aggregation in trial order: identical doubles for every
+    // thread count.
+    ScenarioReport report;
+    report.scenario = scenario.name;
+    report.description = scenario.description;
+    report.trials = opt_.trials;
+    report.clustered = scenario.clustered;
+    report.minSuccessRate = scenario.minSuccessRate;
+    for (const auto &rec : records) {
+        report.successes += rec.success ? 1 : 0;
+        report.meanByteErrorRate += rec.byteErrorRate;
+        if (rec.byteErrorRate > report.maxByteErrorRate)
+            report.maxByteErrorRate = rec.byteErrorRate;
+        report.meanErasedColumns += double(rec.erasedColumns);
+        report.meanFailedCodewords += double(rec.failedCodewords);
+        report.meanCorrectedErrors += double(rec.correctedErrors);
+        report.meanReads += double(rec.readsGenerated);
+        report.meanClustersDropped += double(rec.clustersDropped);
+        report.meanPrecision += rec.precision;
+        report.meanRecall += rec.recall;
+    }
+    if (opt_.trials > 0) {
+        const double n = double(opt_.trials);
+        report.successRate = double(report.successes) / n;
+        report.meanByteErrorRate /= n;
+        report.meanErasedColumns /= n;
+        report.meanFailedCodewords /= n;
+        report.meanCorrectedErrors /= n;
+        report.meanReads /= n;
+        report.meanClustersDropped /= n;
+        report.meanPrecision /= n;
+        report.meanRecall /= n;
+    }
+    // Quantize the bound to whole trials (floor): at reduced trial
+    // counts a healthy scenario must not fail just because the
+    // threshold falls between two representable success rates —
+    // e.g. a 0.80 bound at 8 trials allows 6/8, not only 7/8.
+    report.passed = double(report.successes) >=
+        std::floor(report.minSuccessRate * double(opt_.trials));
+    report.perTrial = std::move(records);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    report.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return report;
+}
+
+std::vector<ScenarioReport>
+SweepRunner::runAll(const std::vector<Scenario> &scenarios) const
+{
+    std::vector<ScenarioReport> reports;
+    reports.reserve(scenarios.size());
+    for (const auto &scenario : scenarios)
+        reports.push_back(run(scenario));
+    return reports;
+}
+
+} // namespace dnastore

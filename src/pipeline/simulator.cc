@@ -1,5 +1,7 @@
 #include "pipeline/simulator.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace dnastore {
@@ -7,17 +9,33 @@ namespace dnastore {
 StorageSimulator::StorageSimulator(const StorageConfig &cfg,
                                    LayoutScheme scheme,
                                    const ErrorModel &model, uint64_t seed)
-    : cfg_(cfg), scheme_(scheme), channel_(model), seed_(seed),
-      encoder_(cfg, scheme), decoder_(cfg, scheme)
+    : StorageSimulator(cfg, scheme, ChannelProfile{ model, {}, {}, {} },
+                       seed)
 {
+}
+
+StorageSimulator::StorageSimulator(const StorageConfig &cfg,
+                                   LayoutScheme scheme,
+                                   const ChannelProfile &profile,
+                                   uint64_t seed)
+    : cfg_(cfg), scheme_(scheme), channel_(profile.base),
+      profileChannel_(profile), seed_(seed), encoder_(cfg, scheme),
+      decoder_(cfg, scheme)
+{
+}
+
+void
+StorageSimulator::prepare(const FileBundle &bundle)
+{
+    unit_ = encoder_.encode(bundle);
+    const bool priority = scheme_ == LayoutScheme::DnaMapper;
+    stored_ = priority ? bundle.serializePriority() : bundle.serialize();
 }
 
 void
 StorageSimulator::store(const FileBundle &bundle, size_t max_coverage)
 {
-    unit_ = encoder_.encode(bundle);
-    const bool priority = scheme_ == LayoutScheme::DnaMapper;
-    stored_ = priority ? bundle.serializePriority() : bundle.serialize();
+    prepare(bundle);
     // Per-cluster RNG streams keep the pools bit-identical for every
     // cfg_.numThreads value, serial included, and for either storage
     // mode.
@@ -79,6 +97,17 @@ StorageSimulator::retrieveClustered(size_t coverage,
         throw std::logic_error("StorageSimulator: store() first");
     ReadBatch batch;
     pool_->fillBatch(coverage, batch);
+    return decodeClusteredBatch(batch, coverage, params);
+}
+
+ClusteredRetrievalResult
+StorageSimulator::decodeClusteredBatch(const ReadBatch &batch,
+                                       size_t coverage_label,
+                                       const ClusterParams &params) const
+{
+    size_t max_reads = 0;
+    for (size_t cl = 0; cl < batch.clusters(); ++cl)
+        max_reads = std::max(max_reads, batch.clusterSize(cl));
 
     // Interleave reads round-robin across molecules so the clusterer
     // sees them the way a sequencing run would deliver them, not
@@ -87,7 +116,7 @@ StorageSimulator::retrieveClustered(size_t coverage,
     std::vector<size_t> truth;
     flat.reserve(batch.views.size());
     truth.reserve(batch.views.size());
-    for (size_t j = 0; j < coverage; ++j) {
+    for (size_t j = 0; j < max_reads; ++j) {
         for (size_t cl = 0; cl < batch.clusters(); ++cl) {
             if (j < batch.clusterSize(cl)) {
                 flat.push_back(batch.cluster(cl)[j].toStrand());
@@ -107,11 +136,79 @@ StorageSimulator::retrieveClustered(size_t coverage,
     ClusteredRetrievalResult out;
     out.clustersFound = clustering.count();
     out.quality = scoreClustering(clustering, truth);
-    out.result.coverage = coverage;
+    out.result.coverage = coverage_label;
     out.result.decoded = decoder_.decode(clusters);
     const auto &raw = out.result.decoded.rawStream;
     out.result.exactPayload = raw.size() >= stored_.size() &&
         std::equal(stored_.begin(), stored_.end(), raw.begin());
+    return out;
+}
+
+TrialOutcome
+StorageSimulator::runTrial(const CoverageModel &coverage,
+                           uint64_t trial_seed,
+                           const ClusterParams *cluster_params) const
+{
+    if (unit_.strands.empty())
+        throw std::logic_error(
+            "StorageSimulator: prepare() or store() first");
+
+    // All of the trial's randomness (coverage draws, dropout, PCR
+    // lineages, sequencing noise) flows from this one stream, mixed
+    // from the simulator seed and the trial seed — trials are mutually
+    // independent and schedulable in any order on any thread.
+    Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (trial_seed + 1)));
+
+    const size_t n_clusters = unit_.strands.size();
+    std::vector<size_t> counts(n_clusters);
+    for (auto &count : counts)
+        count = coverage.sample(rng);
+    applyDropout(profileChannel_.profile().dropout, rng, counts);
+
+    TrialOutcome out;
+    ReadBatch batch;
+    for (size_t c = 0; c < n_clusters; ++c) {
+        if (counts[c] == 0) {
+            // CoverageModel never samples 0, so a zero count here is
+            // a dropout-erased cluster.
+            ++out.clustersDropped;
+            continue;
+        }
+        profileChannel_.generateCluster(unit_.strands[c], counts[c],
+                                        rng, batch.scratch);
+        out.readsGenerated += counts[c];
+    }
+    // Views are taken only after generation: arena growth relocates.
+    batch.offsets.reserve(n_clusters + 1);
+    batch.offsets.push_back(0);
+    batch.views.reserve(out.readsGenerated);
+    size_t next_read = 0;
+    for (size_t c = 0; c < n_clusters; ++c) {
+        for (size_t r = 0; r < counts[c]; ++r)
+            batch.views.push_back(batch.scratch.view(next_read++));
+        batch.offsets.push_back(batch.views.size());
+    }
+
+    const size_t label = size_t(std::llround(coverage.mean()));
+    if (cluster_params != nullptr) {
+        ClusteredRetrievalResult clustered =
+            decodeClusteredBatch(batch, label, *cluster_params);
+        out.result = std::move(clustered.result);
+        out.quality = clustered.quality;
+        out.clustersFound = clustered.clustersFound;
+        out.clustered = true;
+    } else {
+        out.result = decodeBatch(batch, label, {});
+    }
+
+    const auto &raw = out.result.decoded.rawStream;
+    size_t bad = 0;
+    for (size_t i = 0; i < stored_.size(); ++i) {
+        if (i >= raw.size() || raw[i] != stored_[i])
+            ++bad;
+    }
+    out.byteErrorRate =
+        stored_.empty() ? 0.0 : double(bad) / double(stored_.size());
     return out;
 }
 

@@ -19,6 +19,7 @@
 #include "channel/coverage.hh"
 #include "channel/ids_channel.hh"
 #include "channel/read_pool.hh"
+#include "channel/stressors.hh"
 #include "cluster/clusterer.hh"
 #include "pipeline/bundle.hh"
 #include "pipeline/config.hh"
@@ -48,6 +49,33 @@ struct ClusteredRetrievalResult
     size_t clustersFound = 0;
 };
 
+/** One Monte-Carlo trial of a channel profile (Scenario Lab unit). */
+struct TrialOutcome
+{
+    RetrievalResult result;
+
+    /**
+     * Fraction of the stored bytes recovered wrong (missing trailing
+     * bytes count as wrong); 0.0 on exact recovery.
+     */
+    double byteErrorRate = 0.0;
+
+    /** Reads generated across clusters (after dropout). */
+    size_t readsGenerated = 0;
+
+    /** Clusters erased by dropout (zero reads before decode). */
+    size_t clustersDropped = 0;
+
+    /** True when the trial decoded through the real clusterer. */
+    bool clustered = false;
+
+    /** Clustering accuracy (valid when clustered). */
+    ClusterQuality quality;
+
+    /** Clusters formed (valid when clustered). */
+    size_t clustersFound = 0;
+};
+
 /** Simulates storage and retrieval of one encoding unit. */
 class StorageSimulator
 {
@@ -62,11 +90,46 @@ class StorageSimulator
                      const ErrorModel &model, uint64_t seed);
 
     /**
+     * Simulator over a full channel profile (Scenario Lab path). The
+     * pre-generated pools of store() still use only the profile's
+     * base IDS model; the stressors (ramp, PCR lineages, dropout)
+     * apply to the per-trial read generation of runTrial().
+     */
+    StorageSimulator(const StorageConfig &cfg, LayoutScheme scheme,
+                     const ChannelProfile &profile, uint64_t seed);
+
+    /**
      * Encode the bundle and pre-generate read pools.
      *
      * @param max_coverage Largest coverage any later query will use.
      */
     void store(const FileBundle &bundle, size_t max_coverage);
+
+    /**
+     * Encode the bundle without generating read pools — the Monte-
+     * Carlo entry point: runTrial() draws fresh reads per trial, so
+     * the pool-backed queries (retrieve*, minCoverageForExact) are
+     * not available until store() is called.
+     */
+    void prepare(const FileBundle &bundle);
+
+    /**
+     * Run one Monte-Carlo trial: sample per-cluster read counts from
+     * @p coverage, apply the profile's dropout, generate fresh reads
+     * through the profile channel (ramp + PCR lineages included), and
+     * decode. All randomness derives from @p trial_seed alone, so a
+     * trial is reproducible independent of every other trial — the
+     * property that lets the Scenario Lab fan trials out over the
+     * thread pool with bit-identical aggregate results.
+     *
+     * @param cluster_params When non-null, reads are regrouped by the
+     *        real clusterer (retrieveClustered semantics) instead of
+     *        the perfect-clustering assumption.
+     */
+    TrialOutcome runTrial(const CoverageModel &coverage,
+                          uint64_t trial_seed,
+                          const ClusterParams *cluster_params
+                          = nullptr) const;
 
     /**
      * Decode using the first @p coverage reads of every cluster.
@@ -111,14 +174,22 @@ class StorageSimulator
     /** The stored serialized stream (exactness reference). */
     const std::vector<uint8_t> &storedStream() const { return stored_; }
 
+    /** The channel profile driving runTrial(). */
+    const ChannelProfile &profile() const { return profileChannel_.profile(); }
+
   private:
     RetrievalResult decodeBatch(
         const ReadBatch &batch, size_t coverage_label,
         const std::vector<size_t> &forced_erasures) const;
 
+    ClusteredRetrievalResult decodeClusteredBatch(
+        const ReadBatch &batch, size_t coverage_label,
+        const ClusterParams &params) const;
+
     StorageConfig cfg_;
     LayoutScheme scheme_;
     IdsChannel channel_;
+    ProfileChannel profileChannel_;
     uint64_t seed_;
     UnitEncoder encoder_;
     UnitDecoder decoder_;

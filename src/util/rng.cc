@@ -4,17 +4,22 @@
 
 namespace dnastore {
 
+uint64_t
+splitmix64Mix(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 namespace {
 
-/** splitmix64, used only to expand the user seed into xoshiro state. */
+/** splitmix64 stream, used to expand the user seed into xoshiro state. */
 uint64_t
 splitmix64(uint64_t &x)
 {
     x += 0x9e3779b97f4a7c15ULL;
-    uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return splitmix64Mix(x);
 }
 
 uint64_t

@@ -46,6 +46,51 @@ TEST(Coverage, GammaNeverReturnsZero)
         EXPECT_GE(model.sample(rng), 1u);
 }
 
+TEST(Coverage, AccessorsReflectConfiguration)
+{
+    auto fixed = CoverageModel::fixed(7);
+    EXPECT_TRUE(fixed.isFixed());
+    EXPECT_DOUBLE_EQ(fixed.mean(), 7.0);
+
+    auto gamma = CoverageModel::gamma(6.5, 3.0);
+    EXPECT_FALSE(gamma.isFixed());
+    EXPECT_DOUBLE_EQ(gamma.mean(), 6.5);
+}
+
+TEST(Coverage, FixedOneAlwaysSamplesOne)
+{
+    // The degenerate-but-legal floor: a cluster that exists has at
+    // least one read.
+    Rng rng(7);
+    auto model = CoverageModel::fixed(1);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(model.sample(rng), 1u);
+}
+
+TEST(Coverage, GammaTinyShapeStillClampsToOne)
+{
+    // Shape far below 1 puts almost all mass near zero; the clamp
+    // must still never emit a zero-read cluster.
+    Rng rng(8);
+    auto model = CoverageModel::gamma(2.0, 0.05);
+    size_t clamped = 0;
+    for (int i = 0; i < 5000; ++i) {
+        size_t n = model.sample(rng);
+        EXPECT_GE(n, 1u);
+        clamped += n == 1 ? 1 : 0;
+    }
+    // The clamp actually fires for this parameterization.
+    EXPECT_GT(clamped, 2500u);
+}
+
+TEST(Coverage, GammaRejectsNonFiniteEdges)
+{
+    EXPECT_THROW(CoverageModel::gamma(-3.0, 2.0),
+                 std::invalid_argument);
+    EXPECT_THROW(CoverageModel::gamma(5.0, 0.0),
+                 std::invalid_argument);
+}
+
 TEST(Coverage, GammaSpreadShrinksWithShape)
 {
     // Variance of Gamma(mean, shape) is mean^2 / shape.

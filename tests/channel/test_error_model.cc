@@ -55,5 +55,36 @@ TEST(ErrorModel, ValidityChecks)
     EXPECT_TRUE(ErrorModel::custom(0.3, 0.3, 0.3).valid());
 }
 
+TEST(ErrorModel, TotalExactlyOneIsValid)
+{
+    // The boundary is inclusive: an error at every position is a
+    // legal (if hopeless) channel.
+    auto m = ErrorModel::custom(0.4, 0.3, 0.3);
+    EXPECT_DOUBLE_EQ(m.total(), 1.0);
+    EXPECT_TRUE(m.valid());
+    EXPECT_TRUE(ErrorModel::uniform(1.0).valid());
+}
+
+TEST(ErrorModel, TinyNegativesAreInvalid)
+{
+    // Even sub-epsilon negative rates must be rejected — they would
+    // silently skew the cumulative-threshold channel walk.
+    EXPECT_FALSE(ErrorModel::custom(-1e-12, 0.01, 0.01).valid());
+    EXPECT_FALSE(ErrorModel::custom(0.01, -1e-15, 0.01).valid());
+    EXPECT_FALSE(ErrorModel::custom(0.01, 0.01, -1e-9).valid());
+}
+
+TEST(ErrorModel, TotalBarelyOverOneIsInvalid)
+{
+    EXPECT_FALSE(ErrorModel::custom(0.4, 0.3, 0.3 + 1e-9).valid());
+}
+
+TEST(ErrorModel, ZeroRatesAreValid)
+{
+    auto m = ErrorModel::custom(0.0, 0.0, 0.0);
+    EXPECT_TRUE(m.valid());
+    EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
 } // namespace
 } // namespace dnastore

@@ -25,6 +25,106 @@ TEST(ChaCha20, Rfc8439KeystreamVector)
         EXPECT_EQ(zeros[size_t(i)], expected[i]) << "byte " << i;
 }
 
+TEST(ChaCha20, Rfc8439FullKeystreamBlock)
+{
+    // RFC 8439 section 2.3.2: the complete 64-byte serialized block
+    // (same key/nonce/counter as the prefix test above).
+    std::array<uint8_t, 32> key{};
+    for (int i = 0; i < 32; ++i)
+        key[size_t(i)] = uint8_t(i);
+    std::array<uint8_t, 12> nonce{ 0, 0, 0, 9, 0, 0, 0, 0x4a,
+                                   0, 0, 0, 0 };
+    ChaCha20 cipher(key, nonce, 1);
+    std::vector<uint8_t> zeros(64, 0);
+    cipher.apply(zeros);
+    const uint8_t expected[64] = {
+        0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f,
+        0xdd, 0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7,
+        0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4,
+        0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09,
+        0x14, 0xc2, 0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12,
+        0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8,
+        0xa2, 0x50, 0x3c, 0x4e,
+    };
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(zeros[size_t(i)], expected[i]) << "byte " << i;
+}
+
+TEST(ChaCha20, Rfc8439AppendixA1ZeroKeyBlock)
+{
+    // RFC 8439 appendix A.1, test vector #1: all-zero key and nonce,
+    // counter 0.
+    std::array<uint8_t, 32> key{};
+    std::array<uint8_t, 12> nonce{};
+    ChaCha20 cipher(key, nonce, 0);
+    std::vector<uint8_t> zeros(64, 0);
+    cipher.apply(zeros);
+    const uint8_t expected[64] = {
+        0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d,
+        0x6a, 0xe5, 0x53, 0x86, 0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8,
+        0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc, 0x8b, 0x77,
+        0x0d, 0xc7, 0xda, 0x41, 0x59, 0x7c, 0x51, 0x57, 0x48, 0x8d,
+        0x77, 0x24, 0xe0, 0x3f, 0xb8, 0xd8, 0x4a, 0x37, 0x6a, 0x43,
+        0xb8, 0xf4, 0x15, 0x18, 0xa1, 0x1c, 0xc3, 0x87, 0xb6, 0x69,
+        0xb2, 0xee, 0x65, 0x86,
+    };
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(zeros[size_t(i)], expected[i]) << "byte " << i;
+}
+
+TEST(ChaCha20, Rfc8439EncryptionVector)
+{
+    // RFC 8439 section 2.4.2: the "sunscreen" plaintext under key
+    // 00..1f, nonce 00:00:00:00:00:00:00:4a:00:00:00:00, counter 1.
+    std::array<uint8_t, 32> key{};
+    for (int i = 0; i < 32; ++i)
+        key[size_t(i)] = uint8_t(i);
+    std::array<uint8_t, 12> nonce{ 0, 0, 0, 0, 0, 0, 0, 0x4a,
+                                   0, 0, 0, 0 };
+    const char *text =
+        "Ladies and Gentlemen of the class of '99: If I could offer "
+        "you only one tip for the future, sunscreen would be it.";
+    std::vector<uint8_t> data(text, text + 114);
+    ChaCha20(key, nonce, 1).apply(data);
+    const uint8_t expected[114] = {
+        0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba,
+        0x07, 0x28, 0xdd, 0x0d, 0x69, 0x81, 0xe9, 0x7e, 0x7a, 0xec,
+        0x1d, 0x43, 0x60, 0xc2, 0x0a, 0x27, 0xaf, 0xcc, 0xfd, 0x9f,
+        0xae, 0x0b, 0xf9, 0x1b, 0x65, 0xc5, 0x52, 0x47, 0x33, 0xab,
+        0x8f, 0x59, 0x3d, 0xab, 0xcd, 0x62, 0xb3, 0x57, 0x16, 0x39,
+        0xd6, 0x24, 0xe6, 0x51, 0x52, 0xab, 0x8f, 0x53, 0x0c, 0x35,
+        0x9f, 0x08, 0x61, 0xd8, 0x07, 0xca, 0x0d, 0xbf, 0x50, 0x0d,
+        0x6a, 0x61, 0x56, 0xa3, 0x8e, 0x08, 0x8a, 0x22, 0xb6, 0x5e,
+        0x52, 0xbc, 0x51, 0x4d, 0x16, 0xcc, 0xf8, 0x06, 0x81, 0x8c,
+        0xe9, 0x1a, 0xb7, 0x79, 0x37, 0x36, 0x5a, 0xf9, 0x0b, 0xbf,
+        0x74, 0xa3, 0x5b, 0xe6, 0xb4, 0x0b, 0x8e, 0xed, 0xf2, 0x78,
+        0x5e, 0x42, 0x87, 0x4d,
+    };
+    ASSERT_EQ(data.size(), sizeof expected);
+    for (size_t i = 0; i < sizeof expected; ++i)
+        EXPECT_EQ(data[i], expected[i]) << "byte " << i;
+}
+
+TEST(ChaCha20, CounterRollsOverToZero)
+{
+    // The RFC's block counter is 32-bit; past 0xffffffff it wraps to
+    // 0 (it must not carry into the nonce words). The second block of
+    // a cipher started at 0xffffffff therefore equals the first block
+    // of one started at 0.
+    auto key = ChaCha20::deriveKey(5);
+    auto nonce = ChaCha20::deriveNonce(5);
+    std::vector<uint8_t> rolling(128, 0);
+    ChaCha20(key, nonce, 0xffffffffu).apply(rolling);
+
+    std::vector<uint8_t> wrapped(64, 0);
+    ChaCha20(key, nonce, 0).apply(wrapped);
+    EXPECT_TRUE(std::equal(wrapped.begin(), wrapped.end(),
+                           rolling.begin() + 64));
+    // And the pre-wrap block differs from the post-wrap block.
+    EXPECT_FALSE(std::equal(rolling.begin(), rolling.begin() + 64,
+                            rolling.begin() + 64));
+}
+
 TEST(ChaCha20, EncryptDecryptRoundTrip)
 {
     Rng rng(1);

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dna/constrained_codec.hh"
+#include "fuzz_iters.hh"
 #include "util/rng.hh"
 
 namespace dnastore {
@@ -33,6 +36,50 @@ TEST(ConstrainedCodec, NeverEmitsHomopolymers)
     for (auto &b : random_bytes)
         b = uint8_t(rng.next());
     EXPECT_EQ(maxHomopolymerRun(encodeConstrained(random_bytes)), 1u);
+}
+
+TEST(ConstrainedCodec, FuzzRoundTripSatisfiesSequenceConstraints)
+{
+    // Beyond decode inverting encode, every emitted strand must
+    // actually be synthesizable: homopolymer-free by construction,
+    // and GC-balanced — the rotation away from the previous base
+    // keeps long strands inside a comfortable GC window for every
+    // payload, the adversarial constant fills included.
+    Rng rng(42);
+    const int iters = fuzzIters(200);
+    for (int iter = 0; iter < iters; ++iter) {
+        std::vector<uint8_t> bytes(10 + rng.nextBelow(500));
+        switch (rng.nextBelow(4)) {
+          case 0: // random payload
+            for (auto &b : bytes)
+                b = uint8_t(rng.next());
+            break;
+          case 1: // constant fill (worst case for naive coders)
+            std::fill(bytes.begin(), bytes.end(),
+                      uint8_t(rng.next()));
+            break;
+          case 2: // two-byte period
+            for (size_t i = 0; i < bytes.size(); ++i)
+                bytes[i] = (i & 1) ? 0xff : 0x00;
+            break;
+          default: // low-entropy ramp
+            for (size_t i = 0; i < bytes.size(); ++i)
+                bytes[i] = uint8_t(i & 0x0f);
+            break;
+        }
+        Base start = baseFromBits(unsigned(rng.nextBelow(4)));
+        auto strand = encodeConstrained(bytes, start);
+
+        ASSERT_EQ(strand.size(), bytes.size() * 6);
+        EXPECT_EQ(maxHomopolymerRun(strand), 1u) << "iter " << iter;
+        double gc = gcContent(strand);
+        EXPECT_GE(gc, 0.25) << "iter " << iter;
+        EXPECT_LE(gc, 0.75) << "iter " << iter;
+
+        bool ok = false;
+        EXPECT_EQ(decodeConstrained(strand, start, &ok), bytes);
+        EXPECT_TRUE(ok) << "iter " << iter;
+    }
 }
 
 TEST(ConstrainedCodec, SixBasesPerByte)

@@ -1,0 +1,143 @@
+/**
+ * The Scenario Lab's determinism contract: a sweep's aggregate
+ * report — and its JSON/CSV serializations — are byte-identical for
+ * every thread count, because per-trial seeds are drawn serially up
+ * front, trials write disjoint slots, and aggregation runs serially
+ * in trial order.
+ */
+
+#include <gtest/gtest.h>
+
+// Trial counts here are deliberately hardcoded (not DNASTORE_SWEEP_
+// TRIALS-driven): the suite compares runs against each other, so its
+// cost is fixed and an override would only change what is compared,
+// not whether the byte-equality contract holds.
+#include "lab/report.hh"
+#include "lab/scenario.hh"
+#include "lab/sweep.hh"
+#include "pipeline/simulator.hh"
+
+namespace dnastore {
+namespace {
+
+std::vector<Scenario>
+probeGrid()
+{
+    // One representative per stressor class, kept cheap: the full
+    // grid runs in test_scenarios.cc.
+    std::vector<Scenario> grid;
+    for (const char *name :
+         { "nominal", "dropout-heavy", "nanopore-hostile", "pcr-skew" }) {
+        const Scenario *s = findScenario(name);
+        if (s != nullptr)
+            grid.push_back(*s);
+    }
+    return grid;
+}
+
+TEST(SweepDeterminism, JsonAndCsvAreByteIdenticalAcrossThreadCounts)
+{
+    const auto grid = probeGrid();
+    ASSERT_FALSE(grid.empty());
+
+    std::string ref_json, ref_csv;
+    for (size_t threads : { size_t(1), size_t(4), size_t(8) }) {
+        SweepOptions opt;
+        opt.trials = 8;
+        opt.threads = threads;
+        SweepRunner runner(opt);
+        auto reports = runner.runAll(grid);
+        std::string json = reportsToJson(reports, opt);
+        std::string csv = reportsToCsv(reports);
+        if (threads == 1) {
+            ref_json = json;
+            ref_csv = csv;
+        } else {
+            EXPECT_EQ(json, ref_json) << "threads=" << threads;
+            EXPECT_EQ(csv, ref_csv) << "threads=" << threads;
+        }
+    }
+}
+
+TEST(SweepDeterminism, PerTrialRecordsMatchAcrossThreadCounts)
+{
+    const Scenario *scenario = findScenario("dropout-heavy");
+    ASSERT_NE(scenario, nullptr);
+
+    SweepOptions serial, parallel;
+    serial.trials = parallel.trials = 12;
+    serial.threads = 1;
+    parallel.threads = 8;
+    auto a = SweepRunner(serial).run(*scenario);
+    auto b = SweepRunner(parallel).run(*scenario);
+    ASSERT_EQ(a.perTrial.size(), b.perTrial.size());
+    for (size_t t = 0; t < a.perTrial.size(); ++t) {
+        EXPECT_EQ(a.perTrial[t].success, b.perTrial[t].success);
+        EXPECT_DOUBLE_EQ(a.perTrial[t].byteErrorRate,
+                         b.perTrial[t].byteErrorRate);
+        EXPECT_EQ(a.perTrial[t].erasedColumns,
+                  b.perTrial[t].erasedColumns);
+        EXPECT_EQ(a.perTrial[t].correctedErrors,
+                  b.perTrial[t].correctedErrors);
+        EXPECT_EQ(a.perTrial[t].readsGenerated,
+                  b.perTrial[t].readsGenerated);
+    }
+}
+
+TEST(SweepDeterminism, TrialsAreReproducibleIndividually)
+{
+    // runTrial is a pure function of (simulator seed, trial seed):
+    // re-running any single trial reproduces its record exactly.
+    const Scenario *scenario = findScenario("nanopore-hostile");
+    ASSERT_NE(scenario, nullptr);
+    StorageSimulator sim(scenario->config, scenario->scheme,
+                         scenario->channel, 999);
+    sim.prepare(scenario->makePayload());
+    auto coverage = scenario->makeCoverage();
+
+    for (uint64_t seed : { 1ull, 42ull, 0xdeadbeefull }) {
+        auto a = sim.runTrial(coverage, seed);
+        auto b = sim.runTrial(coverage, seed);
+        EXPECT_EQ(a.result.exactPayload, b.result.exactPayload);
+        EXPECT_EQ(a.result.decoded.rawStream, b.result.decoded.rawStream);
+        EXPECT_EQ(a.readsGenerated, b.readsGenerated);
+        EXPECT_EQ(a.clustersDropped, b.clustersDropped);
+        EXPECT_DOUBLE_EQ(a.byteErrorRate, b.byteErrorRate);
+    }
+}
+
+TEST(SweepDeterminism, SeedChangesResults)
+{
+    const Scenario *scenario = findScenario("nominal");
+    ASSERT_NE(scenario, nullptr);
+    SweepOptions a_opt, b_opt;
+    a_opt.trials = b_opt.trials = 4;
+    b_opt.seed = a_opt.seed + 1;
+    auto a = SweepRunner(a_opt).run(*scenario);
+    auto b = SweepRunner(b_opt).run(*scenario);
+    // Different seeds draw different channels; corrected-error means
+    // colliding exactly would be astronomically unlikely.
+    EXPECT_NE(a.meanCorrectedErrors, b.meanCorrectedErrors);
+}
+
+TEST(SweepDeterminism, TimingIsExcludedByDefault)
+{
+    const Scenario *scenario = findScenario("nominal");
+    ASSERT_NE(scenario, nullptr);
+    SweepOptions opt;
+    opt.trials = 2;
+    SweepRunner runner(opt);
+    auto reports = runner.runAll({ *scenario });
+    EXPECT_GT(reports[0].wallMs, 0.0);
+    EXPECT_EQ(reportsToJson(reports, opt).find("wall_ms"),
+              std::string::npos);
+    EXPECT_NE(reportsToJson(reports, opt, true).find("wall_ms"),
+              std::string::npos);
+    EXPECT_EQ(reportsToCsv(reports).find("wall_ms"),
+              std::string::npos);
+    EXPECT_NE(reportsToCsv(reports, true).find("wall_ms"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace dnastore

@@ -128,6 +128,68 @@ TEST(StorageSimulator, GammaCoverageRetrievalWorks)
     EXPECT_TRUE(result.exactPayload);
 }
 
+TEST(StorageSimulator, RunTrialBeforePrepareRejected)
+{
+    StorageSimulator sim(StorageConfig::tinyTest(), LayoutScheme::Gini,
+                         ErrorModel::uniform(0.01), 1);
+    EXPECT_THROW(sim.runTrial(CoverageModel::fixed(4), 1),
+                 std::logic_error);
+}
+
+TEST(StorageSimulator, RunTrialDecodesCleanChannelExactly)
+{
+    // prepare() + runTrial() is the Monte-Carlo path: no pool is
+    // generated, reads are drawn fresh per trial.
+    ChannelProfile profile;
+    profile.base = ErrorModel::uniform(0.02);
+    StorageSimulator sim(StorageConfig::tinyTest(), LayoutScheme::Gini,
+                         profile, 2);
+    sim.prepare(randomBundle(1500, 1));
+    auto outcome = sim.runTrial(CoverageModel::fixed(10), 7);
+    EXPECT_TRUE(outcome.result.exactPayload);
+    EXPECT_DOUBLE_EQ(outcome.byteErrorRate, 0.0);
+    EXPECT_EQ(outcome.clustersDropped, 0u);
+    EXPECT_EQ(outcome.readsGenerated,
+              10 * StorageConfig::tinyTest().codewordLen());
+    EXPECT_FALSE(outcome.clustered);
+}
+
+TEST(StorageSimulator, RunTrialDropoutShowsUpAsErasures)
+{
+    ChannelProfile profile;
+    profile.base = ErrorModel::uniform(0.01);
+    profile.dropout.rate = 0.08;
+    profile.dropout.burstLen = 2;
+    StorageSimulator sim(StorageConfig::tinyTest(), LayoutScheme::Gini,
+                         profile, 3);
+    sim.prepare(randomBundle(1500, 2));
+    auto outcome = sim.runTrial(CoverageModel::fixed(8), 5);
+    EXPECT_GT(outcome.clustersDropped, 0u);
+    // Every dropped cluster is an erased column for the decoder.
+    EXPECT_GE(outcome.result.decoded.stats.erasedColumns,
+              outcome.clustersDropped);
+    EXPECT_LT(outcome.readsGenerated,
+              8 * StorageConfig::tinyTest().codewordLen());
+}
+
+TEST(StorageSimulator, RunTrialClusteredReportsQuality)
+{
+    ChannelProfile profile;
+    profile.base = ErrorModel::uniform(0.03);
+    StorageSimulator sim(StorageConfig::tinyTest(), LayoutScheme::Gini,
+                         profile, 4);
+    // Nearly fill the unit: zero-padding columns are identical
+    // strands that the clusterer merges by design, which would drag
+    // pairwise precision down for reasons unrelated to this test.
+    sim.prepare(randomBundle(2400, 3));
+    ClusterParams params;
+    auto outcome = sim.runTrial(CoverageModel::fixed(6), 11, &params);
+    EXPECT_TRUE(outcome.clustered);
+    EXPECT_GT(outcome.clustersFound, 0u);
+    EXPECT_GT(outcome.quality.precision, 0.5);
+    EXPECT_GT(outcome.quality.recall, 0.5);
+}
+
 TEST(StorageSimulator, ForcedErasuresRaiseRequiredCoverage)
 {
     // Figure 13's mechanism: stealing redundancy via forced erasures

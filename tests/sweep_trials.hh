@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared trial-count helper for the Scenario Lab statistical suites.
+ *
+ * Defaults keep ctest fast while staying statistically meaningful;
+ * DNASTORE_SWEEP_TRIALS in the environment overrides the
+ * scenario-threshold suite's per-scenario count — lower for
+ * expensive instrumented runs (sanitizers, coverage), higher for
+ * soak runs. Mirrors FUZZ_ITERS (tests/fuzz_iters.hh). The
+ * determinism suite's counts are fixed by design (it compares runs
+ * against each other).
+ */
+
+#ifndef DNASTORE_TESTS_SWEEP_TRIALS_HH
+#define DNASTORE_TESTS_SWEEP_TRIALS_HH
+
+#include <cstdlib>
+
+namespace dnastore {
+
+/** Trial count: @p dflt unless DNASTORE_SWEEP_TRIALS overrides it. */
+inline int
+sweepTrials(int dflt)
+{
+    const char *env = std::getenv("DNASTORE_SWEEP_TRIALS");
+    if (env == nullptr)
+        return dflt;
+    int v = std::atoi(env);
+    return v > 0 ? v : dflt;
+}
+
+} // namespace dnastore
+
+#endif // DNASTORE_TESTS_SWEEP_TRIALS_HH

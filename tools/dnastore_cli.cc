@@ -10,17 +10,31 @@
  *            Read strands back (one cluster per original line group),
  *            run consensus + ECC, and write the recovered files.
  *   simulate <files...> [--scheme ...] [--error-rate p] [--coverage n]
+ *            [--ins-rate p] [--del-rate p] [--sub-rate p]
+ *            [--gamma-mean m --gamma-shape k]
  *            [--threads t] [--packed-pools] [--cluster]
  *            [--cluster-qgram q] [--cluster-maxdist f]
  *            End-to-end store/retrieve through the noisy channel and
  *            report recovery statistics. With --cluster the reads are
  *            regrouped by the real clusterer (instead of the perfect-
  *            clustering assumption) before decoding.
+ *   sweep    --scenario NAME|all [--trials n] [--threads t] [--seed s]
+ *            [--json FILE] [--csv FILE] [--timing] [--list]
+ *            Deterministic Monte-Carlo reliability sweep over the
+ *            Scenario Lab's named hostile channel profiles; emits a
+ *            structured JSON (and optionally CSV) report. The JSON is
+ *            byte-identical for every --threads value.
  *
  * The unit format produced by `encode` is noiseless (it is what a
- * synthesizer would receive); `simulate` is where the channel lives.
+ * synthesizer would receive); `simulate` and `sweep` are where the
+ * channel lives. Channel and coverage parameters are validated at
+ * this boundary: negative rates, rate totals above 1, and
+ * non-positive gamma shapes are rejected with a clear error instead
+ * of silently simulating garbage.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +42,9 @@
 #include <string>
 #include <vector>
 
+#include "lab/report.hh"
+#include "lab/scenario.hh"
+#include "lab/sweep.hh"
 #include "pipeline/simulator.hh"
 
 using namespace dnastore;
@@ -41,12 +58,26 @@ struct CliOptions
     std::string outdir = ".";
     LayoutScheme scheme = LayoutScheme::Gini;
     double errorRate = 0.06;
+    bool errorRateSet = false;
+    double insRate = -1.0; // < 0 = unset (use --error-rate split)
+    double delRate = -1.0;
+    double subRate = -1.0;
+    double gammaMean = 0.0; // > 0 enables gamma-distributed coverage
+    double gammaShape = 0.0;
     size_t coverage = 10;
     size_t threads = 1; // 0 = all hardware threads
     bool packedPools = false;
     bool cluster = false;
     size_t clusterQgram = 6;
     double clusterMaxDist = 0.25;
+    // sweep
+    std::string scenario = "all";
+    size_t trials = 100;
+    uint64_t seed = 20220618;
+    std::string jsonPath;   // empty = stdout
+    std::string csvPath;    // empty = no CSV
+    bool timing = false;
+    bool list = false;
     bool ok = true;
 };
 
@@ -91,6 +122,53 @@ parseArgs(int argc, char **argv, int first)
         } else if (arg == "--error-rate") {
             opt.errorRate = std::strtod(next("--error-rate").c_str(),
                                         nullptr);
+            opt.errorRateSet = true;
+        } else if (arg == "--ins-rate" || arg == "--del-rate" ||
+                   arg == "--sub-rate") {
+            double rate = std::strtod(next(arg.c_str()).c_str(),
+                                      nullptr);
+            if (rate < 0.0) {
+                std::fprintf(stderr, "%s must be >= 0 (got %g)\n",
+                             arg.c_str(), rate);
+                opt.ok = false;
+            }
+            (arg == "--ins-rate"
+                 ? opt.insRate
+                 : arg == "--del-rate" ? opt.delRate : opt.subRate) =
+                rate;
+        } else if (arg == "--gamma-mean") {
+            opt.gammaMean = std::strtod(next("--gamma-mean").c_str(),
+                                        nullptr);
+        } else if (arg == "--gamma-shape") {
+            opt.gammaShape = std::strtod(next("--gamma-shape").c_str(),
+                                         nullptr);
+        } else if (arg == "--scenario") {
+            opt.scenario = next("--scenario");
+        } else if (arg == "--trials") {
+            std::string raw = next("--trials");
+            opt.trials = std::strtoull(raw.c_str(), nullptr, 10);
+            // strtoull wraps negatives to huge counts; bound the
+            // value so typos fail fast instead of running for days
+            // (10M trials is already a multi-hour soak).
+            const size_t max_trials = 10000000;
+            if (raw.find('-') != std::string::npos ||
+                opt.trials > max_trials) {
+                std::fprintf(stderr,
+                             "--trials must be in [1, %zu] (got %s)\n",
+                             max_trials, raw.c_str());
+                opt.ok = false;
+            }
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next("--seed").c_str(),
+                                     nullptr, 10);
+        } else if (arg == "--json") {
+            opt.jsonPath = next("--json");
+        } else if (arg == "--csv") {
+            opt.csvPath = next("--csv");
+        } else if (arg == "--timing") {
+            opt.timing = true;
+        } else if (arg == "--list") {
+            opt.list = true;
         } else if (arg == "--coverage") {
             opt.coverage = std::strtoull(next("--coverage").c_str(),
                                          nullptr, 10);
@@ -273,9 +351,79 @@ cmdDecode(const CliOptions &opt)
     return result.exact ? 0 : 2;
 }
 
+/**
+ * Validate channel/coverage knobs at the CLI boundary; prints the
+ * offending value and returns false instead of simulating garbage.
+ */
+bool
+validateSimulateOptions(const CliOptions &opt, ErrorModel *model)
+{
+    const bool custom_rates =
+        opt.insRate >= 0.0 || opt.delRate >= 0.0 || opt.subRate >= 0.0;
+    if (custom_rates) {
+        if (opt.errorRateSet) {
+            std::fprintf(stderr,
+                         "--error-rate cannot be combined with "
+                         "--ins-rate/--del-rate/--sub-rate (give the "
+                         "per-type rates only)\n");
+            return false;
+        }
+        // Unset rates (negative sentinel; explicit negatives were
+        // already rejected at parse time) default to 0.
+        *model = ErrorModel::custom(opt.insRate < 0.0 ? 0.0 : opt.insRate,
+                                    opt.delRate < 0.0 ? 0.0 : opt.delRate,
+                                    opt.subRate < 0.0 ? 0.0
+                                                      : opt.subRate);
+    } else {
+        if (opt.errorRate < 0.0 || opt.errorRate > 1.0) {
+            std::fprintf(stderr,
+                         "--error-rate must be in [0, 1] (got %g)\n",
+                         opt.errorRate);
+            return false;
+        }
+        *model = ErrorModel::uniform(opt.errorRate);
+    }
+    if (!model->valid()) {
+        std::fprintf(
+            stderr,
+            "invalid error rates (ins=%g del=%g sub=%g): each must be "
+            ">= 0 and their total at most 1\n",
+            model->insertion, model->deletion, model->substitution);
+        return false;
+    }
+    if (opt.coverage == 0) {
+        std::fprintf(stderr, "--coverage must be >= 1\n");
+        return false;
+    }
+    const bool gamma = opt.gammaMean != 0.0 || opt.gammaShape != 0.0;
+    if (gamma) {
+        if (opt.gammaShape <= 0.0) {
+            std::fprintf(stderr,
+                         "--gamma-shape must be > 0 (got %g)\n",
+                         opt.gammaShape);
+            return false;
+        }
+        if (opt.gammaMean <= 0.0) {
+            std::fprintf(stderr, "--gamma-mean must be > 0 (got %g)\n",
+                         opt.gammaMean);
+            return false;
+        }
+        if (opt.cluster) {
+            std::fprintf(stderr,
+                         "--cluster and --gamma-mean/--gamma-shape "
+                         "cannot be combined\n");
+            return false;
+        }
+    }
+    return true;
+}
+
 int
 cmdSimulate(const CliOptions &opt)
 {
+    ErrorModel model;
+    if (!validateSimulateOptions(opt, &model))
+        return 1;
     bool ok = true;
     FileBundle bundle = bundleInputs(opt, &ok);
     if (!ok)
@@ -286,13 +434,20 @@ cmdSimulate(const CliOptions &opt)
     cfg.numThreads = opt.threads;
     cfg.packedReadPools = opt.packedPools;
 
-    StorageSimulator sim(cfg, opt.scheme,
-                         ErrorModel::uniform(opt.errorRate),
-                         /*seed=*/20220618);
-    sim.store(bundle, opt.coverage);
+    StorageSimulator sim(cfg, opt.scheme, model, /*seed=*/20220618);
+    const bool gamma = opt.gammaMean > 0.0;
+    // Gamma draws are capped by the pool size; 3x the mean (+ slack)
+    // keeps the cap out of the distribution's realistic range.
+    size_t max_coverage = gamma
+        ? std::max(opt.coverage, size_t(opt.gammaMean * 3.0) + 8)
+        : opt.coverage;
+    sim.store(bundle, max_coverage);
 
     RetrievalResult result;
-    if (opt.cluster) {
+    if (gamma) {
+        result = sim.retrieveGamma(opt.gammaMean, opt.gammaShape,
+                                   /*draw_seed=*/opt.seed);
+    } else if (opt.cluster) {
         ClusterParams params;
         params.qgram = opt.clusterQgram;
         params.maxDistanceFrac = opt.clusterMaxDist;
@@ -308,15 +463,101 @@ cmdSimulate(const CliOptions &opt)
     } else {
         result = sim.retrieve(opt.coverage);
     }
-    std::printf("scheme=%s error_rate=%.1f%% coverage=%zu: "
+    // In gamma mode the coverage actually used is the gamma mean, not
+    // the (untouched) --coverage knob.
+    size_t reported_cov =
+        gamma ? size_t(opt.gammaMean + 0.5) : opt.coverage;
+    std::printf("scheme=%s error_rate=%.1f%% coverage=%zu%s: "
                 "exact=%s, %zu errors corrected, %zu molecules lost, "
                 "%zu codewords failed\n",
-                layoutSchemeName(opt.scheme), opt.errorRate * 100,
-                opt.coverage, result.exactPayload ? "yes" : "no",
+                layoutSchemeName(opt.scheme), model.total() * 100,
+                reported_cov, gamma ? " (gamma mean)" : "",
+                result.exactPayload ? "yes" : "no",
                 result.decoded.stats.totalCorrected(),
                 result.decoded.stats.erasedColumns,
                 result.decoded.stats.failedCodewords);
     return result.exactPayload ? 0 : 2;
+}
+
+int
+cmdSweep(const CliOptions &opt)
+{
+    if (opt.list) {
+        for (const auto &s : allScenarios())
+            std::printf("%-18s min_success=%.2f  %s\n", s.name.c_str(),
+                        s.minSuccessRate, s.description.c_str());
+        return 0;
+    }
+    if (opt.trials == 0) {
+        std::fprintf(stderr, "--trials must be >= 1\n");
+        return 1;
+    }
+
+    std::vector<Scenario> grid;
+    if (opt.scenario == "all") {
+        grid = allScenarios();
+    } else {
+        const Scenario *s = findScenario(opt.scenario);
+        if (s == nullptr) {
+            std::fprintf(stderr, "unknown scenario '%s'; available:",
+                         opt.scenario.c_str());
+            for (const auto &known : allScenarios())
+                std::fprintf(stderr, " %s", known.name.c_str());
+            std::fprintf(stderr, " (or 'all')\n");
+            return 1;
+        }
+        grid.push_back(*s);
+    }
+
+    SweepOptions sweep_opt;
+    sweep_opt.trials = opt.trials;
+    sweep_opt.threads = opt.threads;
+    sweep_opt.seed = opt.seed;
+    SweepRunner runner(sweep_opt);
+    std::vector<ScenarioReport> reports = runner.runAll(grid);
+
+    std::string json = reportsToJson(reports, sweep_opt, opt.timing);
+    if (opt.jsonPath.empty()) {
+        std::fputs(json.c_str(), stdout);
+    } else {
+        std::ofstream out(opt.jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.jsonPath.c_str());
+            return 1;
+        }
+        out << json;
+        std::fprintf(stderr, "wrote %s\n", opt.jsonPath.c_str());
+    }
+    if (!opt.csvPath.empty()) {
+        std::ofstream out(opt.csvPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.csvPath.c_str());
+            return 1;
+        }
+        out << reportsToCsv(reports, opt.timing);
+        std::fprintf(stderr, "wrote %s\n", opt.csvPath.c_str());
+    }
+
+    // Per-scenario pass/fail summary on stderr so piping the JSON
+    // stays clean; exit 3 when any scenario misses its threshold.
+    bool all_passed = true;
+    for (const auto &r : reports) {
+        // The enforced bound is quantized to whole trials (see
+        // ScenarioReport::passed); print the actual required count so
+        // the line never contradicts its own verdict at small N.
+        size_t required =
+            size_t(std::floor(r.minSuccessRate * double(r.trials)));
+        std::fprintf(stderr,
+                     "%-18s %zu/%zu trials exact (%.1f%%, bound "
+                     "%.0f%% = need >= %zu) %s\n",
+                     r.scenario.c_str(), r.successes, r.trials,
+                     r.successRate * 100.0, r.minSuccessRate * 100.0,
+                     required, r.passed ? "ok" : "FAIL");
+        all_passed = all_passed && r.passed;
+    }
+    return all_passed ? 0 : 3;
 }
 
 void
@@ -331,12 +572,23 @@ usage()
         "  dnastore simulate <files...> [--scheme S] "
         "[--error-rate P] [--coverage N] [--threads T] "
         "[--packed-pools]\n"
+        "                [--ins-rate P] [--del-rate P] [--sub-rate P]\n"
+        "                [--gamma-mean M --gamma-shape K]\n"
         "                [--cluster] [--cluster-qgram Q] "
         "[--cluster-maxdist F]\n"
         "    (--threads 0 uses all hardware threads; --packed-pools\n"
         "     stores reads 2-bit packed; --cluster regroups reads\n"
         "     with the real clusterer before decoding; results are\n"
-        "     identical for every thread count and storage mode)\n");
+        "     identical for every thread count and storage mode)\n"
+        "  dnastore sweep [--scenario NAME|all] [--trials N] "
+        "[--threads T] [--seed S]\n"
+        "                [--json FILE] [--csv FILE] [--timing] "
+        "[--list]\n"
+        "    (Monte-Carlo reliability sweep over the Scenario Lab's\n"
+        "     hostile channel profiles; JSON goes to stdout unless\n"
+        "     --json is given and is byte-identical for every\n"
+        "     --threads value; --timing adds non-deterministic wall\n"
+        "     times; exit 3 if any scenario misses its threshold)\n");
 }
 
 } // namespace
@@ -361,6 +613,8 @@ main(int argc, char **argv)
             return cmdDecode(opt);
         if (cmd == "simulate")
             return cmdSimulate(opt);
+        if (cmd == "sweep")
+            return cmdSweep(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
