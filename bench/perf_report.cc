@@ -20,8 +20,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,13 @@
 // Monte-Carlo trials.
 #include "lab/scenario.hh"
 #define DNASTORE_HAVE_LAB 1
+#endif
+#if __has_include("api/api.hh")
+// Marks the PR 5 API surface: the public Store façade. The e2e
+// benches run through it so the path every front-end takes is the
+// path the perf trajectory tracks.
+#include "api/api.hh"
+#define DNASTORE_HAVE_API 1
 #endif
 #endif
 
@@ -353,7 +362,10 @@ collect(std::vector<BenchResult> &results, const Options &opt)
 #endif
 
     // --- End-to-end simulate at the default operating point:
-    // benchScale geometry, 5% IDS error, coverage 10.
+    // benchScale geometry, 5% IDS error, coverage 10. Runs through
+    // the public Store façade (api/store.hh) when available, so the
+    // measured path is the one every front-end takes; older
+    // revisions fall back to the raw simulator.
     {
         StorageConfig cfg = StorageConfig::benchScale();
         cfg.numThreads = 1; // measure single-thread throughput
@@ -361,6 +373,70 @@ collect(std::vector<BenchResult> &results, const Options &opt)
         FileBundle bundle = randomBundle(cfg.capacityBytes() / 2, rng);
         ErrorModel model = ErrorModel::uniform(0.05);
 
+#ifdef DNASTORE_HAVE_API
+        (void)cfg;
+        (void)model;
+        auto openStore = [&bundle](size_t threads) {
+            api::StoreOptions sopt = api::StoreOptions::bench();
+            sopt.layout(LayoutScheme::Baseline)
+                .threads(threads)
+                .unitSeed(42);
+            api::ChannelOptions copt;
+            copt.errorRate(0.05).coverage(10);
+            api::Result<api::Store> store =
+                api::Store::open(sopt, copt);
+            if (!store.ok()) {
+                std::fprintf(stderr, "e2e bench store: %s\n",
+                             store.status().toString().c_str());
+                std::exit(1);
+            }
+            for (const auto &file : bundle.files()) {
+                api::Status status = store->put(file.name, file.data);
+                if (!status.ok()) {
+                    std::fprintf(stderr, "e2e bench put: %s\n",
+                                 status.toString().c_str());
+                    std::exit(1);
+                }
+            }
+            return std::move(*store);
+        };
+        auto store = std::make_shared<api::Store>(openStore(1));
+        // Note for cross-revision comparisons: through the façade,
+        // synthesize() includes config resolution and simulator
+        // construction per call (the cost every front-end pays); the
+        // pre-API baseline measured sim.store() alone.
+        add("e2e_store_cov10", [store]() {
+            store->synthesize();
+            g_sink ^= store->strandCount();
+        });
+        store->synthesize();
+        // retrieveAt() rather than retrieveAll(): the latter memoizes
+        // the configured-coverage pass on a clean store, which would
+        // turn iterations 2..n into cache hits.
+        add("e2e_retrieve_cov10", [store]() {
+            g_sink ^= uint64_t(store->retrieveAt(10)->exact);
+        });
+        add("e2e_simulate_cov10", [store]() {
+            store->synthesize();
+            g_sink ^= uint64_t(store->retrieveAt(10)->exact);
+        });
+
+        // Thread-scaling points for the same retrieve: the decoder's
+        // per-cluster consensus and per-codeword RS loops run as
+        // stealable batches on cfg.numThreads workers. Results are
+        // bit-identical across thread counts; only the wall clock
+        // moves (and only on hosts with that many cores).
+        for (size_t t : { size_t(1), size_t(4), size_t(8) }) {
+            std::string name = "e2e_retrieve_t" + std::to_string(t);
+            if (!wants(name.c_str()))
+                continue;
+            auto tstore = std::make_shared<api::Store>(openStore(t));
+            tstore->synthesize();
+            results.push_back(runBench(name.c_str(), opt, [tstore]() {
+                g_sink ^= uint64_t(tstore->retrieveAt(10)->exact);
+            }));
+        }
+#else
         StorageSimulator sim(cfg, LayoutScheme::Baseline, model, 42);
         add("e2e_store_cov10", [&sim, &bundle]() {
             sim.store(bundle, 10);
@@ -375,11 +451,6 @@ collect(std::vector<BenchResult> &results, const Options &opt)
             g_sink ^= uint64_t(sim.retrieve(10).exactPayload);
         });
 
-        // Thread-scaling points for the same retrieve: the decoder's
-        // per-cluster consensus and per-codeword RS loops run as
-        // stealable batches on cfg.numThreads workers. Results are
-        // bit-identical across thread counts; only the wall clock
-        // moves (and only on hosts with that many cores).
         for (size_t t : { size_t(1), size_t(4), size_t(8) }) {
             StorageConfig tcfg = cfg;
             tcfg.numThreads = t;
@@ -393,6 +464,7 @@ collect(std::vector<BenchResult> &results, const Options &opt)
                 g_sink ^= uint64_t(tsim.retrieve(10).exactPayload);
             }));
         }
+#endif
     }
 
 #ifdef DNASTORE_HAVE_LAB

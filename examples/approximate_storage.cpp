@@ -5,43 +5,69 @@
  * The paper's headline use case (sections 5 and 7.2): images are
  * compressed, encrypted, and stored with priority-based mapping; as
  * sequencing coverage (= reading cost) drops, image quality degrades
- * gracefully instead of collapsing. Writes the retrieved images as
- * PGM files so the degradation can be inspected visually, like the
- * paper's Figure 15.
+ * gracefully instead of collapsing. The whole pipeline runs through
+ * the `dnastore::api::Store` façade — note how retrieveAt() keeps
+ * *returning* partially recovered objects (exact=false) instead of
+ * erroring, which is exactly what approximate storage needs. Writes
+ * the retrieved images as PGM files so the degradation can be
+ * inspected visually, like the paper's Figure 15.
  */
 
 #include <cstdio>
 
+#include "api/api.hh"
 #include "media/sjpeg.hh"
 #include "pipeline/quality.hh"
-#include "pipeline/simulator.hh"
 
 using namespace dnastore;
 
 int
 main()
 {
-    StorageConfig cfg = StorageConfig::benchScale();
-    cfg.numThreads = 0; // all hardware threads; output is unchanged
     const uint64_t key_seed = 0xDEC0DE;
 
     // A bundle of synthetic photos, compressed and encrypted.
-    ImageWorkload workload =
-        makeImageWorkloadForCapacity(cfg.capacityBits(), 80, 99);
+    ImageWorkload workload = makeImageWorkloadForCapacity(
+        StorageConfig::benchScale().capacityBits(), 80, 99);
     FileBundle stored = workload.bundle.encrypted(key_seed);
     std::printf("storing %zu encrypted images (%zu bytes) in one "
                 "DNA unit with DnaMapper\n",
                 stored.fileCount(), stored.totalBytes());
 
-    StorageSimulator sim(cfg, LayoutScheme::DnaMapper,
-                         ErrorModel::uniform(0.09), /*seed=*/7);
-    sim.store(stored, /*max_coverage=*/18);
+    api::StoreOptions options = api::StoreOptions::bench();
+    options.layout(LayoutScheme::DnaMapper)
+        .threads(0) // all hardware threads; output is unchanged
+        .unitSeed(7);
+    api::ChannelOptions channel;
+    channel.errorRate(0.09).coverage(18);
+    api::Result<api::Store> opened =
+        api::Store::open(options, channel);
+    if (!opened.ok()) {
+        std::printf("open failed: %s\n",
+                    opened.status().toString().c_str());
+        return 1;
+    }
+    api::Store &store = *opened;
+    for (const auto &file : stored.files()) {
+        api::Status status = store.put(file.name, file.data);
+        if (!status.ok()) {
+            std::printf("put failed: %s\n",
+                        status.toString().c_str());
+            return 1;
+        }
+    }
 
     std::printf("coverage,mean_loss_db,max_loss_db,undecodable\n");
     for (size_t coverage : { 18u, 16u, 15u, 14u, 13u, 12u, 11u }) {
-        RetrievalResult result = sim.retrieve(coverage);
-        FileBundle plain = result.decoded.bundleOk
-            ? result.decoded.bundle.encrypted(key_seed)
+        api::Result<api::Retrieval> result =
+            store.retrieveAt(coverage);
+        if (!result.ok()) {
+            std::printf("retrieve failed: %s\n",
+                        result.status().toString().c_str());
+            return 1;
+        }
+        FileBundle plain = result->decoded
+            ? result->objects.encrypted(key_seed)
             : FileBundle{};
         QualityReport report = evaluateImageQuality(workload, plain);
         std::printf("%zu,%.2f,%.2f,%zu\n", coverage, report.meanLossDb,

@@ -2,37 +2,74 @@
  * @file
  * Gini vs the baseline layout: reading-cost savings at a glance.
  *
- * Stores the same data under both layouts and reports, per error
- * rate, the minimum sequencing coverage each needs for error-free
- * retrieval — the cost model behind the paper's Figure 12 — plus the
- * per-codeword error distribution that explains *why* (Figure 11).
+ * Stores the same data under both layouts (one api::Store per
+ * layout) and reports, per error rate, the minimum sequencing
+ * coverage each needs for error-free retrieval — the cost model
+ * behind the paper's Figure 12 — plus the per-codeword error
+ * distribution that explains *why* (Figure 11).
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
-#include "pipeline/simulator.hh"
+#include "api/api.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 
 using namespace dnastore;
 
+namespace {
+
+std::vector<uint8_t>
+randomBlob(size_t bytes)
+{
+    Rng rng(1);
+    std::vector<uint8_t> blob(bytes);
+    for (auto &b : blob)
+        b = uint8_t(rng.next());
+    return blob;
+}
+
+/** A bench-scale store of @p blob under @p scheme. */
+api::Store
+openStore(LayoutScheme scheme, const std::vector<uint8_t> &blob,
+          uint64_t seed, size_t coverage, double error_rate)
+{
+    api::StoreOptions options = api::StoreOptions::bench();
+    options.layout(scheme)
+        .threads(0) // all hardware threads; output is unchanged
+        .unitSeed(seed);
+    api::ChannelOptions channel;
+    channel.errorRate(error_rate).coverage(coverage);
+    api::Result<api::Store> store =
+        api::Store::open(options, channel);
+    if (!store.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     store.status().toString().c_str());
+        std::exit(1);
+    }
+    api::Status status = store->put("archive.bin", blob);
+    if (!status.ok()) {
+        std::fprintf(stderr, "put failed: %s\n",
+                     status.toString().c_str());
+        std::exit(1);
+    }
+    return std::move(*store);
+}
+
+} // namespace
+
 int
 main()
 {
     StorageConfig cfg = StorageConfig::benchScale();
-    cfg.numThreads = 0; // all hardware threads; output is unchanged
-    Rng rng(1);
-    FileBundle bundle;
-    std::vector<uint8_t> blob(cfg.capacityBytes() - 600);
-    for (auto &b : blob)
-        b = uint8_t(rng.next());
-    bundle.add("archive.bin", std::move(blob));
+    std::vector<uint8_t> blob = randomBlob(cfg.capacityBytes() - 600);
 
     std::printf("%zu molecules/unit, %.1f%% redundancy, payload %zu "
                 "bytes\n\n",
                 cfg.codewordLen(), 100.0 * cfg.redundancyFraction(),
-                bundle.totalBytes());
+                blob.size());
 
     std::printf("error_rate,baseline_min_cov,gini_min_cov,saving\n");
     for (double p : { 0.06, 0.09 }) {
@@ -40,10 +77,12 @@ main()
         const LayoutScheme schemes[2] = { LayoutScheme::Baseline,
                                           LayoutScheme::Gini };
         for (int s = 0; s < 2; ++s) {
-            StorageSimulator sim(cfg, schemes[s],
-                                 ErrorModel::uniform(p), 11);
-            sim.store(bundle, 24);
-            mins[s] = sim.minCoverageForExact(2, 24).value_or(25);
+            api::Store store =
+                openStore(schemes[s], blob, 11, 24, p);
+            api::Result<size_t> min_cov =
+                store.minExactCoverage(2, 24);
+            // Unavailable = nothing in range decoded exactly.
+            mins[s] = min_cov.ok() ? *min_cov : 25;
         }
         std::printf("%.0f%%,%zu,%zu,%.0f%%\n", p * 100, mins[0],
                     mins[1],
@@ -55,15 +94,18 @@ main()
                 "coverage 20:\n");
     for (LayoutScheme scheme : { LayoutScheme::Baseline,
                                  LayoutScheme::Gini }) {
-        StorageSimulator sim(cfg, scheme, ErrorModel::uniform(0.09),
-                             12);
-        sim.store(bundle, 20);
-        auto result = sim.retrieve(20);
-        const auto &per_cw = result.decoded.stats.errorsPerCodeword;
+        api::Store store = openStore(scheme, blob, 12, 20, 0.09);
+        api::Result<api::Retrieval> result = store.retrieveAt(20);
+        if (!result.ok()) {
+            std::printf("  retrieve failed: %s\n",
+                        result.status().toString().c_str());
+            return 1;
+        }
+        const auto &per_cw = result->errorsPerCodeword;
         std::vector<double> counts(per_cw.begin(), per_cw.end());
         std::printf("  %-9s total=%5zu peak=%4.0f gini_index=%.3f\n",
                     layoutSchemeName(scheme),
-                    result.decoded.stats.totalCorrected(),
+                    result->correctedErrors,
                     *std::max_element(counts.begin(), counts.end()),
                     giniIndex(counts));
     }

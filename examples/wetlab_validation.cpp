@@ -5,18 +5,19 @@
  * The paper validated its toolchain by synthesizing two small images
  * in all three formats (baseline, Gini, DnaMapper), sequencing with
  * NGS at ~0.3% error rate, and decoding everything without loss. The
- * wetlab itself is the one thing this repository must substitute (see
- * DESIGN.md): here the identical encode/decode toolchain runs against
- * the simulated channel configured to NGS characteristics — 0.3%
- * total error, ~27% of it indels — and the decoded images are written
- * out as PGM files.
+ * wetlab itself is the one thing this repository must substitute:
+ * here the identical encode/decode toolchain runs — through the
+ * `dnastore::api::Store` façade — against the simulated channel
+ * configured to NGS characteristics (0.3% total error, ~27% of it
+ * indels, set as a ChannelProfile base model), and the decoded
+ * images are written out as PGM files.
  */
 
 #include <cstdio>
 
+#include "api/api.hh"
 #include "media/sjpeg.hh"
 #include "pipeline/quality.hh"
-#include "pipeline/simulator.hh"
 
 using namespace dnastore;
 
@@ -31,28 +32,54 @@ main()
                 workload.bundle.fileCount(),
                 workload.bundle.totalBytes());
 
-    StorageConfig cfg = StorageConfig::tinyTest();
+    // The NGS breakdown comes in as a full channel profile (base
+    // model only, no stressors).
+    ChannelProfile ngs;
+    ngs.base = ErrorModel::ngs(0.003);
+
     const LayoutScheme schemes[3] = { LayoutScheme::Baseline,
                                       LayoutScheme::Gini,
                                       LayoutScheme::DnaMapper };
     bool all_ok = true;
     for (LayoutScheme scheme : schemes) {
-        StorageSimulator sim(cfg, scheme, ErrorModel::ngs(0.003), 33);
-        sim.store(workload.bundle, 10);
-        auto result = sim.retrieve(10);
+        api::StoreOptions options = api::StoreOptions::tiny();
+        options.layout(scheme).unitSeed(33);
+        api::ChannelOptions channel;
+        channel.profile(ngs).coverage(10);
+        api::Result<api::Store> opened =
+            api::Store::open(options, channel);
+        if (!opened.ok()) {
+            std::printf("open failed: %s\n",
+                        opened.status().toString().c_str());
+            return 1;
+        }
+        api::Store &store = *opened;
+        for (const auto &file : workload.bundle.files()) {
+            api::Status status = store.put(file.name, file.data);
+            if (!status.ok()) {
+                std::printf("put failed: %s\n",
+                            status.toString().c_str());
+                return 1;
+            }
+        }
+
+        api::Result<api::Retrieval> result = store.retrieveAll();
+        if (!result.ok()) {
+            std::printf("retrieve failed: %s\n",
+                        result.status().toString().c_str());
+            return 1;
+        }
         auto report = evaluateImageQuality(
-            workload, result.decoded.bundleOk ? result.decoded.bundle
-                                              : FileBundle{});
+            workload,
+            result->decoded ? result->objects : FileBundle{});
         std::printf("  %-9s exact=%s mean_loss=%.2f dB\n",
                     layoutSchemeName(scheme),
-                    result.exactPayload ? "yes" : "no",
-                    report.meanLossDb);
-        all_ok = all_ok && result.exactPayload;
+                    result->exact ? "yes" : "no", report.meanLossDb);
+        all_ok = all_ok && result->exact;
 
-        if (scheme == LayoutScheme::DnaMapper &&
-            result.decoded.bundleOk) {
+        if (scheme == LayoutScheme::DnaMapper && result->decoded) {
             const NamedFile *f =
-                result.decoded.bundle.find(workload.names[0]);
+                result->objects.find(workload.names[0]);
             if (f) {
                 Image img = sjpegDecode(f->data).image;
                 savePgm(img, "wetlab_decoded.pgm");

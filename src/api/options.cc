@@ -1,0 +1,384 @@
+#include "api/options.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dnastore {
+namespace api {
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+// ------------------------------------------------------------ StoreOptions
+
+StoreOptions
+StoreOptions::tiny()
+{
+    StoreOptions opt;
+    opt.cfg_ = StorageConfig::tinyTest();
+    return opt;
+}
+
+StoreOptions
+StoreOptions::bench()
+{
+    StoreOptions opt;
+    opt.cfg_ = StorageConfig::benchScale();
+    return opt;
+}
+
+StoreOptions
+StoreOptions::paper()
+{
+    StoreOptions opt;
+    opt.cfg_ = StorageConfig::paperScale();
+    return opt;
+}
+
+StoreOptions &
+StoreOptions::autoGeometry(bool on)
+{
+    autoGeometry_ = on;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::config(const StorageConfig &cfg)
+{
+    // Execution knobs (threads, packed pools) ride on the adopted
+    // config, as they do in StorageConfig itself.
+    cfg_ = cfg;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::symbolBits(unsigned bits)
+{
+    cfg_.symbolBits = bits;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::rows(size_t rows)
+{
+    cfg_.rows = rows;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::paritySymbols(size_t parity)
+{
+    cfg_.paritySymbols = parity;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::primerLen(size_t bases)
+{
+    cfg_.primerLen = bases;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::primerKey(uint64_t key)
+{
+    cfg_.primerKey = key;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::layout(LayoutScheme scheme)
+{
+    scheme_ = scheme;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::threads(size_t n)
+{
+    cfg_.numThreads = n;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::packedReadPools(bool on)
+{
+    cfg_.packedReadPools = on;
+    return *this;
+}
+
+StoreOptions &
+StoreOptions::unitSeed(uint64_t seed)
+{
+    unitSeed_ = seed;
+    return *this;
+}
+
+Status
+StoreOptions::validate() const
+{
+    // Geometry constraints live in StorageConfig::check() so the
+    // throwing validate() and this builder can never drift apart.
+    if (const char *err = cfg_.check())
+        return Status::invalidArgument(err);
+    return Status();
+}
+
+// ---------------------------------------------------------- ChannelOptions
+
+ChannelOptions &
+ChannelOptions::errorRate(double p)
+{
+    errorRate_ = p;
+    errorRateSet_ = true;
+    return *this;
+}
+
+ChannelOptions &
+ChannelOptions::rates(double ins, double del, double sub)
+{
+    insRate_ = ins;
+    delRate_ = del;
+    subRate_ = sub;
+    ratesSet_ = true;
+    return *this;
+}
+
+ChannelOptions &
+ChannelOptions::profile(const ChannelProfile &profile)
+{
+    profile_ = profile;
+    profileSet_ = true;
+    return *this;
+}
+
+ChannelOptions &
+ChannelOptions::coverage(size_t readsPerCluster)
+{
+    // Last call wins: fixed coverage reverts any earlier
+    // gammaCoverage() so a reused builder never mixes the two.
+    coverage_ = readsPerCluster;
+    gammaMean_ = 0.0;
+    gammaShape_ = 0.0;
+    return *this;
+}
+
+ChannelOptions &
+ChannelOptions::gammaCoverage(double mean, double shape)
+{
+    gammaMean_ = mean;
+    gammaShape_ = shape;
+    return *this;
+}
+
+ChannelOptions &
+ChannelOptions::coverage(const CoverageModel &model)
+{
+    // Round-trips exactly: fixed(n) stores mean_ = n, and
+    // coverageModel() rebuilds fixed(coverage_) / gamma(mean, shape)
+    // from the same values.
+    if (model.isFixed())
+        return coverage(size_t(model.mean()));
+    return gammaCoverage(model.mean(), model.shape());
+}
+
+ChannelOptions &
+ChannelOptions::cluster(const ClusterOptions &options)
+{
+    cluster_ = options.params();
+    clusterSet_ = true;
+    return *this;
+}
+
+ChannelOptions &
+ChannelOptions::drawSeed(uint64_t seed)
+{
+    drawSeed_ = seed;
+    return *this;
+}
+
+Status
+ChannelOptions::validate() const
+{
+    // Channel shape: exactly one of error-rate, per-type rates, or a
+    // full profile.
+    if (errorRateSet_ && ratesSet_)
+        return Status::invalidArgument(
+            "error-rate cannot be combined with "
+            "ins-rate/del-rate/sub-rate (give the per-type rates only)");
+    if (profileSet_ && (errorRateSet_ || ratesSet_))
+        return Status::invalidArgument(
+            "a channel profile cannot be combined with "
+            "error-rate/ins-rate/del-rate/sub-rate (set the profile's "
+            "base model instead)");
+    if (ratesSet_) {
+        if (insRate_ < 0.0)
+            return Status::invalidArgument(formatMessage(
+                "ins-rate must be >= 0 (got %g)", insRate_));
+        if (delRate_ < 0.0)
+            return Status::invalidArgument(formatMessage(
+                "del-rate must be >= 0 (got %g)", delRate_));
+        if (subRate_ < 0.0)
+            return Status::invalidArgument(formatMessage(
+                "sub-rate must be >= 0 (got %g)", subRate_));
+    } else if (!profileSet_ && (errorRate_ < 0.0 || errorRate_ > 1.0)) {
+        return Status::invalidArgument(formatMessage(
+            "error-rate must be in [0, 1] (got %g)", errorRate_));
+    }
+
+    const ChannelProfile resolved = channelProfile();
+    if (!resolved.base.valid())
+        return Status::invalidArgument(formatMessage(
+            "invalid error rates (ins=%g del=%g sub=%g): each must be "
+            ">= 0 and their total at most 1",
+            resolved.base.insertion, resolved.base.deletion,
+            resolved.base.substitution));
+    if (!resolved.ramp.valid())
+        return Status::invalidArgument(
+            "invalid positional ramp (startFrac outside [0,1] or "
+            "negative multiplier)");
+    if (!resolved.pcr.valid())
+        return Status::invalidArgument(
+            "invalid PCR profile (efficiency/errorRate outside [0,1] "
+            "or maxLineage == 0)");
+    if (!resolved.dropout.valid())
+        return Status::invalidArgument(
+            "invalid dropout profile (rate outside [0,1] or "
+            "burstLen == 0)");
+
+    // Coverage.
+    if (coverage_ == 0)
+        return Status::invalidArgument("coverage must be >= 1");
+    const bool gamma = gammaMean_ != 0.0 || gammaShape_ != 0.0;
+    if (gamma) {
+        if (gammaShape_ <= 0.0)
+            return Status::invalidArgument(formatMessage(
+                "gamma-shape must be > 0 (got %g)", gammaShape_));
+        if (gammaMean_ <= 0.0)
+            return Status::invalidArgument(formatMessage(
+                "gamma-mean must be > 0 (got %g)", gammaMean_));
+        // gamma + cluster is NOT rejected here: per-trial read
+        // generation (TrialJob/runTrial) supports the combination;
+        // only the pool-backed retrieval path cannot, and Store
+        // rejects it there.
+    }
+
+    // Clustering knobs.
+    if (clusterSet_) {
+        ClusterOptions check = ClusterOptions::fromParams(cluster_);
+        Status status = check.validate();
+        if (!status.ok())
+            return status;
+    }
+    return Status();
+}
+
+ChannelProfile
+ChannelOptions::channelProfile() const
+{
+    if (profileSet_)
+        return profile_;
+    ChannelProfile flat;
+    flat.base = ratesSet_
+        ? ErrorModel::custom(insRate_, delRate_, subRate_)
+        : ErrorModel::uniform(errorRate_);
+    return flat;
+}
+
+CoverageModel
+ChannelOptions::coverageModel() const
+{
+    if (hasGamma())
+        return CoverageModel::gamma(gammaMean_, gammaShape_);
+    return CoverageModel::fixed(coverage_);
+}
+
+const ClusterParams &
+ChannelOptions::clusterParams() const
+{
+    return cluster_;
+}
+
+size_t
+ChannelOptions::maxCoverage() const
+{
+    if (!hasGamma())
+        return coverage_;
+    // Gamma draws are capped by the pool size; 3x the mean (+ slack)
+    // keeps the cap out of the distribution's realistic range.
+    size_t gamma_cap = size_t(gammaMean_ * 3.0) + 8;
+    return coverage_ > gamma_cap ? coverage_ : gamma_cap;
+}
+
+// ---------------------------------------------------------- ClusterOptions
+
+ClusterOptions
+ClusterOptions::fromParams(const ClusterParams &params)
+{
+    ClusterOptions opt;
+    opt.params_ = params;
+    return opt;
+}
+
+ClusterOptions &
+ClusterOptions::qgram(size_t q)
+{
+    params_.qgram = q;
+    return *this;
+}
+
+ClusterOptions &
+ClusterOptions::signatureSize(size_t n)
+{
+    params_.signatureSize = n;
+    return *this;
+}
+
+ClusterOptions &
+ClusterOptions::maxDistanceFrac(double frac)
+{
+    params_.maxDistanceFrac = frac;
+    return *this;
+}
+
+ClusterOptions &
+ClusterOptions::threads(size_t n)
+{
+    params_.numThreads = n;
+    return *this;
+}
+
+ClusterOptions &
+ClusterOptions::shards(size_t n)
+{
+    params_.numShards = n;
+    return *this;
+}
+
+Status
+ClusterOptions::validate() const
+{
+    // 2 bits per base must fit the 64-bit signature hash.
+    if (params_.qgram < 1 || params_.qgram > 31)
+        return Status::invalidArgument(
+            "cluster-qgram must be in [1, 31]");
+    if (params_.signatureSize < 1)
+        return Status::invalidArgument(
+            "cluster signatureSize must be >= 1");
+    if (!(params_.maxDistanceFrac > 0.0) || params_.maxDistanceFrac > 1.0)
+        return Status::invalidArgument(formatMessage(
+            "cluster-maxdist must be in (0, 1] (got %g)",
+            params_.maxDistanceFrac));
+    return Status();
+}
+
+} // namespace api
+} // namespace dnastore

@@ -1,0 +1,44 @@
+#include "api/status.hh"
+
+namespace dnastore {
+namespace api {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "OK";
+      case StatusCode::InvalidArgument:
+        return "INVALID_ARGUMENT";
+      case StatusCode::NotFound:
+        return "NOT_FOUND";
+      case StatusCode::AlreadyExists:
+        return "ALREADY_EXISTS";
+      case StatusCode::CapacityExceeded:
+        return "CAPACITY_EXCEEDED";
+      case StatusCode::FailedPrecondition:
+        return "FAILED_PRECONDITION";
+      case StatusCode::DataLoss:
+        return "DATA_LOSS";
+      case StatusCode::Unavailable:
+        return "UNAVAILABLE";
+      case StatusCode::Internal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    std::string out = statusCodeName(code_);
+    out += ": ";
+    out += message_;
+    return out;
+}
+
+} // namespace api
+} // namespace dnastore

@@ -1,0 +1,601 @@
+#include "api/store.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "dna/strand.hh"
+#include "pipeline/simulator.hh"
+#include "util/parallel.hh"
+
+namespace dnastore {
+namespace api {
+
+const char *
+version()
+{
+    return "0.5.0";
+}
+
+std::string
+EncodedArtifact::text() const
+{
+    std::string out = header;
+    out += '\n';
+    for (const auto &strand : strands) {
+        out += strand;
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+/** A Future that is already resolved (builder errors, bad state). */
+template <typename T>
+Future<Result<T>>
+readyFuture(Status status)
+{
+    std::promise<Result<T>> promise;
+    promise.set_value(Result<T>(std::move(status)));
+    return Future<Result<T>>(promise.get_future());
+}
+
+Retrieval
+mapRetrieval(const RetrievalResult &result)
+{
+    Retrieval out;
+    out.coverage = result.coverage;
+    out.exact = result.exactPayload;
+    out.decoded = result.decoded.bundleOk;
+    out.objects = result.decoded.bundle;
+    out.correctedErrors = result.decoded.stats.totalCorrected();
+    out.erasedColumns = result.decoded.stats.erasedColumns;
+    out.failedCodewords = result.decoded.stats.failedCodewords;
+    out.indexFaults = result.decoded.stats.indexFaults;
+    out.errorsPerCodeword = result.decoded.stats.errorsPerCodeword;
+    return out;
+}
+
+std::string
+unitHeader(const StorageConfig &cfg, LayoutScheme scheme)
+{
+    std::string header = formatMessage(
+        "#dnastore m=%u rows=%zu parity=%zu primer=%zu scheme=%s",
+        cfg.symbolBits, cfg.rows, cfg.paritySymbols, cfg.primerLen,
+        layoutSchemeName(scheme));
+    // The primer pair derives from primerKey; a non-default key must
+    // survive the artifact or DecodeJob would search for the wrong
+    // primers. Omitted for the default so pre-existing unit files
+    // (which never carried a key) stay byte-identical.
+    if (cfg.primerKey != 1)
+        header += formatMessage(" key=%llu",
+                                (unsigned long long)cfg.primerKey);
+    return header;
+}
+
+} // namespace
+
+/** Everything behind the façade. Heap-allocated so submitted jobs can
+ *  hold a stable pointer across Store moves. */
+struct Store::Rep
+{
+    StoreOptions options;
+    ChannelOptions channel;
+    FileBundle bundle;
+    /**
+     * Shared so an in-flight async job keeps its simulator snapshot
+     * alive even when a later put()+retrieve rebuilds the unit: the
+     * job captures the shared_ptr, the Rep just swaps in a new one.
+     */
+    std::shared_ptr<StorageSimulator> sim;
+
+    /** sim holds an encoded unit (prepare() at least). */
+    bool prepared = false;
+
+    /** sim also holds read pools (store()). */
+    bool synthesized = false;
+
+    /** Objects changed since sim was built. */
+    bool dirty = true;
+
+    /** Geometry sim was built with (autoGeometry re-resolves). */
+    StorageConfig resolvedCfg;
+
+    /**
+     * Memoized configured-coverage retrieval: deterministic for a
+     * fixed channel while the unit is clean, so N get() calls cost
+     * one decode pass, not N. Invalidated by put() and rebuilds.
+     */
+    std::shared_ptr<const Retrieval> lastRetrieval;
+
+    Result<StorageConfig>
+    resolveConfig() const
+    {
+        if (!options.autoGeometry()) {
+            StorageConfig cfg = options.config();
+            if (bundle.serializedBits() > cfg.capacityBits())
+                return Status::capacityExceeded(formatMessage(
+                    "payload (%zu bytes) exceeds the unit capacity "
+                    "(%zu bytes)",
+                    bundle.totalBytes(), cfg.capacityBytes()));
+            return cfg;
+        }
+        // The CLI's behavior: smallest preset that fits, with slack
+        // for the directory growing between check and encode.
+        for (StorageConfig cfg : { StorageConfig::tinyTest(),
+                                   StorageConfig::benchScale() }) {
+            cfg.numThreads = options.config().numThreads;
+            cfg.packedReadPools = options.config().packedReadPools;
+            if (bundle.serializedBits() + 1024 <= cfg.capacityBits())
+                return cfg;
+        }
+        return Status::capacityExceeded(formatMessage(
+            "payload too large for one unit (max ~%zu bytes)",
+            StorageConfig::benchScale().capacityBytes()));
+    }
+
+    /** Encode (and pool) the unit; @p with_pools = store() vs prepare(). */
+    Status
+    build(bool with_pools)
+    {
+        Result<StorageConfig> cfg = resolveConfig();
+        if (!cfg.ok())
+            return cfg.status();
+        try {
+            sim = std::make_shared<StorageSimulator>(
+                *cfg, options.layout(), channel.channelProfile(),
+                options.unitSeed());
+            if (with_pools)
+                sim->store(bundle, channel.maxCoverage());
+            else
+                sim->prepare(bundle);
+        } catch (const std::exception &e) {
+            // A half-built unit must not satisfy a later
+            // ensure*(): drop the simulator AND the clean flags so
+            // the next call rebuilds from scratch.
+            sim.reset();
+            prepared = false;
+            synthesized = false;
+            dirty = true;
+            lastRetrieval.reset();
+            return Status::internal(e.what());
+        }
+        resolvedCfg = *cfg;
+        prepared = true;
+        synthesized = with_pools;
+        dirty = false;
+        lastRetrieval.reset();
+        return Status();
+    }
+
+    Status
+    ensureSynthesized()
+    {
+        if (synthesized && !dirty)
+            return Status();
+        return build(/*with_pools=*/true);
+    }
+
+    Status
+    ensurePrepared()
+    {
+        if (prepared && !dirty)
+            return Status();
+        return build(/*with_pools=*/false);
+    }
+};
+
+Store::Store(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
+Store::Store(Store &&) noexcept = default;
+Store &Store::operator=(Store &&) noexcept = default;
+Store::~Store() = default;
+
+Result<Store>
+Store::open(const StoreOptions &options, const ChannelOptions &channel)
+{
+    Status status = options.validate();
+    if (!status.ok())
+        return status;
+    status = channel.validate();
+    if (!status.ok())
+        return status;
+    auto rep = std::make_unique<Rep>();
+    rep->options = options;
+    rep->channel = channel;
+    return Store(std::move(rep));
+}
+
+Status
+Store::put(const std::string &name, std::vector<uint8_t> data)
+{
+    if (const char *err = FileBundle::checkName(name))
+        return Status::invalidArgument(err);
+    if (rep_->bundle.find(name))
+        return Status::alreadyExists(formatMessage(
+            "an object named '%s' is already stored", name.c_str()));
+
+    // Admission control: reject an object that cannot fit the unit
+    // now, instead of failing synthesis later. Directory cost per
+    // object: 1 length byte + name + u32 size.
+    const size_t candidate_bits = rep_->bundle.serializedBits() +
+        (1 + name.size() + 4 + data.size()) * 8;
+    const size_t cap_bits = rep_->options.autoGeometry()
+        ? StorageConfig::benchScale().capacityBits() - 1024
+        : rep_->options.config().capacityBits();
+    if (candidate_bits > cap_bits)
+        return Status::capacityExceeded(formatMessage(
+            "object '%s' (%zu bytes) would overflow the unit "
+            "(capacity %zu bytes)",
+            name.c_str(), data.size(), cap_bits / 8));
+
+    rep_->bundle.add(name, std::move(data));
+    rep_->dirty = true;
+    rep_->lastRetrieval.reset();
+    return Status();
+}
+
+std::vector<ObjectInfo>
+Store::list() const
+{
+    std::vector<ObjectInfo> out;
+    out.reserve(rep_->bundle.fileCount());
+    for (const auto &file : rep_->bundle.files())
+        out.push_back({ file.name, file.data.size() });
+    return out;
+}
+
+bool
+Store::contains(const std::string &name) const
+{
+    return rep_->bundle.find(name) != nullptr;
+}
+
+size_t
+Store::objectCount() const
+{
+    return rep_->bundle.fileCount();
+}
+
+size_t
+Store::totalBytes() const
+{
+    return rep_->bundle.totalBytes();
+}
+
+Status
+Store::synthesize()
+{
+    return rep_->build(/*with_pools=*/true);
+}
+
+Result<std::shared_ptr<const Retrieval>>
+Store::retrieveCached()
+{
+    // The pool-backed retrieval cannot combine gamma coverage with
+    // the real clusterer (retrieveClustered reads fixed pool
+    // prefixes); per-trial read generation (TrialJob) can.
+    if (rep_->channel.hasGamma() && rep_->channel.hasCluster())
+        return Status::invalidArgument(
+            "cluster and gamma-mean/gamma-shape cannot be combined");
+    Status status = rep_->ensureSynthesized();
+    if (!status.ok())
+        return status;
+    // Clean store + fixed channel = deterministic result; serve the
+    // memoized pass (ensureSynthesized left it in place).
+    if (rep_->lastRetrieval)
+        return rep_->lastRetrieval;
+    const ChannelOptions &chan = rep_->channel;
+    try {
+        Retrieval out;
+        if (chan.hasGamma()) {
+            out = mapRetrieval(rep_->sim->retrieveGamma(
+                chan.gammaMean(), chan.gammaShape(),
+                chan.drawSeed()));
+        } else if (chan.hasCluster()) {
+            ClusteredRetrievalResult clustered =
+                rep_->sim->retrieveClustered(chan.fixedCoverage(),
+                                             chan.clusterParams());
+            out = mapRetrieval(clustered.result);
+            out.clustered = true;
+            out.clustersFound = clustered.clustersFound;
+            out.precision = clustered.quality.precision;
+            out.recall = clustered.quality.recall;
+        } else {
+            out = mapRetrieval(
+                rep_->sim->retrieve(chan.fixedCoverage()));
+        }
+        rep_->lastRetrieval =
+            std::make_shared<const Retrieval>(std::move(out));
+        return rep_->lastRetrieval;
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    }
+}
+
+Result<Retrieval>
+Store::retrieveAll()
+{
+    Result<std::shared_ptr<const Retrieval>> cached =
+        retrieveCached();
+    if (!cached.ok())
+        return cached.status();
+    return **cached;
+}
+
+Result<Retrieval>
+Store::retrieveAt(size_t coverage)
+{
+    if (coverage == 0)
+        return Status::invalidArgument("coverage must be >= 1");
+    if (coverage > rep_->channel.maxCoverage())
+        return Status::invalidArgument(formatMessage(
+            "coverage %zu exceeds the synthesized pool depth %zu",
+            coverage, rep_->channel.maxCoverage()));
+    Status status = rep_->ensureSynthesized();
+    if (!status.ok())
+        return status;
+    try {
+        return mapRetrieval(rep_->sim->retrieve(coverage));
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    }
+}
+
+Result<std::vector<uint8_t>>
+Store::get(const std::string &name)
+{
+    if (!rep_->bundle.find(name))
+        return Status::notFound(
+            formatMessage("no object named '%s'", name.c_str()));
+    // Read through the shared memo: repeated gets cost one decode
+    // pass and copy only the requested object's bytes.
+    Result<std::shared_ptr<const Retrieval>> cached =
+        retrieveCached();
+    if (!cached.ok())
+        return cached.status();
+    const Retrieval &retrieval = **cached;
+    if (!retrieval.decoded)
+        return Status::dataLoss(formatMessage(
+            "the channel defeated the decoder (%zu codewords failed, "
+            "%zu columns erased); the directory is unrecoverable",
+            retrieval.failedCodewords, retrieval.erasedColumns));
+    if (!retrieval.exact)
+        return Status::dataLoss(formatMessage(
+            "the unit decoded with errors (%zu codewords failed); "
+            "retrieveAll() exposes the partial recovery",
+            retrieval.failedCodewords));
+    const NamedFile *file = retrieval.objects.find(name);
+    if (file == nullptr)
+        return Status::dataLoss(formatMessage(
+            "object '%s' missing from the recovered directory",
+            name.c_str()));
+    return file->data;
+}
+
+Result<size_t>
+Store::minExactCoverage(size_t lo, size_t hi)
+{
+    if (lo == 0 || hi < lo)
+        return Status::invalidArgument(formatMessage(
+            "coverage range [%zu, %zu] is empty or starts at 0", lo,
+            hi));
+    if (hi > rep_->channel.maxCoverage())
+        return Status::invalidArgument(formatMessage(
+            "coverage %zu exceeds the synthesized pool depth %zu", hi,
+            rep_->channel.maxCoverage()));
+    Status status = rep_->ensureSynthesized();
+    if (!status.ok())
+        return status;
+    try {
+        std::optional<size_t> min_cov =
+            rep_->sim->minCoverageForExact(lo, hi);
+        if (!min_cov)
+            return Status::unavailable(formatMessage(
+                "no coverage in [%zu, %zu] decodes exactly", lo, hi));
+        return *min_cov;
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    }
+}
+
+Future<Result<EncodedArtifact>>
+Store::submit(const EncodeJob &)
+{
+    Result<StorageConfig> cfg = rep_->resolveConfig();
+    if (!cfg.ok())
+        return readyFuture<EncodedArtifact>(cfg.status());
+    // Snapshot the objects now: later put() calls must not race the
+    // running job.
+    return Future<Result<EncodedArtifact>>(std::async(
+        std::launch::async,
+        [cfg = *cfg, scheme = rep_->options.layout(),
+         bundle = rep_->bundle]() -> Result<EncodedArtifact> {
+            try {
+                UnitEncoder encoder(cfg, scheme);
+                EncodedUnit unit = encoder.encode(bundle);
+                EncodedArtifact artifact;
+                artifact.header = unitHeader(cfg, scheme);
+                artifact.strands.reserve(unit.strands.size());
+                for (const auto &strand : unit.strands)
+                    artifact.strands.push_back(strandToString(strand));
+                artifact.payloadBits = unit.payloadBits;
+                artifact.config = cfg;
+                artifact.scheme = scheme;
+                return artifact;
+            } catch (const std::exception &e) {
+                return Status::internal(e.what());
+            }
+        }));
+}
+
+Future<Result<DecodedObjects>>
+Store::submit(const DecodeJob &job)
+{
+    return Future<Result<DecodedObjects>>(std::async(
+        std::launch::async,
+        [text = job.text,
+         threads = rep_->options.config().numThreads]()
+            -> Result<DecodedObjects> {
+            // Parse the self-describing header.
+            size_t eol = text.find('\n');
+            std::string header = text.substr(
+                0, eol == std::string::npos ? text.size() : eol);
+            StorageConfig cfg;
+            char scheme_name[32] = "gini";
+            unsigned m = 0;
+            size_t rows = 0, parity = 0, primer = 0;
+            if (std::sscanf(header.c_str(),
+                            "#dnastore m=%u rows=%zu parity=%zu "
+                            "primer=%zu scheme=%31s",
+                            &m, &rows, &parity, &primer,
+                            scheme_name) != 5)
+                return Status::failedPrecondition("bad unit header");
+            cfg.symbolBits = m;
+            cfg.rows = rows;
+            cfg.paritySymbols = parity;
+            cfg.primerLen = primer;
+            cfg.numThreads = threads;
+            // Optional key= field (written only for non-default
+            // primer keys; older unit files never carry it).
+            size_t key_pos = header.find(" key=");
+            if (key_pos != std::string::npos)
+                cfg.primerKey = std::strtoull(
+                    header.c_str() + key_pos + 5, nullptr, 10);
+            bool scheme_ok = true;
+            LayoutScheme scheme =
+                layoutSchemeFromName(scheme_name, &scheme_ok);
+            if (!scheme_ok)
+                return Status::failedPrecondition(formatMessage(
+                    "unknown scheme '%s' in unit header", scheme_name));
+            if (const char *err = cfg.check())
+                return Status::failedPrecondition(err);
+
+            try {
+                // Each line is one read; a noiseless unit file makes
+                // each line its own single-read cluster.
+                std::vector<std::vector<Strand>> clusters;
+                size_t pos =
+                    eol == std::string::npos ? text.size() : eol + 1;
+                while (pos < text.size()) {
+                    size_t next = text.find('\n', pos);
+                    if (next == std::string::npos)
+                        next = text.size();
+                    if (next > pos && text[pos] != '#') {
+                        clusters.push_back({ strandFromString(
+                            text.substr(pos, next - pos)) });
+                    }
+                    pos = next + 1;
+                }
+                UnitDecoder decoder(cfg, scheme);
+                DecodedUnit unit = decoder.decode(clusters);
+                if (!unit.bundleOk)
+                    return Status::dataLoss(
+                        "decoding failed (unrecoverable unit)");
+                DecodedObjects out;
+                out.files = unit.bundle.files();
+                out.exact = unit.exact;
+                out.correctedErrors = unit.stats.totalCorrected();
+                out.erasedColumns = unit.stats.erasedColumns;
+                out.failedCodewords = unit.stats.failedCodewords;
+                return out;
+            } catch (const std::exception &e) {
+                return Status::internal(e.what());
+            }
+        }));
+}
+
+Future<Result<TrialSeries>>
+Store::submit(const TrialJob &job)
+{
+    if (job.useClusterer && !rep_->channel.hasCluster())
+        return readyFuture<TrialSeries>(Status::failedPrecondition(
+            "TrialJob.useClusterer needs ClusterOptions on the "
+            "store's channel"));
+    // Encoding happens on the submitting thread so concurrent jobs
+    // only ever touch the simulator through const trial paths.
+    Status status = rep_->ensurePrepared();
+    if (!status.ok())
+        return readyFuture<TrialSeries>(std::move(status));
+
+    // The shared_ptr keeps this simulator snapshot alive for the
+    // job's whole run, even if a later put()+retrieve rebuilds the
+    // store's unit. The cluster params are copied for the same
+    // reason.
+    std::shared_ptr<const StorageSimulator> sim = rep_->sim;
+    CoverageModel coverage = rep_->channel.coverageModel();
+    std::shared_ptr<const ClusterParams> cluster;
+    if (job.useClusterer)
+        cluster = std::make_shared<const ClusterParams>(
+            rep_->channel.clusterParams());
+    return Future<Result<TrialSeries>>(std::async(
+        std::launch::async,
+        [sim, coverage, cluster, seeds = job.trialSeeds,
+         threads = job.threads]() -> Result<TrialSeries> {
+            try {
+                TrialSeries series;
+                series.trials.resize(seeds.size());
+                // Per-trial seeds were pre-drawn serially by the
+                // caller and every trial writes its own slot, so the
+                // series is bit-identical for every thread count and
+                // steal schedule (the Scenario Lab contract).
+                parallelFor(seeds.size(), threads, [&](size_t t) {
+                    TrialOutcome outcome =
+                        sim->runTrial(coverage, seeds[t],
+                                      cluster.get());
+                    TrialResult &rec = series.trials[t];
+                    rec.success = outcome.result.exactPayload;
+                    rec.byteErrorRate = outcome.byteErrorRate;
+                    rec.erasedColumns =
+                        outcome.result.decoded.stats.erasedColumns;
+                    rec.failedCodewords =
+                        outcome.result.decoded.stats.failedCodewords;
+                    rec.correctedErrors =
+                        outcome.result.decoded.stats.totalCorrected();
+                    rec.readsGenerated = outcome.readsGenerated;
+                    rec.clustersDropped = outcome.clustersDropped;
+                    rec.precision = outcome.quality.precision;
+                    rec.recall = outcome.quality.recall;
+                });
+                return series;
+            } catch (const std::exception &e) {
+                return Status::internal(e.what());
+            }
+        }));
+}
+
+const StoreOptions &
+Store::options() const
+{
+    return rep_->options;
+}
+
+const ChannelOptions &
+Store::channel() const
+{
+    return rep_->channel;
+}
+
+StorageConfig
+Store::unitConfig() const
+{
+    Result<StorageConfig> cfg = rep_->resolveConfig();
+    return cfg.ok() ? *cfg : rep_->options.config();
+}
+
+size_t
+Store::capacityBytes() const
+{
+    return unitConfig().capacityBytes();
+}
+
+size_t
+Store::strandCount() const
+{
+    return rep_->prepared && !rep_->dirty
+        ? rep_->sim->unit().strands.size()
+        : 0;
+}
+
+} // namespace api
+} // namespace dnastore

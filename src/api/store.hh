@@ -1,0 +1,322 @@
+/**
+ * @file
+ * `dnastore::api::Store` — the stable public façade over the storage
+ * pipeline.
+ *
+ * A Store is one simulated DNA storage unit: named objects go in with
+ * put(), the unit is synthesized (encode + channel read pools) on
+ * demand, and objects come back out of get() through the full noisy
+ * read path — channel, consensus, Reed-Solomon — configured by the
+ * builder-validated StoreOptions/ChannelOptions. No call on this
+ * surface throws: every fallible operation returns Status or
+ * Result<T> (api/status.hh).
+ *
+ * Batched asynchronous work goes through submit(), which returns a
+ * Future backed by one dispatcher thread per job. EncodeJob and
+ * DecodeJob run serially on that thread; a TrialJob additionally
+ * fans its trial batch out over the process-wide work-stealing
+ * ThreadPool (TrialJob::threads wide) with the Scenario Lab's
+ * determinism contract: the series is bit-identical for every
+ * thread count, because all per-trial randomness derives from
+ * pre-drawn seeds and results land in per-trial slots aggregated
+ * serially.
+ *
+ *  - EncodeJob:  snapshot the store's objects and produce the
+ *                synthesizable unit text (header + one ACGT strand
+ *                per line, the CLI's `encode` format).
+ *  - DecodeJob:  parse unit text (self-describing header) and decode
+ *                it back into named objects.
+ *  - TrialJob:   run N Monte-Carlo channel trials (one per pre-drawn
+ *                seed), the Scenario Lab's unit of work.
+ *
+ * Threading contract: submitted job bodies hold their own snapshots
+ * (a shared reference to the simulator they were submitted against,
+ * copies of the objects/params they need), so in-flight jobs run
+ * safely alongside later put()/retrieve calls on the owning thread —
+ * a rebuild just swaps in a new simulator while the job finishes on
+ * the old one. The Store's own methods are not internally
+ * synchronized: call them from one thread at a time.
+ */
+
+#ifndef DNASTORE_API_STORE_HH
+#define DNASTORE_API_STORE_HH
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/options.hh"
+#include "api/status.hh"
+#include "pipeline/bundle.hh"
+#include "pipeline/config.hh"
+
+namespace dnastore {
+namespace api {
+
+/** Library version (also `dnastore --version`). */
+const char *version();
+
+/** One stored object's directory entry. */
+struct ObjectInfo
+{
+    std::string name;
+    size_t bytes = 0;
+};
+
+/**
+ * Everything one retrieval pass produced. A retrieval that loses
+ * data still *returns* (exact=false, possibly decoded=false) so
+ * callers can study graceful degradation; only get() treats loss as
+ * an error.
+ */
+struct Retrieval
+{
+    /** Reads per cluster this pass used (gamma mean when gamma). */
+    size_t coverage = 0;
+
+    /** Recovered stream matches the stored bits exactly. */
+    bool exact = false;
+
+    /** Directory parsed and objects split (may still be inexact). */
+    bool decoded = false;
+
+    /** Recovered objects (empty when !decoded). */
+    FileBundle objects;
+
+    size_t correctedErrors = 0;
+    size_t erasedColumns = 0;
+    size_t failedCodewords = 0;
+    size_t indexFaults = 0;
+
+    /** Errors corrected per codeword (reliability-skew analysis). */
+    std::vector<size_t> errorsPerCodeword;
+
+    /** Real-clusterer passes only. */
+    bool clustered = false;
+    size_t clustersFound = 0;
+    double precision = 0.0;
+    double recall = 0.0;
+};
+
+/** Synthesizable unit text: the EncodeJob artifact. */
+struct EncodedArtifact
+{
+    std::string header;                //!< "#dnastore m=... scheme=..."
+    std::vector<std::string> strands;  //!< One ACGT line per molecule.
+    size_t payloadBits = 0;
+    StorageConfig config;
+    LayoutScheme scheme = LayoutScheme::Gini;
+
+    /** Header + strands, newline-terminated (the `encode` file). */
+    std::string text() const;
+};
+
+/** Decoded unit text: the DecodeJob artifact. */
+struct DecodedObjects
+{
+    std::vector<NamedFile> files;
+    bool exact = false;
+    size_t correctedErrors = 0;
+    size_t erasedColumns = 0;
+    size_t failedCodewords = 0;
+};
+
+/** One Monte-Carlo trial's outcome (TrialJob artifact entry). */
+struct TrialResult
+{
+    bool success = false;
+    double byteErrorRate = 0.0;
+    size_t erasedColumns = 0;
+    size_t failedCodewords = 0;
+    size_t correctedErrors = 0;
+    size_t readsGenerated = 0;
+    size_t clustersDropped = 0;
+    double precision = 0.0; //!< Clustered trials only.
+    double recall = 0.0;    //!< Clustered trials only.
+};
+
+/** TrialJob artifact: per-trial results, in trial order. */
+struct TrialSeries
+{
+    std::vector<TrialResult> trials;
+};
+
+/** Encode the store's current objects into unit text. */
+struct EncodeJob
+{
+};
+
+/** Decode unit text (produced by EncodeJob / `dnastore encode`). */
+struct DecodeJob
+{
+    std::string text;
+};
+
+/**
+ * Run one Monte-Carlo channel trial per seed. Seeds are pre-drawn by
+ * the caller (serially, from its own stream) so the fan-out schedule
+ * can never leak into the results — the Scenario Lab contract.
+ */
+struct TrialJob
+{
+    std::vector<uint64_t> trialSeeds;
+
+    /** Fan-out width (1 = serial, 0 = all hardware threads). */
+    size_t threads = 1;
+
+    /** Group reads with the store's ClusterOptions per trial. */
+    bool useClusterer = false;
+};
+
+/**
+ * Handle to an asynchronously running job. get() blocks until the
+ * job finishes and yields its Result exactly once; calling get() on
+ * a consumed or default-constructed Future yields a
+ * FailedPrecondition Result instead of throwing (the boundary's
+ * no-throw rule applies to Futures too). Destroying a Future waits
+ * for the job (no detached work outlives the caller).
+ */
+template <typename T>
+class Future
+{
+  public:
+    Future() = default;
+    explicit Future(std::future<T> fut) : fut_(std::move(fut)) {}
+
+    bool valid() const { return fut_.valid(); }
+
+    void
+    wait() const
+    {
+        if (fut_.valid())
+            fut_.wait();
+    }
+
+    T
+    get()
+    {
+        if (!fut_.valid())
+            return T(Status::failedPrecondition(
+                "Future already consumed (or never bound to a job)"));
+        return fut_.get();
+    }
+
+  private:
+    std::future<T> fut_;
+};
+
+/** The public storage façade. One Store = one encoding unit. */
+class Store
+{
+  public:
+    /**
+     * Open a store. Both option sets are builder-validated here:
+     * an invalid parameter yields the documented InvalidArgument
+     * status instead of a constructed object, so everything behind
+     * the façade can assume validated configuration.
+     */
+    static Result<Store> open(const StoreOptions &options,
+                              const ChannelOptions &channel
+                              = ChannelOptions());
+
+    Store(Store &&) noexcept;
+    Store &operator=(Store &&) noexcept;
+    ~Store();
+
+    Store(const Store &) = delete;
+    Store &operator=(const Store &) = delete;
+
+    // ------------------------------------------------------- manifest
+    /**
+     * Add an object. InvalidArgument for an illegal name,
+     * AlreadyExists for a duplicate, CapacityExceeded when the
+     * object would overflow the unit.
+     */
+    Status put(const std::string &name, std::vector<uint8_t> data);
+
+    /** Directory of stored objects, in insertion order. */
+    std::vector<ObjectInfo> list() const;
+
+    bool contains(const std::string &name) const;
+    size_t objectCount() const;
+
+    /** Total payload bytes across objects (directory excluded). */
+    size_t totalBytes() const;
+
+    // ------------------------------------------------------ retrieval
+    /**
+     * Encode the unit and generate its channel read pools. Implicit
+     * before the first retrieval (and after any put()); exposed so
+     * synthesis cost can be paid — or measured — explicitly.
+     * Always re-synthesizes when called directly.
+     */
+    Status synthesize();
+
+    /**
+     * Retrieve one object through the noisy channel. NotFound if no
+     * such object, DataLoss when the channel defeated the decoder.
+     */
+    Result<std::vector<uint8_t>> get(const std::string &name);
+
+    /**
+     * Retrieve everything at the configured coverage model. The
+     * result is deterministic while the store is clean, so it is
+     * memoized: repeated calls (and the get()s built on them) cost
+     * one decode pass until the next put() or synthesize().
+     */
+    Result<Retrieval> retrieveAll();
+
+    /**
+     * Retrieve everything at an explicit fixed coverage (pool
+     * prefix; must not exceed the channel's maxCoverage()). Always
+     * decodes — explicit-coverage sweeps bypass the memo.
+     */
+    Result<Retrieval> retrieveAt(size_t coverage);
+
+    /**
+     * Smallest coverage in [lo, hi] whose retrieval is exact;
+     * Unavailable when none is.
+     */
+    Result<size_t> minExactCoverage(size_t lo, size_t hi);
+
+    // ----------------------------------------------------- async jobs
+    Future<Result<EncodedArtifact>> submit(const EncodeJob &job);
+    Future<Result<DecodedObjects>> submit(const DecodeJob &job);
+    Future<Result<TrialSeries>> submit(const TrialJob &job);
+
+    // ----------------------------------------------------- inspection
+    const StoreOptions &options() const;
+    const ChannelOptions &channel() const;
+
+    /**
+     * The unit geometry retrievals will use. Under autoGeometry the
+     * preset is re-resolved against the current objects.
+     */
+    StorageConfig unitConfig() const;
+
+    /** Payload capacity of the unit, in bytes (geometry-resolved). */
+    size_t capacityBytes() const;
+
+    /** Strands in the synthesized unit (0 before synthesis). */
+    size_t strandCount() const;
+
+  private:
+    struct Rep;
+    explicit Store(std::unique_ptr<Rep> rep);
+
+    /**
+     * The memoized configured-coverage pass, shared: get() reads
+     * through it without copying the recovered objects; the
+     * value-returning retrieveAll() copies once for its caller.
+     */
+    Result<std::shared_ptr<const Retrieval>> retrieveCached();
+
+    std::unique_ptr<Rep> rep_;
+};
+
+} // namespace api
+} // namespace dnastore
+
+#endif // DNASTORE_API_STORE_HH

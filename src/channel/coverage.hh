@@ -42,6 +42,9 @@ class CoverageModel
     /** Configured mean coverage. */
     double mean() const { return mean_; }
 
+    /** Gamma shape parameter (meaningless for fixed models). */
+    double shape() const { return shape_; }
+
     /** True if this model always returns the same count. */
     bool isFixed() const { return fixed_; }
 

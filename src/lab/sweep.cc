@@ -2,9 +2,9 @@
 
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
-#include "pipeline/simulator.hh"
-#include "util/parallel.hh"
+#include "api/api.hh"
 
 namespace dnastore {
 
@@ -31,38 +31,69 @@ SweepRunner::run(const Scenario &scenario) const
 {
     const auto t0 = std::chrono::steady_clock::now();
 
-    StorageSimulator sim(scenario.config, scenario.scheme,
-                         scenario.channel,
-                         opt_.seed ^ fnv1a(scenario.name));
-    sim.prepare(scenario.makePayload());
-    const CoverageModel coverage = scenario.makeCoverage();
+    // The sweep drives trials through the public façade: the Store
+    // owns the simulator (profile channel, per-trial RNG streams) and
+    // the TrialJob fans the batch over the work-stealing pool with
+    // the same slot-per-trial determinism this runner always had.
+    api::StoreOptions store_opt;
+    store_opt.config(scenario.config)
+        .layout(scenario.scheme)
+        .unitSeed(opt_.seed ^ fnv1a(scenario.name));
+    api::ChannelOptions chan_opt;
+    chan_opt.profile(scenario.channel);
+    // The scenario's own coverage helper keeps the fixed/gamma
+    // selection and rounding in one place.
+    chan_opt.coverage(scenario.makeCoverage());
+    if (scenario.clustered)
+        chan_opt.cluster(
+            api::ClusterOptions::fromParams(scenario.clusterParams));
+
+    api::Result<api::Store> store =
+        api::Store::open(store_opt, chan_opt);
+    if (!store.ok())
+        // Scenarios are internal, pre-validated workloads; a rejected
+        // one is a programming error in the grid, not a user input.
+        throw std::invalid_argument("SweepRunner: " +
+                                    store.status().toString());
+    const FileBundle payload = scenario.makePayload();
+    for (const auto &file : payload.files()) {
+        api::Status status = store->put(file.name, file.data);
+        if (!status.ok())
+            throw std::invalid_argument("SweepRunner: " +
+                                        status.toString());
+    }
 
     // Per-trial seeds are drawn serially from one stream before the
     // fan-out, exactly like ReadPool's per-cluster seeds: the trial
     // schedule can never leak into the results.
     Rng seed_stream(opt_.seed ^ fnv1a(scenario.name));
-    std::vector<uint64_t> trial_seeds(opt_.trials);
-    for (auto &s : trial_seeds)
+    api::TrialJob job;
+    job.trialSeeds.resize(opt_.trials);
+    for (auto &s : job.trialSeeds)
         s = seed_stream.next();
+    job.threads = opt_.threads;
+    job.useClusterer = scenario.clustered;
+
+    api::Result<api::TrialSeries> series =
+        store->submit(job).get();
+    if (!series.ok())
+        throw std::runtime_error("SweepRunner: " +
+                                 series.status().toString());
 
     std::vector<TrialRecord> records(opt_.trials);
-    parallelFor(opt_.trials, opt_.threads, [&](size_t t) {
-        TrialOutcome outcome = sim.runTrial(
-            coverage, trial_seeds[t],
-            scenario.clustered ? &scenario.clusterParams : nullptr);
+    for (size_t t = 0; t < opt_.trials; ++t) {
+        const api::TrialResult &outcome = series->trials[t];
         TrialRecord &rec = records[t];
-        rec.success = outcome.result.exactPayload;
+        rec.success = outcome.success;
         rec.byteErrorRate = outcome.byteErrorRate;
-        rec.erasedColumns = outcome.result.decoded.stats.erasedColumns;
-        rec.failedCodewords =
-            outcome.result.decoded.stats.failedCodewords;
-        rec.correctedErrors =
-            outcome.result.decoded.stats.totalCorrected();
+        rec.erasedColumns = outcome.erasedColumns;
+        rec.failedCodewords = outcome.failedCodewords;
+        rec.correctedErrors = outcome.correctedErrors;
         rec.readsGenerated = outcome.readsGenerated;
         rec.clustersDropped = outcome.clustersDropped;
-        rec.precision = outcome.quality.precision;
-        rec.recall = outcome.quality.recall;
-    });
+        rec.precision = outcome.precision;
+        rec.recall = outcome.recall;
+    }
 
     // Serial aggregation in trial order: identical doubles for every
     // thread count.

@@ -8,11 +8,21 @@
 
 namespace dnastore {
 
+const char *
+FileBundle::checkName(const std::string &name)
+{
+    if (name.empty())
+        return "file name must not be empty";
+    if (name.size() > 255)
+        return "file name must be at most 255 bytes";
+    return nullptr;
+}
+
 void
 FileBundle::add(const std::string &name, std::vector<uint8_t> data)
 {
-    if (name.empty() || name.size() > 255)
-        throw std::invalid_argument("FileBundle: bad file name");
+    if (const char *err = checkName(name))
+        throw std::invalid_argument(std::string("FileBundle: ") + err);
     if (find(name))
         throw std::invalid_argument("FileBundle: duplicate name " + name);
     files_.push_back({ name, std::move(data) });

@@ -37,6 +37,14 @@ class FileBundle
   public:
     FileBundle() = default;
 
+    /**
+     * Why @p name is not a legal file name, or nullptr when it is
+     * (non-empty, at most 255 bytes). Shared by the throwing add()
+     * and the public API's Status-returning Store::put, so both
+     * reject a bad name with the same wording.
+     */
+    static const char *checkName(const std::string &name);
+
     /** Add a file. Names must be non-empty, <= 255 bytes, unique. */
     void add(const std::string &name, std::vector<uint8_t> data);
 

@@ -1,6 +1,7 @@
 #include "pipeline/config.hh"
 
 #include <stdexcept>
+#include <string>
 
 namespace dnastore {
 
@@ -18,17 +19,40 @@ layoutSchemeName(LayoutScheme scheme)
     return "unknown";
 }
 
+LayoutScheme
+layoutSchemeFromName(const char *name, bool *ok)
+{
+    *ok = true;
+    const std::string s(name);
+    if (s == "baseline")
+        return LayoutScheme::Baseline;
+    if (s == "gini")
+        return LayoutScheme::Gini;
+    if (s == "dnamapper")
+        return LayoutScheme::DnaMapper;
+    *ok = false;
+    return LayoutScheme::Gini;
+}
+
+const char *
+StorageConfig::check() const
+{
+    if (symbolBits < 2 || symbolBits > 16)
+        return "symbolBits must be in [2, 16]";
+    if (rows == 0)
+        return "rows must be > 0";
+    if (paritySymbols == 0 || paritySymbols >= codewordLen())
+        return "paritySymbols must be in [1, codeword length - 1]";
+    if (primerLen == 0)
+        return "primerLen must be > 0";
+    return nullptr;
+}
+
 void
 StorageConfig::validate() const
 {
-    if (symbolBits < 2 || symbolBits > 16)
-        throw std::invalid_argument("StorageConfig: symbolBits in [2,16]");
-    if (rows == 0)
-        throw std::invalid_argument("StorageConfig: rows must be > 0");
-    if (paritySymbols == 0 || paritySymbols >= codewordLen())
-        throw std::invalid_argument("StorageConfig: bad parity count");
-    if (primerLen == 0)
-        throw std::invalid_argument("StorageConfig: primerLen must be > 0");
+    if (const char *err = check())
+        throw std::invalid_argument(std::string("StorageConfig: ") + err);
 }
 
 StorageConfig

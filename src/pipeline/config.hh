@@ -35,6 +35,14 @@ enum class LayoutScheme
 /** Human-readable scheme name (for bench output). */
 const char *layoutSchemeName(LayoutScheme scheme);
 
+/**
+ * Inverse of layoutSchemeName(): parse "baseline"/"gini"/"dnamapper".
+ * Sets *ok to false (and returns Gini) on an unknown name. The one
+ * mapping shared by the CLI's --scheme flag and the API's unit-header
+ * parser, so encode and decode can never drift.
+ */
+LayoutScheme layoutSchemeFromName(const char *name, bool *ok);
+
 /** Geometry and framing of one encoding unit. */
 struct StorageConfig
 {
@@ -102,6 +110,14 @@ struct StorageConfig
     {
         return double(paritySymbols) / double(codewordLen());
     }
+
+    /**
+     * First broken constraint, or nullptr when the geometry is valid.
+     * The single source of truth behind validate() and the public
+     * API's StoreOptions builder, so both reject a bad geometry with
+     * the same wording.
+     */
+    const char *check() const;
 
     /** Validate the configuration; throws std::invalid_argument. */
     void validate() const;

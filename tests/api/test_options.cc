@@ -1,0 +1,237 @@
+/**
+ * Builder validation: every rejected parameter must surface the
+ * documented StatusCode (InvalidArgument) with a message naming the
+ * parameter — the same message the CLI prints, since the CLI
+ * delegates its flag checks here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/options.hh"
+
+using namespace dnastore;
+using namespace dnastore::api;
+
+namespace {
+
+void
+expectInvalid(const Status &status, const char *needle)
+{
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(status.message().find(needle), std::string::npos)
+        << "message was: " << status.message();
+}
+
+} // namespace
+
+// ------------------------------------------------------------ StoreOptions
+
+TEST(StoreOptions, PresetsAreValid)
+{
+    EXPECT_TRUE(StoreOptions().validate().ok());
+    EXPECT_TRUE(StoreOptions::tiny().validate().ok());
+    EXPECT_TRUE(StoreOptions::bench().validate().ok());
+    EXPECT_TRUE(StoreOptions::paper().validate().ok());
+}
+
+TEST(StoreOptions, RejectsSymbolBits)
+{
+    expectInvalid(StoreOptions().symbolBits(1).validate(),
+                  "symbolBits");
+    expectInvalid(StoreOptions().symbolBits(17).validate(),
+                  "symbolBits");
+}
+
+TEST(StoreOptions, RejectsRows)
+{
+    expectInvalid(StoreOptions().rows(0).validate(), "rows");
+}
+
+TEST(StoreOptions, RejectsParity)
+{
+    expectInvalid(StoreOptions().paritySymbols(0).validate(),
+                  "paritySymbols");
+    // tinyTest is GF(2^8): codeword length 255, so parity 255 leaves
+    // no data columns.
+    expectInvalid(StoreOptions::tiny().paritySymbols(255).validate(),
+                  "paritySymbols");
+}
+
+TEST(StoreOptions, RejectsPrimerLen)
+{
+    expectInvalid(StoreOptions().primerLen(0).validate(),
+                  "primerLen");
+}
+
+TEST(StoreOptions, MatchesThrowingValidatorWording)
+{
+    // The builder and StorageConfig::validate() must never drift:
+    // both come from StorageConfig::check().
+    StorageConfig cfg = StorageConfig::tinyTest();
+    cfg.rows = 0;
+    Status status = StoreOptions().config(cfg).validate();
+    EXPECT_EQ(status.message(), cfg.check());
+}
+
+// ---------------------------------------------------------- ChannelOptions
+
+TEST(ChannelOptions, DefaultIsValid)
+{
+    EXPECT_TRUE(ChannelOptions().validate().ok());
+}
+
+TEST(ChannelOptions, RejectsErrorRateOutOfRange)
+{
+    expectInvalid(ChannelOptions().errorRate(-0.1).validate(),
+                  "error-rate must be in [0, 1]");
+    expectInvalid(ChannelOptions().errorRate(2.0).validate(),
+                  "error-rate must be in [0, 1]");
+}
+
+TEST(ChannelOptions, RejectsErrorRateCombinedWithRates)
+{
+    Status status = ChannelOptions()
+                        .errorRate(0.05)
+                        .rates(0.01, 0.01, 0.01)
+                        .validate();
+    expectInvalid(status, "error-rate cannot be combined");
+}
+
+TEST(ChannelOptions, RejectsNegativePerTypeRates)
+{
+    expectInvalid(
+        ChannelOptions().rates(-0.01, 0.0, 0.0).validate(),
+        "ins-rate must be >= 0");
+    expectInvalid(
+        ChannelOptions().rates(0.0, -0.01, 0.0).validate(),
+        "del-rate must be >= 0");
+    expectInvalid(
+        ChannelOptions().rates(0.0, 0.0, -0.01).validate(),
+        "sub-rate must be >= 0");
+}
+
+TEST(ChannelOptions, RejectsRateTotalAboveOne)
+{
+    expectInvalid(ChannelOptions().rates(0.5, 0.6, 0.0).validate(),
+                  "total at most 1");
+}
+
+TEST(ChannelOptions, RejectsZeroCoverage)
+{
+    expectInvalid(ChannelOptions().coverage(0).validate(),
+                  "coverage must be >= 1");
+}
+
+TEST(ChannelOptions, RejectsBadGamma)
+{
+    expectInvalid(ChannelOptions().gammaCoverage(5.0, 0.0).validate(),
+                  "gamma-shape must be > 0");
+    expectInvalid(
+        ChannelOptions().gammaCoverage(-5.0, 3.0).validate(),
+        "gamma-mean must be > 0");
+}
+
+TEST(ChannelOptions, AcceptsGammaCombinedWithCluster)
+{
+    // Per-trial read generation (TrialJob) supports gamma coverage
+    // through the real clusterer, so the builder accepts the
+    // combination; only the pool-backed retrieval path rejects it
+    // (tested in test_store.cc).
+    Status status = ChannelOptions()
+                        .gammaCoverage(8.0, 4.0)
+                        .cluster(ClusterOptions())
+                        .validate();
+    EXPECT_TRUE(status.ok()) << status.toString();
+}
+
+TEST(ChannelOptions, RejectsBadProfile)
+{
+    ChannelProfile profile;
+    profile.base = ErrorModel::uniform(0.03);
+    profile.dropout.rate = 2.0; // probability > 1
+    expectInvalid(ChannelOptions().profile(profile).validate(),
+                  "dropout");
+}
+
+TEST(ChannelOptions, RejectsProfileCombinedWithRates)
+{
+    ChannelProfile profile;
+    expectInvalid(ChannelOptions()
+                      .profile(profile)
+                      .errorRate(0.01)
+                      .validate(),
+                  "profile cannot be combined");
+}
+
+TEST(ChannelOptions, ResolvedModelMatchesSetters)
+{
+    ChannelOptions uniform;
+    uniform.errorRate(0.06);
+    EXPECT_DOUBLE_EQ(uniform.channelProfile().base.total(), 0.06);
+
+    ChannelOptions custom;
+    custom.rates(0.01, 0.02, 0.03);
+    EXPECT_DOUBLE_EQ(custom.channelProfile().base.insertion, 0.01);
+    EXPECT_DOUBLE_EQ(custom.channelProfile().base.deletion, 0.02);
+    EXPECT_DOUBLE_EQ(custom.channelProfile().base.substitution, 0.03);
+}
+
+TEST(ChannelOptions, MaxCoverageCapsGammaDraws)
+{
+    ChannelOptions fixed;
+    fixed.coverage(12);
+    EXPECT_EQ(fixed.maxCoverage(), 12u);
+
+    ChannelOptions gamma;
+    gamma.coverage(4).gammaCoverage(10.0, 4.0);
+    // 3x the mean + slack, never below the fixed coverage.
+    EXPECT_EQ(gamma.maxCoverage(), size_t(10.0 * 3.0) + 8);
+}
+
+// ---------------------------------------------------------- ClusterOptions
+
+TEST(ClusterOptions, DefaultIsValid)
+{
+    EXPECT_TRUE(ClusterOptions().validate().ok());
+}
+
+TEST(ClusterOptions, RejectsQgramBounds)
+{
+    expectInvalid(ClusterOptions().qgram(0).validate(),
+                  "cluster-qgram must be in [1, 31]");
+    expectInvalid(ClusterOptions().qgram(32).validate(),
+                  "cluster-qgram must be in [1, 31]");
+    EXPECT_TRUE(ClusterOptions().qgram(31).validate().ok());
+}
+
+TEST(ClusterOptions, RejectsSignatureSize)
+{
+    expectInvalid(ClusterOptions().signatureSize(0).validate(),
+                  "signatureSize");
+}
+
+TEST(ClusterOptions, RejectsMaxDistanceFrac)
+{
+    expectInvalid(ClusterOptions().maxDistanceFrac(0.0).validate(),
+                  "cluster-maxdist");
+    expectInvalid(ClusterOptions().maxDistanceFrac(1.5).validate(),
+                  "cluster-maxdist");
+}
+
+TEST(ClusterOptions, ParamsRoundTrip)
+{
+    ClusterParams params;
+    params.qgram = 8;
+    params.signatureSize = 6;
+    params.maxDistanceFrac = 0.2;
+    params.numThreads = 4;
+    params.numShards = 2;
+    ClusterOptions opt = ClusterOptions::fromParams(params);
+    EXPECT_TRUE(opt.validate().ok());
+    EXPECT_EQ(opt.params().qgram, 8u);
+    EXPECT_EQ(opt.params().signatureSize, 6u);
+    EXPECT_DOUBLE_EQ(opt.params().maxDistanceFrac, 0.2);
+    EXPECT_EQ(opt.params().numThreads, 4u);
+    EXPECT_EQ(opt.params().numShards, 2u);
+}

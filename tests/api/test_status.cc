@@ -1,0 +1,81 @@
+/** Status / Result basics: the error-model contract of api/status.hh. */
+
+#include <gtest/gtest.h>
+
+#include "api/status.hh"
+
+using namespace dnastore::api;
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.message(), "");
+    EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(Status, NamedConstructorsCarryCodeAndMessage)
+{
+    struct Case
+    {
+        Status status;
+        StatusCode code;
+        const char *name;
+    };
+    const Case cases[] = {
+        { Status::invalidArgument("bad"), StatusCode::InvalidArgument,
+          "INVALID_ARGUMENT" },
+        { Status::notFound("bad"), StatusCode::NotFound, "NOT_FOUND" },
+        { Status::alreadyExists("bad"), StatusCode::AlreadyExists,
+          "ALREADY_EXISTS" },
+        { Status::capacityExceeded("bad"),
+          StatusCode::CapacityExceeded, "CAPACITY_EXCEEDED" },
+        { Status::failedPrecondition("bad"),
+          StatusCode::FailedPrecondition, "FAILED_PRECONDITION" },
+        { Status::dataLoss("bad"), StatusCode::DataLoss, "DATA_LOSS" },
+        { Status::unavailable("bad"), StatusCode::Unavailable,
+          "UNAVAILABLE" },
+        { Status::internal("bad"), StatusCode::Internal, "INTERNAL" },
+    };
+    for (const Case &c : cases) {
+        EXPECT_FALSE(c.status.ok());
+        EXPECT_EQ(c.status.code(), c.code);
+        EXPECT_EQ(c.status.message(), "bad");
+        EXPECT_STREQ(statusCodeName(c.code), c.name);
+        EXPECT_EQ(c.status.toString(),
+                  std::string(c.name) + ": bad");
+    }
+}
+
+TEST(Result, ValueRoundTrip)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, ErrorCarriesStatus)
+{
+    Result<int> r(Status::notFound("no such thing"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::NotFound);
+    EXPECT_EQ(r.status().message(), "no such thing");
+}
+
+TEST(Result, MoveOnlyValues)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> taken = std::move(r.value());
+    EXPECT_EQ(*taken, 7);
+}
+
+TEST(Result, ArrowOperator)
+{
+    Result<std::string> r(std::string("abc"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 3u);
+}

@@ -1,0 +1,318 @@
+/**
+ * Store façade: put/get round trips (empty, single, multi-object),
+ * the FileBundle error paths surfacing as Status instead of
+ * std::invalid_argument, capacity admission, and the no-throw
+ * contract of the API boundary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/api.hh"
+
+using namespace dnastore;
+using namespace dnastore::api;
+
+namespace {
+
+Store
+openTiny(uint64_t seed = 42)
+{
+    StoreOptions options = StoreOptions::tiny();
+    options.unitSeed(seed);
+    ChannelOptions channel;
+    channel.errorRate(0.03).coverage(8);
+    Result<Store> store = Store::open(options, channel);
+    EXPECT_TRUE(store.ok()) << store.status().toString();
+    return std::move(*store);
+}
+
+std::vector<uint8_t>
+patternBytes(size_t n, uint8_t base)
+{
+    std::vector<uint8_t> data(n);
+    for (size_t i = 0; i < n; ++i)
+        data[i] = uint8_t(base + i * 13);
+    return data;
+}
+
+} // namespace
+
+TEST(StoreOpen, RejectsInvalidOptionsWithStatus)
+{
+    Result<Store> store =
+        Store::open(StoreOptions().symbolBits(1));
+    ASSERT_FALSE(store.ok());
+    EXPECT_EQ(store.status().code(), StatusCode::InvalidArgument);
+
+    Result<Store> bad_channel = Store::open(
+        StoreOptions::tiny(), ChannelOptions().coverage(0));
+    ASSERT_FALSE(bad_channel.ok());
+    EXPECT_EQ(bad_channel.status().code(),
+              StatusCode::InvalidArgument);
+}
+
+// Regression: FileBundle::add throws std::invalid_argument for a bad
+// or duplicate name; through the API those are Status values, never
+// exceptions.
+TEST(StorePut, BadNameIsStatusNotThrow)
+{
+    Store store = openTiny();
+    Status status;
+    EXPECT_NO_THROW(status = store.put("", { 1, 2, 3 }));
+    EXPECT_EQ(status.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(status.message().find("file name"), std::string::npos);
+
+    std::string long_name(256, 'x');
+    EXPECT_NO_THROW(status = store.put(long_name, { 1 }));
+    EXPECT_EQ(status.code(), StatusCode::InvalidArgument);
+    EXPECT_EQ(store.objectCount(), 0u);
+}
+
+TEST(StorePut, DuplicateNameIsStatusNotThrow)
+{
+    Store store = openTiny();
+    EXPECT_TRUE(store.put("a.bin", { 1, 2 }).ok());
+    Status status;
+    EXPECT_NO_THROW(status = store.put("a.bin", { 3, 4 }));
+    EXPECT_EQ(status.code(), StatusCode::AlreadyExists);
+    EXPECT_NE(status.message().find("a.bin"), std::string::npos);
+    EXPECT_EQ(store.objectCount(), 1u);
+}
+
+TEST(StorePut, CapacityExceededIsStatus)
+{
+    Store store = openTiny();
+    // tinyTest capacity is ~2496 bytes; one oversized object must be
+    // refused at admission, not at synthesis.
+    Status status = store.put("big.bin", patternBytes(4000, 1));
+    EXPECT_EQ(status.code(), StatusCode::CapacityExceeded);
+    EXPECT_EQ(store.objectCount(), 0u);
+
+    // And the cumulative case: two objects that fit alone but not
+    // together.
+    EXPECT_TRUE(store.put("half1", patternBytes(1400, 3)).ok());
+    status = store.put("half2", patternBytes(1400, 5));
+    EXPECT_EQ(status.code(), StatusCode::CapacityExceeded);
+    EXPECT_EQ(store.objectCount(), 1u);
+}
+
+TEST(StoreManifest, ListAndContains)
+{
+    Store store = openTiny();
+    EXPECT_EQ(store.objectCount(), 0u);
+    EXPECT_TRUE(store.list().empty());
+    EXPECT_FALSE(store.contains("a"));
+
+    ASSERT_TRUE(store.put("a", patternBytes(10, 1)).ok());
+    ASSERT_TRUE(store.put("b", patternBytes(20, 2)).ok());
+    auto list = store.list();
+    ASSERT_EQ(list.size(), 2u);
+    EXPECT_EQ(list[0].name, "a");
+    EXPECT_EQ(list[0].bytes, 10u);
+    EXPECT_EQ(list[1].name, "b");
+    EXPECT_EQ(list[1].bytes, 20u);
+    EXPECT_TRUE(store.contains("b"));
+    EXPECT_EQ(store.totalBytes(), 30u);
+}
+
+TEST(StoreGet, SingleObjectRoundTrip)
+{
+    Store store = openTiny();
+    auto payload = patternBytes(600, 9);
+    ASSERT_TRUE(store.put("data.bin", payload).ok());
+    Result<std::vector<uint8_t>> got = store.get("data.bin");
+    ASSERT_TRUE(got.ok()) << got.status().toString();
+    EXPECT_EQ(*got, payload);
+}
+
+TEST(StoreGet, MultiObjectRoundTrip)
+{
+    Store store = openTiny();
+    auto a = patternBytes(500, 1);
+    auto b = patternBytes(900, 7);
+    auto c = patternBytes(1, 50);
+    ASSERT_TRUE(store.put("a.bin", a).ok());
+    ASSERT_TRUE(store.put("b.bin", b).ok());
+    ASSERT_TRUE(store.put("c.bin", c).ok());
+
+    Result<std::vector<uint8_t>> got_b = store.get("b.bin");
+    ASSERT_TRUE(got_b.ok()) << got_b.status().toString();
+    EXPECT_EQ(*got_b, b);
+    Result<std::vector<uint8_t>> got_a = store.get("a.bin");
+    ASSERT_TRUE(got_a.ok());
+    EXPECT_EQ(*got_a, a);
+    Result<std::vector<uint8_t>> got_c = store.get("c.bin");
+    ASSERT_TRUE(got_c.ok());
+    EXPECT_EQ(*got_c, c);
+}
+
+TEST(StoreGet, EmptyStoreRoundTrip)
+{
+    // A store with no objects still synthesizes (directory-only
+    // unit) and retrieves exactly; get() of anything is NotFound.
+    Store store = openTiny();
+    Result<Retrieval> retrieval = store.retrieveAll();
+    ASSERT_TRUE(retrieval.ok()) << retrieval.status().toString();
+    EXPECT_TRUE(retrieval->exact);
+    EXPECT_TRUE(retrieval->decoded);
+    EXPECT_EQ(retrieval->objects.fileCount(), 0u);
+
+    Result<std::vector<uint8_t>> got = store.get("anything");
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::NotFound);
+}
+
+TEST(StoreGet, NotFoundNamesTheObject)
+{
+    Store store = openTiny();
+    ASSERT_TRUE(store.put("real", patternBytes(8, 1)).ok());
+    Result<std::vector<uint8_t>> got = store.get("fake");
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::NotFound);
+    EXPECT_NE(got.status().message().find("fake"),
+              std::string::npos);
+}
+
+TEST(StoreGet, PutAfterRetrievalResynthesizes)
+{
+    Store store = openTiny();
+    ASSERT_TRUE(store.put("first", patternBytes(100, 2)).ok());
+    ASSERT_TRUE(store.get("first").ok());
+    // A later put dirties the unit; the next get must see both
+    // objects.
+    auto second = patternBytes(150, 4);
+    ASSERT_TRUE(store.put("second", second).ok());
+    Result<std::vector<uint8_t>> got = store.get("second");
+    ASSERT_TRUE(got.ok()) << got.status().toString();
+    EXPECT_EQ(*got, second);
+}
+
+TEST(StoreRetrieve, DataLossSurfacesAsStatus)
+{
+    // A hostile channel at starvation coverage: get() must report
+    // DataLoss (or at minimum a non-ok status), never throw.
+    StoreOptions options = StoreOptions::tiny();
+    options.unitSeed(3);
+    ChannelOptions channel;
+    channel.errorRate(0.30).coverage(1);
+    Result<Store> opened = Store::open(options, channel);
+    ASSERT_TRUE(opened.ok());
+    Store &store = *opened;
+    ASSERT_TRUE(store.put("doomed", patternBytes(2000, 1)).ok());
+
+    Result<std::vector<uint8_t>> got(std::vector<uint8_t>{});
+    EXPECT_NO_THROW(got = store.get("doomed"));
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::DataLoss);
+
+    // retrieveAll still *returns* the partial recovery.
+    Result<Retrieval> retrieval = store.retrieveAll();
+    ASSERT_TRUE(retrieval.ok());
+    EXPECT_FALSE(retrieval->exact);
+}
+
+TEST(StoreRetrieve, RetrieveAtValidatesCoverage)
+{
+    Store store = openTiny();
+    ASSERT_TRUE(store.put("x", patternBytes(64, 1)).ok());
+    EXPECT_EQ(store.retrieveAt(0).status().code(),
+              StatusCode::InvalidArgument);
+    // Channel coverage is 8, so the pool holds 8 reads per cluster.
+    EXPECT_EQ(store.retrieveAt(9).status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_TRUE(store.retrieveAt(8).ok());
+}
+
+TEST(StoreRetrieve, MinExactCoverage)
+{
+    Store store = openTiny();
+    ASSERT_TRUE(store.put("x", patternBytes(600, 11)).ok());
+    Result<size_t> min_cov = store.minExactCoverage(1, 8);
+    ASSERT_TRUE(min_cov.ok()) << min_cov.status().toString();
+    EXPECT_GE(*min_cov, 1u);
+    EXPECT_LE(*min_cov, 8u);
+
+    EXPECT_EQ(store.minExactCoverage(0, 8).status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(store.minExactCoverage(5, 4).status().code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(StoreRetrieve, GammaCoverageRetrieval)
+{
+    StoreOptions options = StoreOptions::tiny();
+    options.unitSeed(42);
+    ChannelOptions channel;
+    channel.errorRate(0.02).gammaCoverage(8.0, 4.0).drawSeed(5);
+    Result<Store> opened = Store::open(options, channel);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened->put("g", patternBytes(700, 3)).ok());
+    Result<Retrieval> retrieval = opened->retrieveAll();
+    ASSERT_TRUE(retrieval.ok()) << retrieval.status().toString();
+    EXPECT_EQ(retrieval->coverage, 8u); // labeled with the mean
+}
+
+TEST(StoreRetrieve, GammaPlusClusterRejectedOnPooledPathOnly)
+{
+    // The builder accepts gamma + cluster (TrialJob supports it);
+    // the pool-backed retrieveAll cannot serve it and says so.
+    StoreOptions options = StoreOptions::tiny();
+    ChannelOptions channel;
+    channel.errorRate(0.03)
+        .gammaCoverage(6.0, 3.0)
+        .cluster(ClusterOptions());
+    Result<Store> opened = Store::open(options, channel);
+    ASSERT_TRUE(opened.ok()) << opened.status().toString();
+    ASSERT_TRUE(opened->put("p", patternBytes(500, 1)).ok());
+
+    Result<Retrieval> retrieval = opened->retrieveAll();
+    ASSERT_FALSE(retrieval.ok());
+    EXPECT_EQ(retrieval.status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_NE(retrieval.status().message().find(
+                  "cluster and gamma-mean/gamma-shape"),
+              std::string::npos);
+
+    // ...while a clustered gamma TrialJob runs fine.
+    TrialJob job;
+    job.trialSeeds = { 1, 2, 3 };
+    job.useClusterer = true;
+    Result<TrialSeries> series = opened->submit(job).get();
+    ASSERT_TRUE(series.ok()) << series.status().toString();
+    EXPECT_EQ(series->trials.size(), 3u);
+}
+
+TEST(StoreInspection, GeometryAndCapacity)
+{
+    Store store = openTiny();
+    EXPECT_EQ(store.unitConfig().symbolBits, 8u);
+    EXPECT_EQ(store.capacityBytes(),
+              StorageConfig::tinyTest().capacityBytes());
+    EXPECT_EQ(store.strandCount(), 0u); // nothing synthesized yet
+    ASSERT_TRUE(store.synthesize().ok());
+    EXPECT_EQ(store.strandCount(),
+              StorageConfig::tinyTest().codewordLen());
+}
+
+TEST(StoreInspection, AutoGeometryPicksPreset)
+{
+    StoreOptions options;
+    options.autoGeometry(true);
+    Result<Store> opened = Store::open(options);
+    ASSERT_TRUE(opened.ok());
+    // Small payload -> tinyTest.
+    ASSERT_TRUE(opened->put("s", patternBytes(100, 1)).ok());
+    EXPECT_EQ(opened->unitConfig().symbolBits, 8u);
+    // Grow past tinyTest -> benchScale.
+    ASSERT_TRUE(opened->put("m", patternBytes(4000, 1)).ok());
+    EXPECT_EQ(opened->unitConfig().symbolBits, 10u);
+}
+
+TEST(StoreMove, MoveKeepsStateAndFutures)
+{
+    Store store = openTiny();
+    ASSERT_TRUE(store.put("a", patternBytes(32, 1)).ok());
+    Store moved = std::move(store);
+    EXPECT_EQ(moved.objectCount(), 1u);
+    EXPECT_TRUE(moved.get("a").ok());
+}

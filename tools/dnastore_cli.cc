@@ -1,12 +1,12 @@
 /**
  * @file
- * dnastore command-line tool.
+ * dnastore command-line tool — a thin shell over `dnastore::api`.
  *
  * Subcommands:
  *   encode   <files...> --out unit.dna [--scheme gini|baseline|dnamapper]
  *            Encode files into a DNA unit; writes one ACGT strand per
  *            line (FASTA-ish flat format).
- *   decode   <unit.dna> --outdir DIR [--scheme ...]
+ *   decode   <unit.dna> --outdir DIR
  *            Read strands back (one cluster per original line group),
  *            run consensus + ECC, and write the recovered files.
  *   simulate <files...> [--scheme ...] [--error-rate p] [--coverage n]
@@ -24,16 +24,24 @@
  *            Scenario Lab's named hostile channel profiles; emits a
  *            structured JSON (and optionally CSV) report. The JSON is
  *            byte-identical for every --threads value.
+ *   --version
+ *            Print the library version and exit.
  *
  * The unit format produced by `encode` is noiseless (it is what a
  * synthesizer would receive); `simulate` and `sweep` are where the
- * channel lives. Channel and coverage parameters are validated at
- * this boundary: negative rates, rate totals above 1, and
- * non-positive gamma shapes are rejected with a clear error instead
- * of silently simulating garbage.
+ * channel lives. All parameter validation happens in the API's
+ * option builders (api/options.hh) — the CLI prints the builder's
+ * Status message verbatim, so the CLI and the API reject identical
+ * inputs with identical messages.
+ *
+ * Exit codes (documented in --help and the README):
+ *   0  success (exact recovery / all scenarios passed)
+ *   1  runtime failure (I/O error, unrecoverable unit)
+ *   2  usage or validation error (bad flag, rejected parameter)
+ *   3  quality threshold miss (inexact recovery, scenario below its
+ *      reliability bound)
  */
 
-#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -42,14 +50,20 @@
 #include <string>
 #include <vector>
 
+#include "api/api.hh"
 #include "lab/report.hh"
 #include "lab/scenario.hh"
 #include "lab/sweep.hh"
-#include "pipeline/simulator.hh"
 
 using namespace dnastore;
 
 namespace {
+
+// The documented exit-code contract.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitThreshold = 3;
 
 struct CliOptions
 {
@@ -59,17 +73,20 @@ struct CliOptions
     LayoutScheme scheme = LayoutScheme::Gini;
     double errorRate = 0.06;
     bool errorRateSet = false;
-    double insRate = -1.0; // < 0 = unset (use --error-rate split)
-    double delRate = -1.0;
-    double subRate = -1.0;
-    double gammaMean = 0.0; // > 0 enables gamma-distributed coverage
+    double insRate = 0.0;
+    double delRate = 0.0;
+    double subRate = 0.0;
+    bool ratesSet = false;
+    double gammaMean = 0.0;
     double gammaShape = 0.0;
+    bool gammaSet = false;
     size_t coverage = 10;
     size_t threads = 1; // 0 = all hardware threads
     bool packedPools = false;
     bool cluster = false;
     size_t clusterQgram = 6;
     double clusterMaxDist = 0.25;
+    bool clusterKnobsSet = false;
     // sweep
     std::string scenario = "all";
     size_t trials = 100;
@@ -81,17 +98,26 @@ struct CliOptions
     bool ok = true;
 };
 
-LayoutScheme
-parseScheme(const std::string &name, bool *ok)
+/** Print a rejected parameter exactly as the API words it. */
+void
+printStatus(const api::Status &status)
 {
-    if (name == "baseline")
-        return LayoutScheme::Baseline;
-    if (name == "gini")
-        return LayoutScheme::Gini;
-    if (name == "dnamapper")
-        return LayoutScheme::DnaMapper;
-    *ok = false;
-    return LayoutScheme::Gini;
+    std::fprintf(stderr, "%s\n", status.message().c_str());
+}
+
+/** Map an API failure onto the documented exit codes. */
+int
+statusExit(const api::Status &status)
+{
+    switch (status.code()) {
+      case api::StatusCode::InvalidArgument:
+      case api::StatusCode::AlreadyExists:
+      case api::StatusCode::CapacityExceeded:
+      case api::StatusCode::FailedPrecondition:
+        return kExitUsage;
+      default:
+        return kExitRuntime;
+    }
 }
 
 CliOptions
@@ -114,7 +140,8 @@ parseArgs(int argc, char **argv, int first)
             opt.outdir = next("--outdir");
         } else if (arg == "--scheme") {
             bool ok = true;
-            opt.scheme = parseScheme(next("--scheme"), &ok);
+            opt.scheme =
+                layoutSchemeFromName(next("--scheme").c_str(), &ok);
             if (!ok) {
                 std::fprintf(stderr, "unknown scheme\n");
                 opt.ok = false;
@@ -127,21 +154,19 @@ parseArgs(int argc, char **argv, int first)
                    arg == "--sub-rate") {
             double rate = std::strtod(next(arg.c_str()).c_str(),
                                       nullptr);
-            if (rate < 0.0) {
-                std::fprintf(stderr, "%s must be >= 0 (got %g)\n",
-                             arg.c_str(), rate);
-                opt.ok = false;
-            }
             (arg == "--ins-rate"
                  ? opt.insRate
                  : arg == "--del-rate" ? opt.delRate : opt.subRate) =
                 rate;
+            opt.ratesSet = true;
         } else if (arg == "--gamma-mean") {
             opt.gammaMean = std::strtod(next("--gamma-mean").c_str(),
                                         nullptr);
+            opt.gammaSet = true;
         } else if (arg == "--gamma-shape") {
             opt.gammaShape = std::strtod(next("--gamma-shape").c_str(),
                                          nullptr);
+            opt.gammaSet = true;
         } else if (arg == "--scenario") {
             opt.scenario = next("--scenario");
         } else if (arg == "--trials") {
@@ -182,15 +207,11 @@ parseArgs(int argc, char **argv, int first)
         } else if (arg == "--cluster-qgram") {
             opt.clusterQgram = std::strtoull(
                 next("--cluster-qgram").c_str(), nullptr, 10);
-            // 2 bits per base must fit the 64-bit signature hash.
-            if (opt.clusterQgram < 1 || opt.clusterQgram > 31) {
-                std::fprintf(stderr,
-                             "--cluster-qgram must be in [1, 31]\n");
-                opt.ok = false;
-            }
+            opt.clusterKnobsSet = true;
         } else if (arg == "--cluster-maxdist") {
             opt.clusterMaxDist = std::strtod(
                 next("--cluster-maxdist").c_str(), nullptr);
+            opt.clusterKnobsSet = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             opt.ok = false;
@@ -223,68 +244,99 @@ baseName(const std::string &path)
     return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
-/** Pick a config whose unit fits the payload. */
-StorageConfig
-configFor(size_t payload_bits, bool *ok)
+/**
+ * The clustering knobs as the API sees them; validated by the
+ * builder whenever any knob was given, --cluster or not, so a typo'd
+ * qgram never passes silently.
+ */
+api::ClusterOptions
+clusterOptionsFor(const CliOptions &opt)
 {
-    for (auto cfg : { StorageConfig::tinyTest(),
-                      StorageConfig::benchScale() }) {
-        if (payload_bits + 1024 <= cfg.capacityBits())
-            return cfg;
-    }
-    std::fprintf(stderr,
-                 "payload too large for one unit (max ~%zu bytes)\n",
-                 StorageConfig::benchScale().capacityBytes());
-    *ok = false;
-    return StorageConfig::tinyTest();
+    api::ClusterOptions cluster;
+    cluster.qgram(opt.clusterQgram)
+        .maxDistanceFrac(opt.clusterMaxDist)
+        .threads(opt.threads);
+    return cluster;
 }
 
-FileBundle
-bundleInputs(const CliOptions &opt, bool *ok)
+/** Read the inputs into the store; false (with message) on failure. */
+bool
+putInputs(api::Store &store, const CliOptions &opt, int *exit_code)
 {
-    FileBundle bundle;
-    for (const auto &path : opt.inputs) {
-        auto data = readFile(path, ok);
-        if (!*ok)
-            break;
-        bundle.add(baseName(path), std::move(data));
-    }
-    if (bundle.fileCount() == 0) {
+    if (opt.inputs.empty()) {
         std::fprintf(stderr, "no input files\n");
-        *ok = false;
+        *exit_code = kExitUsage;
+        return false;
     }
-    return bundle;
+    for (const auto &path : opt.inputs) {
+        bool read_ok = true;
+        auto data = readFile(path, &read_ok);
+        if (!read_ok) {
+            *exit_code = kExitRuntime;
+            return false;
+        }
+        api::Status status = store.put(baseName(path), std::move(data));
+        if (!status.ok()) {
+            printStatus(status);
+            *exit_code = statusExit(status);
+            return false;
+        }
+    }
+    *exit_code = kExitOk;
+    return true;
+}
+
+/**
+ * Build the channel/coverage/cluster options from the flags. All
+ * validation — rates, totals, gamma, coverage, cluster knobs —
+ * happens in ChannelOptions::validate() at Store::open.
+ */
+api::ChannelOptions
+channelOptionsFor(const CliOptions &opt)
+{
+    api::ChannelOptions chan;
+    if (opt.errorRateSet || !opt.ratesSet)
+        chan.errorRate(opt.errorRate);
+    if (opt.ratesSet)
+        chan.rates(opt.insRate, opt.delRate, opt.subRate);
+    chan.coverage(opt.coverage);
+    if (opt.gammaSet)
+        chan.gammaCoverage(opt.gammaMean, opt.gammaShape);
+    if (opt.cluster)
+        chan.cluster(clusterOptionsFor(opt));
+    chan.drawSeed(opt.seed);
+    return chan;
 }
 
 int
 cmdEncode(const CliOptions &opt)
 {
-    bool ok = true;
-    FileBundle bundle = bundleInputs(opt, &ok);
-    if (!ok)
-        return 1;
-    StorageConfig cfg = configFor(bundle.serializedBits(), &ok);
-    if (!ok)
-        return 1;
+    api::Result<api::Store> store = api::Store::open(
+        api::StoreOptions().autoGeometry(true).layout(opt.scheme));
+    if (!store.ok()) {
+        printStatus(store.status());
+        return statusExit(store.status());
+    }
+    int exit_code = kExitOk;
+    if (!putInputs(*store, opt, &exit_code))
+        return exit_code;
 
-    UnitEncoder encoder(cfg, opt.scheme);
-    EncodedUnit unit = encoder.encode(bundle);
+    api::Result<api::EncodedArtifact> artifact =
+        store->submit(api::EncodeJob{}).get();
+    if (!artifact.ok()) {
+        printStatus(artifact.status());
+        return statusExit(artifact.status());
+    }
     std::ofstream out(opt.out);
     if (!out) {
         std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
-        return 1;
+        return kExitRuntime;
     }
-    // Header line records the geometry needed to decode.
-    out << "#dnastore m=" << cfg.symbolBits << " rows=" << cfg.rows
-        << " parity=" << cfg.paritySymbols
-        << " primer=" << cfg.primerLen
-        << " scheme=" << layoutSchemeName(opt.scheme) << "\n";
-    for (const auto &strand : unit.strands)
-        out << strandToString(strand) << "\n";
+    out << artifact->text();
     std::printf("wrote %zu strands (%zu bases each) to %s\n",
-                unit.strands.size(), cfg.strandLen(),
-                opt.out.c_str());
-    return 0;
+                artifact->strands.size(),
+                artifact->config.strandLen(), opt.out.c_str());
+    return kExitOk;
 }
 
 int
@@ -292,191 +344,115 @@ cmdDecode(const CliOptions &opt)
 {
     if (opt.inputs.size() != 1) {
         std::fprintf(stderr, "decode needs exactly one unit file\n");
-        return 1;
+        return kExitUsage;
     }
     std::ifstream in(opt.inputs[0]);
     if (!in) {
         std::fprintf(stderr, "cannot read %s\n",
                      opt.inputs[0].c_str());
-        return 1;
+        return kExitRuntime;
     }
-    std::string header;
-    std::getline(in, header);
-    StorageConfig cfg;
-    char scheme_name[32] = "gini";
-    unsigned m = 0;
-    size_t rows = 0, parity = 0, primer = 0;
-    if (std::sscanf(header.c_str(),
-                    "#dnastore m=%u rows=%zu parity=%zu primer=%zu "
-                    "scheme=%31s",
-                    &m, &rows, &parity, &primer, scheme_name) != 5) {
-        std::fprintf(stderr, "bad unit header\n");
-        return 1;
-    }
-    cfg.symbolBits = m;
-    cfg.rows = rows;
-    cfg.paritySymbols = parity;
-    cfg.primerLen = primer;
-    bool ok = true;
-    LayoutScheme scheme = parseScheme(scheme_name, &ok);
-    if (!ok)
-        return 1;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
 
-    // Each line is one read; consecutive identical-index reads would
-    // normally be clustered — here the file is a noiseless unit, so
-    // each line is its own single-read cluster.
-    std::vector<std::vector<Strand>> clusters;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        clusters.push_back({ strandFromString(line) });
+    // The unit header is self-describing; the store only hosts the
+    // job (and its thread knob).
+    api::Result<api::Store> store = api::Store::open(
+        api::StoreOptions().threads(opt.threads));
+    if (!store.ok()) {
+        printStatus(store.status());
+        return statusExit(store.status());
     }
-
-    UnitDecoder decoder(cfg, scheme);
-    DecodedUnit result = decoder.decode(clusters);
-    if (!result.bundleOk) {
-        std::fprintf(stderr, "decoding failed (unrecoverable unit)\n");
-        return 1;
+    api::DecodeJob job;
+    job.text = buffer.str();
+    api::Result<api::DecodedObjects> decoded =
+        store->submit(job).get();
+    if (!decoded.ok()) {
+        printStatus(decoded.status());
+        return statusExit(decoded.status());
     }
-    for (const auto &file : result.bundle.files()) {
+    for (const auto &file : decoded->files) {
         std::string path = opt.outdir + "/" + file.name;
         std::ofstream out(path, std::ios::binary);
         out.write(reinterpret_cast<const char *>(file.data.data()),
                   std::streamsize(file.data.size()));
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return kExitRuntime;
+        }
         std::printf("recovered %s (%zu bytes)%s\n", path.c_str(),
                     file.data.size(),
-                    result.exact ? "" : " [ECC reported failures]");
+                    decoded->exact ? "" : " [ECC reported failures]");
     }
-    return result.exact ? 0 : 2;
+    return decoded->exact ? kExitOk : kExitThreshold;
 }
 
 /**
- * Validate channel/coverage knobs at the CLI boundary; prints the
- * offending value and returns false instead of simulating garbage.
+ * Builder validation of every channel/coverage/cluster flag,
+ * regardless of subcommand — the parse-time checks this replaces
+ * rejected a bad --ins-rate or --cluster-qgram even on `encode`, and
+ * a typo'd knob should never pass silently.
  */
-bool
-validateSimulateOptions(const CliOptions &opt, ErrorModel *model)
+int
+validateFlags(const CliOptions &opt)
 {
-    const bool custom_rates =
-        opt.insRate >= 0.0 || opt.delRate >= 0.0 || opt.subRate >= 0.0;
-    if (custom_rates) {
-        if (opt.errorRateSet) {
-            std::fprintf(stderr,
-                         "--error-rate cannot be combined with "
-                         "--ins-rate/--del-rate/--sub-rate (give the "
-                         "per-type rates only)\n");
-            return false;
-        }
-        // Unset rates (negative sentinel; explicit negatives were
-        // already rejected at parse time) default to 0.
-        *model = ErrorModel::custom(opt.insRate < 0.0 ? 0.0 : opt.insRate,
-                                    opt.delRate < 0.0 ? 0.0 : opt.delRate,
-                                    opt.subRate < 0.0 ? 0.0
-                                                      : opt.subRate);
-    } else {
-        if (opt.errorRate < 0.0 || opt.errorRate > 1.0) {
-            std::fprintf(stderr,
-                         "--error-rate must be in [0, 1] (got %g)\n",
-                         opt.errorRate);
-            return false;
-        }
-        *model = ErrorModel::uniform(opt.errorRate);
+    api::Status status = channelOptionsFor(opt).validate();
+    if (!status.ok()) {
+        printStatus(status);
+        return kExitUsage;
     }
-    if (!model->valid()) {
-        std::fprintf(
-            stderr,
-            "invalid error rates (ins=%g del=%g sub=%g): each must be "
-            ">= 0 and their total at most 1\n",
-            model->insertion, model->deletion, model->substitution);
-        return false;
-    }
-    if (opt.coverage == 0) {
-        std::fprintf(stderr, "--coverage must be >= 1\n");
-        return false;
-    }
-    const bool gamma = opt.gammaMean != 0.0 || opt.gammaShape != 0.0;
-    if (gamma) {
-        if (opt.gammaShape <= 0.0) {
-            std::fprintf(stderr,
-                         "--gamma-shape must be > 0 (got %g)\n",
-                         opt.gammaShape);
-            return false;
-        }
-        if (opt.gammaMean <= 0.0) {
-            std::fprintf(stderr, "--gamma-mean must be > 0 (got %g)\n",
-                         opt.gammaMean);
-            return false;
-        }
-        if (opt.cluster) {
-            std::fprintf(stderr,
-                         "--cluster and --gamma-mean/--gamma-shape "
-                         "cannot be combined\n");
-            return false;
+    if (opt.clusterKnobsSet && !opt.cluster) {
+        status = clusterOptionsFor(opt).validate();
+        if (!status.ok()) {
+            printStatus(status);
+            return kExitUsage;
         }
     }
-    return true;
+    return kExitOk;
 }
 
 int
 cmdSimulate(const CliOptions &opt)
 {
-    ErrorModel model;
-    if (!validateSimulateOptions(opt, &model))
-        return 1;
-    bool ok = true;
-    FileBundle bundle = bundleInputs(opt, &ok);
-    if (!ok)
-        return 1;
-    StorageConfig cfg = configFor(bundle.serializedBits(), &ok);
-    if (!ok)
-        return 1;
-    cfg.numThreads = opt.threads;
-    cfg.packedReadPools = opt.packedPools;
+    api::ChannelOptions chan = channelOptionsFor(opt);
+    api::StoreOptions store_opt;
+    store_opt.autoGeometry(true)
+        .layout(opt.scheme)
+        .threads(opt.threads)
+        .packedReadPools(opt.packedPools)
+        .unitSeed(20220618);
+    api::Result<api::Store> store = api::Store::open(store_opt, chan);
+    if (!store.ok()) {
+        printStatus(store.status());
+        return statusExit(store.status());
+    }
+    int exit_code = kExitOk;
+    if (!putInputs(*store, opt, &exit_code))
+        return exit_code;
 
-    StorageSimulator sim(cfg, opt.scheme, model, /*seed=*/20220618);
-    const bool gamma = opt.gammaMean > 0.0;
-    // Gamma draws are capped by the pool size; 3x the mean (+ slack)
-    // keeps the cap out of the distribution's realistic range.
-    size_t max_coverage = gamma
-        ? std::max(opt.coverage, size_t(opt.gammaMean * 3.0) + 8)
-        : opt.coverage;
-    sim.store(bundle, max_coverage);
-
-    RetrievalResult result;
-    if (gamma) {
-        result = sim.retrieveGamma(opt.gammaMean, opt.gammaShape,
-                                   /*draw_seed=*/opt.seed);
-    } else if (opt.cluster) {
-        ClusterParams params;
-        params.qgram = opt.clusterQgram;
-        params.maxDistanceFrac = opt.clusterMaxDist;
-        params.numThreads = opt.threads;
-        ClusteredRetrievalResult clustered =
-            sim.retrieveClustered(opt.coverage, params);
-        result = std::move(clustered.result);
+    api::Result<api::Retrieval> retrieval = store->retrieveAll();
+    if (!retrieval.ok()) {
+        printStatus(retrieval.status());
+        return statusExit(retrieval.status());
+    }
+    if (retrieval->clustered) {
         std::printf("clustering: %zu clusters "
                     "(precision=%.4f recall=%.4f)\n",
-                    clustered.clustersFound,
-                    clustered.quality.precision,
-                    clustered.quality.recall);
-    } else {
-        result = sim.retrieve(opt.coverage);
+                    retrieval->clustersFound, retrieval->precision,
+                    retrieval->recall);
     }
-    // In gamma mode the coverage actually used is the gamma mean, not
-    // the (untouched) --coverage knob.
-    size_t reported_cov =
-        gamma ? size_t(opt.gammaMean + 0.5) : opt.coverage;
+    const bool gamma = chan.hasGamma();
     std::printf("scheme=%s error_rate=%.1f%% coverage=%zu%s: "
                 "exact=%s, %zu errors corrected, %zu molecules lost, "
                 "%zu codewords failed\n",
-                layoutSchemeName(opt.scheme), model.total() * 100,
-                reported_cov, gamma ? " (gamma mean)" : "",
-                result.exactPayload ? "yes" : "no",
-                result.decoded.stats.totalCorrected(),
-                result.decoded.stats.erasedColumns,
-                result.decoded.stats.failedCodewords);
-    return result.exactPayload ? 0 : 2;
+                layoutSchemeName(opt.scheme),
+                chan.channelProfile().base.total() * 100,
+                retrieval->coverage, gamma ? " (gamma mean)" : "",
+                retrieval->exact ? "yes" : "no",
+                retrieval->correctedErrors, retrieval->erasedColumns,
+                retrieval->failedCodewords);
+    return retrieval->exact ? kExitOk : kExitThreshold;
 }
 
 int
@@ -486,11 +462,11 @@ cmdSweep(const CliOptions &opt)
         for (const auto &s : allScenarios())
             std::printf("%-18s min_success=%.2f  %s\n", s.name.c_str(),
                         s.minSuccessRate, s.description.c_str());
-        return 0;
+        return kExitOk;
     }
     if (opt.trials == 0) {
         std::fprintf(stderr, "--trials must be >= 1\n");
-        return 1;
+        return kExitUsage;
     }
 
     std::vector<Scenario> grid;
@@ -504,7 +480,7 @@ cmdSweep(const CliOptions &opt)
             for (const auto &known : allScenarios())
                 std::fprintf(stderr, " %s", known.name.c_str());
             std::fprintf(stderr, " (or 'all')\n");
-            return 1;
+            return kExitUsage;
         }
         grid.push_back(*s);
     }
@@ -524,7 +500,7 @@ cmdSweep(const CliOptions &opt)
         if (!out) {
             std::fprintf(stderr, "cannot write %s\n",
                          opt.jsonPath.c_str());
-            return 1;
+            return kExitRuntime;
         }
         out << json;
         std::fprintf(stderr, "wrote %s\n", opt.jsonPath.c_str());
@@ -534,7 +510,7 @@ cmdSweep(const CliOptions &opt)
         if (!out) {
             std::fprintf(stderr, "cannot write %s\n",
                          opt.csvPath.c_str());
-            return 1;
+            return kExitRuntime;
         }
         out << reportsToCsv(reports, opt.timing);
         std::fprintf(stderr, "wrote %s\n", opt.csvPath.c_str());
@@ -557,7 +533,7 @@ cmdSweep(const CliOptions &opt)
                      required, r.passed ? "ok" : "FAIL");
         all_passed = all_passed && r.passed;
     }
-    return all_passed ? 0 : 3;
+    return all_passed ? kExitOk : kExitThreshold;
 }
 
 void
@@ -568,7 +544,7 @@ usage()
         "usage:\n"
         "  dnastore encode <files...> [--out unit.dna] "
         "[--scheme gini|baseline|dnamapper]\n"
-        "  dnastore decode <unit.dna> [--outdir DIR]\n"
+        "  dnastore decode <unit.dna> [--outdir DIR] [--threads T]\n"
         "  dnastore simulate <files...> [--scheme S] "
         "[--error-rate P] [--coverage N] [--threads T] "
         "[--packed-pools]\n"
@@ -588,7 +564,15 @@ usage()
         "     hostile channel profiles; JSON goes to stdout unless\n"
         "     --json is given and is byte-identical for every\n"
         "     --threads value; --timing adds non-deterministic wall\n"
-        "     times; exit 3 if any scenario misses its threshold)\n");
+        "     times)\n"
+        "  dnastore --version\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success (exact recovery / all scenarios passed)\n"
+        "  1  runtime failure (I/O error, unrecoverable unit)\n"
+        "  2  usage or validation error (rejected parameter)\n"
+        "  3  quality threshold miss (inexact recovery, scenario\n"
+        "     below its reliability bound)\n");
 }
 
 } // namespace
@@ -598,14 +582,20 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         usage();
-        return 1;
+        return kExitUsage;
     }
     std::string cmd = argv[1];
+    if (cmd == "--version" || cmd == "version") {
+        std::printf("dnastore %s\n", api::version());
+        return kExitOk;
+    }
     CliOptions opt = parseArgs(argc, argv, 2);
     if (!opt.ok) {
         usage();
-        return 1;
+        return kExitUsage;
     }
+    if (int code = validateFlags(opt))
+        return code;
     try {
         if (cmd == "encode")
             return cmdEncode(opt);
@@ -617,8 +607,8 @@ main(int argc, char **argv)
             return cmdSweep(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return kExitRuntime;
     }
     usage();
-    return 1;
+    return kExitUsage;
 }
