@@ -69,6 +69,12 @@
 #include "api/api.hh"
 #define DNASTORE_HAVE_API 1
 #endif
+#if __has_include("api/pool_file.hh")
+// Marks the PR 6 API surface: the durable .dnapool format and
+// Store::save / Store::openFile.
+#include "api/pool_file.hh"
+#define DNASTORE_HAVE_POOL_FILE 1
+#endif
 #endif
 
 namespace dnastore {
@@ -492,6 +498,53 @@ collect(std::vector<BenchResult> &results, const Options &opt)
                         sim.runTrial(coverage, trial++)
                             .result.exactPayload);
                 }));
+        }
+    }
+#endif
+
+#ifdef DNASTORE_HAVE_POOL_FILE
+    // --- Durable pools: serialize/parse of the .dnapool image and a
+    // full Store::openFile (parse + re-encode cross-check + pool
+    // restore), tinyTest geometry at coverage 8 with pools included.
+    {
+        const char *path = "/tmp/dnastore_perf_pool.dnapool";
+        api::StoreOptions sopt = api::StoreOptions::tiny();
+        sopt.unitSeed(42);
+        api::ChannelOptions copt;
+        copt.errorRate(0.03).coverage(8);
+        api::Result<api::Store> store = api::Store::open(sopt, copt);
+        bool ready = store.ok();
+        if (ready) {
+            Rng rng(16);
+            FileBundle payload =
+                randomBundle(StorageConfig::tinyTest().capacityBytes() / 2,
+                             rng);
+            for (const auto &file : payload.files())
+                ready = ready && store->put(file.name, file.data).ok();
+            ready = ready && store->save(path).ok();
+        }
+        if (ready) {
+            api::Result<api::PoolFileContents> contents =
+                api::readPoolFile(path);
+            if (contents.ok()) {
+                add("pool_serialize_tiny", [&contents]() {
+                    g_sink ^= api::serializePoolFile(*contents).size();
+                });
+                const std::vector<uint8_t> bytes =
+                    api::serializePoolFile(*contents);
+                add("pool_parse_tiny", [&bytes]() {
+                    g_sink ^= uint64_t(api::parsePoolFile(bytes).ok());
+                });
+            }
+            add("pool_open_file_tiny", [path, &copt]() {
+                api::Result<api::Store> reopened =
+                    api::Store::openFile(path, copt);
+                g_sink ^= uint64_t(reopened.ok());
+            });
+            std::remove(path);
+        } else {
+            std::fprintf(stderr, "pool bench setup failed: %s\n",
+                         store.status().toString().c_str());
         }
     }
 #endif

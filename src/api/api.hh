@@ -13,6 +13,7 @@
 #define DNASTORE_API_API_HH
 
 #include "api/options.hh"
+#include "api/pool_file.hh"
 #include "api/status.hh"
 #include "api/store.hh"
 

@@ -1,9 +1,12 @@
 #include "api/store.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 
+#include "api/pool_file.hh"
 #include "dna/strand.hh"
 #include "pipeline/simulator.hh"
 #include "util/parallel.hh"
@@ -14,7 +17,7 @@ namespace api {
 const char *
 version()
 {
-    return "0.5.0";
+    return "0.6.0";
 }
 
 std::string
@@ -109,16 +112,32 @@ struct Store::Rep
      */
     std::shared_ptr<const Retrieval> lastRetrieval;
 
+    /** openFile(OpenMode::ReadOnly): put() is FailedPrecondition. */
+    bool readOnly = false;
+
+    /**
+     * Slack auto-geometry keeps between the payload and the preset's
+     * capacity (the directory grows between check and encode).
+     */
+    static constexpr size_t kAutoSlackBits = 1024;
+
+    /**
+     * The geometry a payload of @p serialized_bits would resolve to —
+     * the ONE capacity source of truth: resolveConfig() asks it about
+     * the stored objects, put()'s admission control asks it about the
+     * candidate bundle, so the two can never disagree about what
+     * fits.
+     */
     Result<StorageConfig>
-    resolveConfig() const
+    resolveConfigFor(size_t serialized_bits) const
     {
         if (!options.autoGeometry()) {
             StorageConfig cfg = options.config();
-            if (bundle.serializedBits() > cfg.capacityBits())
+            if (serialized_bits > cfg.capacityBits())
                 return Status::capacityExceeded(formatMessage(
-                    "payload (%zu bytes) exceeds the unit capacity "
-                    "(%zu bytes)",
-                    bundle.totalBytes(), cfg.capacityBytes()));
+                    "payload (%zu bytes serialized) exceeds the unit "
+                    "capacity (%zu bytes)",
+                    serialized_bits / 8, cfg.capacityBytes()));
             return cfg;
         }
         // The CLI's behavior: smallest preset that fits, with slack
@@ -127,12 +146,18 @@ struct Store::Rep
                                    StorageConfig::benchScale() }) {
             cfg.numThreads = options.config().numThreads;
             cfg.packedReadPools = options.config().packedReadPools;
-            if (bundle.serializedBits() + 1024 <= cfg.capacityBits())
+            if (serialized_bits + kAutoSlackBits <= cfg.capacityBits())
                 return cfg;
         }
         return Status::capacityExceeded(formatMessage(
             "payload too large for one unit (max ~%zu bytes)",
             StorageConfig::benchScale().capacityBytes()));
+    }
+
+    Result<StorageConfig>
+    resolveConfig() const
+    {
+        return resolveConfigFor(bundle.serializedBits());
     }
 
     /** Encode (and pool) the unit; @p with_pools = store() vs prepare(). */
@@ -206,28 +231,143 @@ Store::open(const StoreOptions &options, const ChannelOptions &channel)
     return Store(std::move(rep));
 }
 
+Result<Store>
+Store::openFile(const std::string &path, const ChannelOptions &channel,
+                const OpenOptions &open_options)
+{
+    Status status = channel.validate();
+    if (!status.ok())
+        return status;
+    Result<PoolFileContents> contents = readPoolFile(path);
+    if (!contents.ok())
+        return contents.status();
+    PoolFileContents &file = *contents;
+
+    // The saved pools bound what this store can retrieve at; a
+    // channel that would draw deeper must say so now, not DataLoss
+    // later.
+    if (file.hasPools && channel.maxCoverage() > file.poolMaxCoverage)
+        return Status::failedPrecondition(formatMessage(
+            "the channel needs pool depth %zu but '%s' holds pools "
+            "of depth %zu (reopen with a shallower channel, or "
+            "re-save with a deeper one)",
+            channel.maxCoverage(), path.c_str(),
+            file.poolMaxCoverage));
+
+    // Runtime knobs come from the opening process, never the file.
+    StorageConfig cfg = file.config;
+    cfg.numThreads = open_options.threads;
+    cfg.packedReadPools = open_options.packedReadPools;
+
+    StoreOptions store_options;
+    store_options.config(cfg)
+        .layout(file.scheme)
+        .unitSeed(file.unitSeed);
+    status = store_options.validate();
+    if (!status.ok())
+        return status;
+
+    auto rep = std::make_unique<Rep>();
+    rep->options = store_options;
+    rep->channel = channel;
+    rep->bundle = file.manifest;
+    rep->readOnly = open_options.mode == OpenMode::ReadOnly;
+    try {
+        rep->sim = std::make_shared<StorageSimulator>(
+            cfg, file.scheme, channel.channelProfile(),
+            file.unitSeed);
+        if (file.hasPools)
+            rep->sim->restore(file.manifest, file.pools,
+                              file.poolMaxCoverage);
+        else
+            rep->sim->prepare(file.manifest);
+    } catch (const std::invalid_argument &e) {
+        return Status::failedPrecondition(formatMessage(
+            "'%s' cannot be restored: %s", path.c_str(), e.what()));
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    }
+    // Integrity cross-check: every section already passed its
+    // checksum, but the sections must also agree with EACH OTHER —
+    // re-encoding the saved manifest under the saved geometry must
+    // reproduce the saved unit exactly, or the file pairs a manifest
+    // with somebody else's strands.
+    if (rep->sim->unit().payloadBits != file.payloadBits ||
+        rep->sim->unit().strands != file.strands)
+        return Status::dataLoss(formatMessage(
+            "'%s': the unit section does not match the manifest's "
+            "re-encoding (sections are individually intact but "
+            "mutually inconsistent)",
+            path.c_str()));
+    rep->resolvedCfg = cfg;
+    rep->prepared = true;
+    rep->synthesized = file.hasPools;
+    rep->dirty = false;
+    return Store(std::move(rep));
+}
+
+Status
+Store::save(const std::string &path, bool with_pools)
+{
+    Status status = with_pools ? rep_->ensureSynthesized()
+                               : rep_->ensurePrepared();
+    if (!status.ok())
+        return status;
+    PoolFileContents contents;
+    contents.config = rep_->resolvedCfg;
+    contents.scheme = rep_->options.layout();
+    contents.unitSeed = rep_->options.unitSeed();
+    contents.manifest = rep_->bundle;
+    contents.payloadBits = rep_->sim->unit().payloadBits;
+    contents.strands = rep_->sim->unit().strands;
+    if (with_pools && rep_->sim->hasPool()) {
+        contents.hasPools = true;
+        contents.poolMaxCoverage = rep_->sim->poolCoverage();
+        try {
+            contents.pools = rep_->sim->snapshotPool();
+        } catch (const std::exception &e) {
+            return Status::internal(e.what());
+        }
+    }
+    return writePoolFile(path, contents);
+}
+
+bool
+Store::readOnly() const
+{
+    return rep_->readOnly;
+}
+
 Status
 Store::put(const std::string &name, std::vector<uint8_t> data)
 {
+    if (rep_->readOnly)
+        return Status::failedPrecondition(
+            "the store was opened read-only; put() is not available");
     if (const char *err = FileBundle::checkName(name))
         return Status::invalidArgument(err);
     if (rep_->bundle.find(name))
         return Status::alreadyExists(formatMessage(
             "an object named '%s' is already stored", name.c_str()));
+    // The directory's fixed-width fields cap object size and count;
+    // pre-check so the no-throw boundary never sees add() throw.
+    if (const char *err =
+            FileBundle::checkAdd(rep_->bundle.fileCount(), data.size()))
+        return Status::invalidArgument(err);
 
     // Admission control: reject an object that cannot fit the unit
     // now, instead of failing synthesis later. Directory cost per
-    // object: 1 length byte + name + u32 size.
+    // object: 1 length byte + name + u32 size. The verdict comes from
+    // resolveConfigFor — the same source of truth synthesis resolves
+    // against — so admission and encoding can never disagree.
     const size_t candidate_bits = rep_->bundle.serializedBits() +
         (1 + name.size() + 4 + data.size()) * 8;
-    const size_t cap_bits = rep_->options.autoGeometry()
-        ? StorageConfig::benchScale().capacityBits() - 1024
-        : rep_->options.config().capacityBits();
-    if (candidate_bits > cap_bits)
+    Result<StorageConfig> cfg = rep_->resolveConfigFor(candidate_bits);
+    if (!cfg.ok())
         return Status::capacityExceeded(formatMessage(
-            "object '%s' (%zu bytes) would overflow the unit "
-            "(capacity %zu bytes)",
-            name.c_str(), data.size(), cap_bits / 8));
+            "object '%s' (%zu bytes) would overflow the unit: %s",
+            name.c_str(), data.size(),
+            cfg.status().message().c_str()));
 
     rep_->bundle.add(name, std::move(data));
     rep_->dirty = true;
@@ -437,19 +577,25 @@ Store::submit(const DecodeJob &job)
         [text = job.text,
          threads = rep_->options.config().numThreads]()
             -> Result<DecodedObjects> {
-            // Parse the self-describing header.
+            // Parse the self-describing header. Unit files may carry
+            // CRLF line endings (they travel through mail and
+            // Windows editors); the parser strips the '\r' so the
+            // trailing field never absorbs it.
             size_t eol = text.find('\n');
             std::string header = text.substr(
                 0, eol == std::string::npos ? text.size() : eol);
+            if (!header.empty() && header.back() == '\r')
+                header.pop_back();
             StorageConfig cfg;
             char scheme_name[32] = "gini";
             unsigned m = 0;
             size_t rows = 0, parity = 0, primer = 0;
+            int consumed = 0;
             if (std::sscanf(header.c_str(),
                             "#dnastore m=%u rows=%zu parity=%zu "
-                            "primer=%zu scheme=%31s",
-                            &m, &rows, &parity, &primer,
-                            scheme_name) != 5)
+                            "primer=%zu scheme=%31s%n",
+                            &m, &rows, &parity, &primer, scheme_name,
+                            &consumed) != 5)
                 return Status::failedPrecondition("bad unit header");
             cfg.symbolBits = m;
             cfg.rows = rows;
@@ -457,11 +603,36 @@ Store::submit(const DecodeJob &job)
             cfg.primerLen = primer;
             cfg.numThreads = threads;
             // Optional key= field (written only for non-default
-            // primer keys; older unit files never carry it).
-            size_t key_pos = header.find(" key=");
-            if (key_pos != std::string::npos)
-                cfg.primerKey = std::strtoull(
-                    header.c_str() + key_pos + 5, nullptr, 10);
+            // primer keys; older unit files never carry it). The
+            // primer pair derives from this key, so a value that
+            // does not parse exactly must be an error — silently
+            // decoding with key 0 would search for the wrong primers
+            // and mis-frame every strand.
+            std::string rest = header.substr(size_t(consumed));
+            if (!rest.empty()) {
+                if (rest.compare(0, 5, " key=") != 0)
+                    return Status::failedPrecondition(formatMessage(
+                        "unrecognized trailing field in unit header: "
+                        "'%s'",
+                        rest.c_str()));
+                const char *digits = rest.c_str() + 5;
+                if (!std::isdigit(
+                        static_cast<unsigned char>(*digits)))
+                    return Status::failedPrecondition(formatMessage(
+                        "malformed key= field in unit header: '%s' "
+                        "is not an unsigned integer",
+                        digits));
+                errno = 0;
+                char *end = nullptr;
+                unsigned long long key =
+                    std::strtoull(digits, &end, 10);
+                if (errno == ERANGE || *end != '\0')
+                    return Status::failedPrecondition(formatMessage(
+                        "malformed key= field in unit header: '%s' "
+                        "is not an unsigned 64-bit integer",
+                        digits));
+                cfg.primerKey = key;
+            }
             bool scheme_ok = true;
             LayoutScheme scheme =
                 layoutSchemeFromName(scheme_name, &scheme_ok);
@@ -475,15 +646,32 @@ Store::submit(const DecodeJob &job)
                 // Each line is one read; a noiseless unit file makes
                 // each line its own single-read cluster.
                 std::vector<std::vector<Strand>> clusters;
+                size_t line_no = 1;
                 size_t pos =
                     eol == std::string::npos ? text.size() : eol + 1;
                 while (pos < text.size()) {
                     size_t next = text.find('\n', pos);
                     if (next == std::string::npos)
                         next = text.size();
-                    if (next > pos && text[pos] != '#') {
-                        clusters.push_back({ strandFromString(
-                            text.substr(pos, next - pos)) });
+                    ++line_no;
+                    size_t len = next - pos;
+                    // Tolerate CRLF: the '\r' is line framing, not a
+                    // (bogus) base.
+                    if (len > 0 && text[pos + len - 1] == '\r')
+                        --len;
+                    if (len > 0 && text[pos] != '#') {
+                        try {
+                            clusters.push_back({ strandFromString(
+                                text.substr(pos, len)) });
+                        } catch (const std::invalid_argument &) {
+                            // A non-ACGT character is a malformed
+                            // artifact, not an internal failure.
+                            return Status::failedPrecondition(
+                                formatMessage(
+                                    "unit file line %zu is not a DNA "
+                                    "strand (non-ACGT character)",
+                                    line_no));
+                        }
                     }
                     pos = next + 1;
                 }

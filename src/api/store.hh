@@ -170,6 +170,36 @@ struct TrialJob
     bool useClusterer = false;
 };
 
+/** How openFile() treats the opened store. */
+enum class OpenMode
+{
+    /** Mutable: put() works, and the unit can be re-synthesized. */
+    ReadWrite,
+
+    /**
+     * Immutable view of the file's contents: put() is
+     * FailedPrecondition. Opening never writes, so any number of
+     * processes can serve retrievals from one pool file at once.
+     */
+    ReadOnly,
+};
+
+/**
+ * Runtime knobs of openFile(). These are deliberately NOT part of the
+ * durable format — they describe the opening process, not the data —
+ * so the same file can open serial in a test and wide in a daemon.
+ */
+struct OpenOptions
+{
+    OpenMode mode = OpenMode::ReadWrite;
+
+    /** Worker threads for decode/cluster loops (1 serial, 0 = all). */
+    size_t threads = 1;
+
+    /** Hold restored/regenerated read pools 2-bit packed. */
+    bool packedReadPools = false;
+};
+
 /**
  * Handle to an asynchronously running job. get() blocks until the
  * job finishes and yields its Result exactly once; calling get() on
@@ -220,6 +250,40 @@ class Store
     static Result<Store> open(const StoreOptions &options,
                               const ChannelOptions &channel
                               = ChannelOptions());
+
+    /**
+     * Open a store from a durable `.dnapool` file (Store::save's
+     * output). The saved geometry, layout, unit seed, manifest, and
+     * — when present — read pools are restored; the reopened store's
+     * get()/retrieveAll() answers are byte-identical to the saved
+     * store's. The manifest is re-encoded on open and checked against
+     * the saved unit strand for strand, so a file whose sections
+     * disagree (all checksums intact) is still caught: DataLoss.
+     *
+     * Errors: NotFound (no such file), DataLoss (corruption — the
+     * message names the failing section), FailedPrecondition (a
+     * format version this build does not read, a channel needing
+     * more coverage than the saved pools hold, or a structurally
+     * foreign file), InvalidArgument (bad @p channel).
+     */
+    static Result<Store> openFile(const std::string &path,
+                                  const ChannelOptions &channel
+                                  = ChannelOptions(),
+                                  const OpenOptions &options
+                                  = OpenOptions());
+
+    /**
+     * Save the store to a durable `.dnapool` file. With @p with_pools
+     * the unit is synthesized first (if needed) and the read pools
+     * are stored alongside it; otherwise only the encoded unit and
+     * manifest are written and a later openFile() regenerates pools
+     * deterministically from the saved unit seed. Unavailable on I/O
+     * failure, CapacityExceeded/Internal when the unit cannot build.
+     */
+    Status save(const std::string &path, bool with_pools = true);
+
+    /** True when openFile() opened this store OpenMode::ReadOnly. */
+    bool readOnly() const;
 
     Store(Store &&) noexcept;
     Store &operator=(Store &&) noexcept;

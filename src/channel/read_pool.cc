@@ -56,6 +56,51 @@ ReadPool::ReadPool(const std::vector<Strand> &references,
     }
 }
 
+ReadPool::ReadPool(const std::vector<std::vector<Strand>> &clusters,
+                   size_t max_coverage, ReadStorage storage)
+    : storage_(storage), clusterCount_(clusters.size()),
+      maxCoverage_(max_coverage)
+{
+    for (const auto &reads : clusters) {
+        if (reads.size() != max_coverage)
+            throw std::invalid_argument(
+                "ReadPool: every restored cluster must hold exactly "
+                "max_coverage reads");
+    }
+    if (storage_ == ReadStorage::Flat) {
+        flat_.resize(clusters.size());
+        for (size_t c = 0; c < clusters.size(); ++c) {
+            size_t total = 0;
+            for (const auto &read : clusters[c])
+                total += read.size();
+            flat_[c].reserve(total, max_coverage);
+            for (const auto &read : clusters[c])
+                flat_[c].append(
+                    StrandView(read.data(), read.size()));
+        }
+    } else {
+        packed_.resize(clusters.size());
+        for (size_t c = 0; c < clusters.size(); ++c) {
+            size_t total = 0;
+            for (const auto &read : clusters[c])
+                total += read.size();
+            packed_[c].reserve(total, max_coverage);
+            for (const auto &read : clusters[c])
+                packed_[c].append(
+                    StrandView(read.data(), read.size()));
+        }
+    }
+}
+
+std::vector<std::vector<Strand>>
+ReadPool::snapshot() const
+{
+    std::vector<std::vector<Strand>> out(clusterCount_);
+    for (size_t c = 0; c < clusterCount_; ++c)
+        out[c] = reads(c, maxCoverage_);
+    return out;
+}
+
 std::vector<Strand>
 ReadPool::reads(size_t cluster, size_t coverage) const
 {

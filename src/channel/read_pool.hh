@@ -63,6 +63,26 @@ class ReadPool
              uint64_t seed, size_t num_threads,
              ReadStorage storage = ReadStorage::Flat);
 
+    /**
+     * Rebuild a pool from explicit per-cluster reads — the restore
+     * half of the durable `.dnapool` format. Read order is preserved
+     * exactly, so prefix-based coverage queries return the same
+     * batches the saved pool would have.
+     *
+     * @throws std::invalid_argument unless every cluster holds
+     *         exactly @p max_coverage reads (pools are rectangular).
+     */
+    ReadPool(const std::vector<std::vector<Strand>> &clusters,
+             size_t max_coverage,
+             ReadStorage storage = ReadStorage::Flat);
+
+    /**
+     * Owning copies of every read, cluster-major in pool order — the
+     * snapshot half of the durable format (inverse of the restoring
+     * constructor).
+     */
+    std::vector<std::vector<Strand>> snapshot() const;
+
     /** Number of clusters. */
     size_t clusters() const { return clusterCount_; }
 

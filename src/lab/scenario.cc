@@ -15,6 +15,8 @@ Scenario::makeCoverage() const
 FileBundle
 Scenario::makePayload() const
 {
+    if (hasPayloadOverride)
+        return payloadOverride;
     Rng rng(payloadSeed);
     std::vector<uint8_t> bytes(payloadBytes);
     for (auto &b : bytes)

@@ -53,6 +53,16 @@ struct Scenario
     size_t payloadBytes = 2432;
     uint64_t payloadSeed = 1;
 
+    /**
+     * When set, makePayload() returns this bundle instead of the
+     * synthetic payload — how `sweep --from-pool` runs the hostile
+     * grid over a durable pool file's real objects (the loader also
+     * replaces config/scheme with the file's, so the override always
+     * fits its unit).
+     */
+    FileBundle payloadOverride;
+    bool hasPayloadOverride = false;
+
     /** Channel profile the reads suffer. */
     ChannelProfile channel;
 

@@ -18,6 +18,17 @@ FileBundle::checkName(const std::string &name)
     return nullptr;
 }
 
+const char *
+FileBundle::checkAdd(size_t file_count, size_t data_size)
+{
+    if (data_size > kMaxObjectBytes)
+        return "file exceeds the directory's 4 GiB size field";
+    if (file_count >= kMaxFiles)
+        return "bundle already holds the directory's maximum of "
+               "65535 files";
+    return nullptr;
+}
+
 void
 FileBundle::add(const std::string &name, std::vector<uint8_t> data)
 {
@@ -25,6 +36,8 @@ FileBundle::add(const std::string &name, std::vector<uint8_t> data)
         throw std::invalid_argument(std::string("FileBundle: ") + err);
     if (find(name))
         throw std::invalid_argument("FileBundle: duplicate name " + name);
+    if (const char *err = checkAdd(files_.size(), data.size()))
+        throw std::invalid_argument(std::string("FileBundle: ") + err);
     files_.push_back({ name, std::move(data) });
 }
 

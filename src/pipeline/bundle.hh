@@ -45,7 +45,26 @@ class FileBundle
      */
     static const char *checkName(const std::string &name);
 
-    /** Add a file. Names must be non-empty, <= 255 bytes, unique. */
+    /** Largest file the directory's u32 size field can record. */
+    static constexpr size_t kMaxObjectBytes = 0xFFFFFFFFull;
+
+    /** Most files the directory's u16 count field can record. */
+    static constexpr size_t kMaxFiles = 0xFFFF;
+
+    /**
+     * Why adding a @p data_size-byte file to a bundle already holding
+     * @p file_count files would overflow the directory's fixed-width
+     * fields, or nullptr when it fits. The directory stores sizes in
+     * u32 and the count in u16; without this guard serialization
+     * would silently truncate both, wedging a bundle that can never
+     * round-trip. Shared by the throwing add() and Store::put.
+     */
+    static const char *checkAdd(size_t file_count, size_t data_size);
+
+    /**
+     * Add a file. Names must be non-empty, <= 255 bytes, unique;
+     * checkAdd() must also hold. Throws std::invalid_argument.
+     */
     void add(const std::string &name, std::vector<uint8_t> data);
 
     size_t fileCount() const { return files_.size(); }

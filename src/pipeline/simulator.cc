@@ -47,6 +47,36 @@ StorageSimulator::store(const FileBundle &bundle, size_t max_coverage)
                                            : ReadStorage::Flat);
 }
 
+std::vector<std::vector<Strand>>
+StorageSimulator::snapshotPool() const
+{
+    if (!pool_)
+        throw std::logic_error("StorageSimulator: store() first");
+    return pool_->snapshot();
+}
+
+size_t
+StorageSimulator::poolCoverage() const
+{
+    return pool_ ? pool_->maxCoverage() : 0;
+}
+
+void
+StorageSimulator::restore(const FileBundle &bundle,
+                          const std::vector<std::vector<Strand>> &pools,
+                          size_t max_coverage)
+{
+    prepare(bundle);
+    if (pools.size() != unit_.strands.size())
+        throw std::invalid_argument(
+            "StorageSimulator: restored pools must hold one cluster "
+            "per encoded strand");
+    pool_ = std::make_unique<ReadPool>(pools, max_coverage,
+                                       cfg_.packedReadPools
+                                           ? ReadStorage::Packed
+                                           : ReadStorage::Flat);
+}
+
 RetrievalResult
 StorageSimulator::decodeBatch(
     const ReadBatch &batch, size_t coverage_label,

@@ -114,6 +114,37 @@ class StorageSimulator
     void prepare(const FileBundle &bundle);
 
     /**
+     * Export the pre-generated read pools as owning per-cluster read
+     * vectors, cluster-major in pool order — the snapshot half of the
+     * durable `.dnapool` format (api/pool_file.hh).
+     *
+     * @throws std::logic_error before store().
+     */
+    std::vector<std::vector<Strand>> snapshotPool() const;
+
+    /** Pool depth (reads per cluster); 0 before store(). */
+    size_t poolCoverage() const;
+
+    /** True once store() (or restore() with pools) ran. */
+    bool hasPool() const { return pool_ != nullptr; }
+
+    /**
+     * Rebuild simulator state from a durable snapshot: re-encode
+     * @p bundle (exactly prepare()) and adopt @p pools as the read
+     * pools instead of regenerating them from the channel — the
+     * restore half of the durable format. Pool-backed queries then
+     * return byte-identical results to the simulator the snapshot
+     * was taken from.
+     *
+     * @throws std::invalid_argument unless every cluster of @p pools
+     *         holds exactly @p max_coverage reads and there is one
+     *         cluster per encoded strand.
+     */
+    void restore(const FileBundle &bundle,
+                 const std::vector<std::vector<Strand>> &pools,
+                 size_t max_coverage);
+
+    /**
      * Run one Monte-Carlo trial: sample per-cluster read counts from
      * @p coverage, apply the profile's dropout, generate fresh reads
      * through the profile channel (ramp + PCR lineages included), and

@@ -1,0 +1,44 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace dnastore {
+
+namespace {
+
+/** The reflected IEEE table, built once (thread-safe static init). */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t *data, size_t n, uint32_t crc)
+{
+    const auto &table = crcTable();
+    uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32(const std::vector<uint8_t> &data, uint32_t crc)
+{
+    return crc32(data.data(), data.size(), crc);
+}
+
+} // namespace dnastore

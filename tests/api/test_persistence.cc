@@ -1,0 +1,290 @@
+/**
+ * Durable stores: Store::save + Store::openFile. A saved unit must
+ * reopen to byte-identical contents — with pools carried in the file,
+ * with pools regenerated from the seed, and under a non-default
+ * primer key — and the reopened handle must honour read-only mode,
+ * the pool-depth gate, and the manifest/unit cross-check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/api.hh"
+
+using namespace dnastore;
+using namespace dnastore::api;
+
+namespace {
+
+std::vector<uint8_t>
+patternBytes(size_t n, uint8_t base)
+{
+    std::vector<uint8_t> data(n);
+    for (size_t i = 0; i < n; ++i)
+        data[i] = uint8_t(base + i * 13);
+    return data;
+}
+
+ChannelOptions
+tinyChannel()
+{
+    return ChannelOptions().errorRate(0.03).coverage(8);
+}
+
+Store
+openTiny(uint64_t seed = 42)
+{
+    StoreOptions options = StoreOptions::tiny();
+    options.unitSeed(seed);
+    Result<Store> store = Store::open(options, tinyChannel());
+    EXPECT_TRUE(store.ok()) << store.status().toString();
+    return std::move(*store);
+}
+
+/** A unique scratch path; removed by scopedRemove at test end. */
+std::string
+tempPool(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+struct ScopedRemove {
+    std::string path;
+    ~ScopedRemove() { std::remove(path.c_str()); }
+};
+
+void
+expectSameObjects(const FileBundle &a, const FileBundle &b)
+{
+    ASSERT_EQ(a.fileCount(), b.fileCount());
+    for (size_t i = 0; i < a.fileCount(); ++i) {
+        EXPECT_EQ(a.file(i).name, b.file(i).name);
+        EXPECT_EQ(a.file(i).data, b.file(i).data);
+    }
+}
+
+} // namespace
+
+TEST(StorePersistence, SaveReopenWithPoolsIsByteIdentical)
+{
+    const std::string path = tempPool("persist_with_pools.dnapool");
+    ScopedRemove cleanup{ path };
+
+    Store original = openTiny(7);
+    const auto a = patternBytes(500, 1);
+    const auto b = patternBytes(900, 7);
+    ASSERT_TRUE(original.put("a.bin", a).ok());
+    ASSERT_TRUE(original.put("b.bin", b).ok());
+    Result<Retrieval> before = original.retrieveAll();
+    ASSERT_TRUE(before.ok()) << before.status().toString();
+
+    ASSERT_TRUE(original.save(path).ok());
+
+    Result<Store> reopened = Store::openFile(path, tinyChannel());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().toString();
+    EXPECT_EQ(reopened->objectCount(), 2u);
+    EXPECT_TRUE(reopened->contains("a.bin"));
+
+    // The pools were serialized, so the reopened store serves the
+    // SAME noisy reads: retrieval is byte-identical, not merely
+    // statistically equivalent.
+    Result<Retrieval> after = reopened->retrieveAll();
+    ASSERT_TRUE(after.ok()) << after.status().toString();
+    EXPECT_EQ(before->exact, after->exact);
+    expectSameObjects(before->objects, after->objects);
+
+    Result<std::vector<uint8_t>> got = reopened->get("b.bin");
+    ASSERT_TRUE(got.ok()) << got.status().toString();
+    EXPECT_EQ(*got, b);
+}
+
+TEST(StorePersistence, PoollessSaveRegeneratesDeterministically)
+{
+    const std::string path = tempPool("persist_no_pools.dnapool");
+    ScopedRemove cleanup{ path };
+
+    Store original = openTiny(11);
+    const auto payload = patternBytes(700, 3);
+    ASSERT_TRUE(original.put("p.bin", payload).ok());
+    Result<Retrieval> before = original.retrieveAll();
+    ASSERT_TRUE(before.ok());
+
+    // with_pools = false: only config + manifest + unit go to disk.
+    ASSERT_TRUE(original.save(path, false).ok());
+
+    // Reopening regenerates the pools from the saved unitSeed and the
+    // channel's per-cluster RNG streams — bit-identical to the run
+    // that was never saved.
+    Result<Store> reopened = Store::openFile(path, tinyChannel());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().toString();
+    Result<Retrieval> after = reopened->retrieveAll();
+    ASSERT_TRUE(after.ok()) << after.status().toString();
+    EXPECT_EQ(before->exact, after->exact);
+    expectSameObjects(before->objects, after->objects);
+}
+
+TEST(StorePersistence, NonDefaultPrimerKeySurvivesTheFile)
+{
+    const std::string path = tempPool("persist_primer_key.dnapool");
+    ScopedRemove cleanup{ path };
+
+    StoreOptions options = StoreOptions::tiny();
+    options.unitSeed(5).primerKey(77);
+    Result<Store> original = Store::open(options, tinyChannel());
+    ASSERT_TRUE(original.ok()) << original.status().toString();
+    const auto payload = patternBytes(300, 9);
+    ASSERT_TRUE(original->put("k.bin", payload).ok());
+    ASSERT_TRUE(original->save(path).ok());
+
+    Result<Store> reopened = Store::openFile(path, tinyChannel());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().toString();
+    EXPECT_EQ(reopened->unitConfig().primerKey, 77u);
+    Result<std::vector<uint8_t>> got = reopened->get("k.bin");
+    ASSERT_TRUE(got.ok()) << got.status().toString();
+    EXPECT_EQ(*got, payload);
+}
+
+TEST(StorePersistence, ReadOnlyOpenRefusesPut)
+{
+    const std::string path = tempPool("persist_read_only.dnapool");
+    ScopedRemove cleanup{ path };
+
+    Store original = openTiny(3);
+    ASSERT_TRUE(original.put("r.bin", patternBytes(64, 2)).ok());
+    ASSERT_TRUE(original.save(path).ok());
+    EXPECT_FALSE(original.readOnly());
+
+    OpenOptions read_only;
+    read_only.mode = OpenMode::ReadOnly;
+    Result<Store> reopened =
+        Store::openFile(path, tinyChannel(), read_only);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().toString();
+    EXPECT_TRUE(reopened->readOnly());
+
+    Status status = reopened->put("new.bin", { 1, 2, 3 });
+    EXPECT_EQ(status.code(), StatusCode::FailedPrecondition);
+    EXPECT_NE(status.message().find("read-only"), std::string::npos);
+    EXPECT_EQ(reopened->objectCount(), 1u);
+
+    // Reads still work, of course.
+    EXPECT_TRUE(reopened->get("r.bin").ok());
+}
+
+TEST(StorePersistence, ReadWriteReopenAcceptsPut)
+{
+    const std::string path = tempPool("persist_read_write.dnapool");
+    ScopedRemove cleanup{ path };
+
+    Store original = openTiny(4);
+    ASSERT_TRUE(original.put("one.bin", patternBytes(64, 1)).ok());
+    ASSERT_TRUE(original.save(path).ok());
+
+    Result<Store> reopened = Store::openFile(path, tinyChannel());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().toString();
+    const auto two = patternBytes(80, 6);
+    ASSERT_TRUE(reopened->put("two.bin", two).ok());
+    Result<std::vector<uint8_t>> got = reopened->get("two.bin");
+    ASSERT_TRUE(got.ok()) << got.status().toString();
+    EXPECT_EQ(*got, two);
+}
+
+TEST(StorePersistence, TwoReadersShareOneFile)
+{
+    // The read-only contract: N processes (here, N handles) can serve
+    // the same .dnapool concurrently, each with its own simulator.
+    const std::string path = tempPool("persist_two_readers.dnapool");
+    ScopedRemove cleanup{ path };
+
+    Store original = openTiny(8);
+    const auto payload = patternBytes(200, 4);
+    ASSERT_TRUE(original.put("shared.bin", payload).ok());
+    ASSERT_TRUE(original.save(path).ok());
+
+    OpenOptions read_only;
+    read_only.mode = OpenMode::ReadOnly;
+    Result<Store> first =
+        Store::openFile(path, tinyChannel(), read_only);
+    Result<Store> second =
+        Store::openFile(path, tinyChannel(), read_only);
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    ASSERT_TRUE(second.ok()) << second.status().toString();
+
+    Result<std::vector<uint8_t>> from_first = first->get("shared.bin");
+    Result<std::vector<uint8_t>> from_second =
+        second->get("shared.bin");
+    ASSERT_TRUE(from_first.ok());
+    ASSERT_TRUE(from_second.ok());
+    EXPECT_EQ(*from_first, payload);
+    EXPECT_EQ(*from_second, payload);
+}
+
+TEST(StorePersistence, DeeperChannelThanSavedPoolsIsRejected)
+{
+    const std::string path = tempPool("persist_depth_gate.dnapool");
+    ScopedRemove cleanup{ path };
+
+    Store original = openTiny(6); // pools synthesized at depth 8
+    ASSERT_TRUE(original.put("d.bin", patternBytes(64, 1)).ok());
+    ASSERT_TRUE(original.save(path).ok());
+
+    ChannelOptions deeper;
+    deeper.errorRate(0.03).coverage(16);
+    Result<Store> reopened = Store::openFile(path, deeper);
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(),
+              StatusCode::FailedPrecondition);
+
+    // A shallower channel is fine: the saved depth-8 pools can serve
+    // any coverage up to 8.
+    ChannelOptions shallower;
+    shallower.errorRate(0.03).coverage(4);
+    Result<Store> ok = Store::openFile(path, shallower);
+    EXPECT_TRUE(ok.ok()) << ok.status().toString();
+}
+
+TEST(StorePersistence, MissingFileIsNotFound)
+{
+    Result<Store> reopened = Store::openFile(
+        testing::TempDir() + "no_such_store.dnapool", tinyChannel());
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(), StatusCode::NotFound);
+}
+
+TEST(StorePersistence, MutuallyInconsistentSectionsAreDataLoss)
+{
+    // Each section can be individually intact (valid CRC) yet the
+    // file dishonest: a manifest that does not re-encode to the saved
+    // unit. openFile must catch this, not serve the stale unit.
+    const std::string path = tempPool("persist_inconsistent.dnapool");
+    ScopedRemove cleanup{ path };
+
+    Store original = openTiny(9);
+    ASSERT_TRUE(original.put("m.bin", patternBytes(128, 5)).ok());
+    ASSERT_TRUE(original.save(path).ok());
+
+    Result<PoolFileContents> contents = readPoolFile(path);
+    ASSERT_TRUE(contents.ok()) << contents.status().toString();
+
+    // Rewrite the manifest with one flipped payload byte and re-sign
+    // everything with fresh, VALID checksums.
+    FileBundle tampered;
+    for (const auto &f : contents->manifest.files()) {
+        std::vector<uint8_t> data = f.data;
+        if (!data.empty())
+            data[0] ^= 0xFF;
+        tampered.add(f.name, std::move(data));
+    }
+    contents->manifest = std::move(tampered);
+    ASSERT_TRUE(writePoolFile(path, *contents).ok());
+
+    // Every per-section CRC passes...
+    ASSERT_TRUE(readPoolFile(path).ok());
+    // ...but the cross-check does not.
+    Result<Store> reopened = Store::openFile(path, tinyChannel());
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(), StatusCode::DataLoss)
+        << reopened.status().toString();
+}

@@ -96,6 +96,52 @@ TEST(StorePut, CapacityExceededIsStatus)
     EXPECT_EQ(store.objectCount(), 1u);
 }
 
+// Regression: admission used to compare against a hard-coded
+// `benchScale().capacityBits() - 1024`, so fixed-geometry stores were
+// judged against the wrong unit. Both paths now resolve through one
+// capacity source of truth; these pin the exact boundary.
+TEST(StorePut, FixedGeometryAdmissionBoundaryIsExact)
+{
+    // tinyTest capacity is 19968 bits. An empty bundle serializes to
+    // 48 bits and a one-byte name adds a (1+1+4)*8 = 48-bit directory
+    // entry, so the largest admissible first object named "x" is
+    // (19968 - 96) / 8 = 2484 bytes.
+    {
+        Store store = openTiny();
+        EXPECT_TRUE(store.put("x", patternBytes(2484, 1)).ok());
+    }
+    {
+        Store store = openTiny();
+        Status status = store.put("x", patternBytes(2485, 1));
+        EXPECT_EQ(status.code(), StatusCode::CapacityExceeded);
+        EXPECT_NE(status.message().find("x"), std::string::npos);
+        EXPECT_EQ(store.objectCount(), 0u);
+    }
+}
+
+TEST(StorePut, AutoGeometryAdmissionBoundaryIsExact)
+{
+    // Auto-geometry admission keeps 1024 slack bits below benchScale's
+    // 684700-bit capacity: (684700 - 96 - 1024) / 8 = 85447 bytes is
+    // the largest first object named "x"; one more byte is refused.
+    // put() never synthesizes, so this stays fast at bench scale.
+    StoreOptions options;
+    options.autoGeometry(true);
+    {
+        Result<Store> store = Store::open(options);
+        ASSERT_TRUE(store.ok());
+        EXPECT_TRUE(store->put("x", patternBytes(85447, 1)).ok());
+        EXPECT_EQ(store->unitConfig().symbolBits, 10u);
+    }
+    {
+        Result<Store> store = Store::open(options);
+        ASSERT_TRUE(store.ok());
+        Status status = store->put("x", patternBytes(85448, 1));
+        EXPECT_EQ(status.code(), StatusCode::CapacityExceeded);
+        EXPECT_EQ(store->objectCount(), 0u);
+    }
+}
+
 TEST(StoreManifest, ListAndContains)
 {
     Store store = openTiny();

@@ -145,6 +145,23 @@ TEST(FileBundle, EncryptionRoundTripsAndRandomizes)
         EXPECT_EQ(dec.file(i).data, b.file(i).data);
 }
 
+// The directory stores each object's size in a u32 and the file
+// count in a u16. checkAdd() is the single guard that keeps an add()
+// from silently truncating either field at serialization time.
+TEST(FileBundle, CheckAddGuardsDirectoryFieldWidths)
+{
+    // Size field: 4 GiB - 1 fits, one byte more does not.
+    EXPECT_EQ(FileBundle::checkAdd(0, FileBundle::kMaxObjectBytes),
+              nullptr);
+    EXPECT_NE(FileBundle::checkAdd(0, FileBundle::kMaxObjectBytes + 1),
+              nullptr);
+    // Count field: adding the 65535th file is fine, the 65536th not.
+    EXPECT_EQ(FileBundle::checkAdd(FileBundle::kMaxFiles - 1, 10),
+              nullptr);
+    EXPECT_NE(FileBundle::checkAdd(FileBundle::kMaxFiles, 10),
+              nullptr);
+}
+
 TEST(FileBundle, PriorityStreamPutsDirectoryFirst)
 {
     auto b = sampleBundle();

@@ -1,0 +1,129 @@
+/**
+ * ByteWriter/ByteReader: little-endian layout independent of the
+ * host, full-width round trips, and the bounded reader's sticky
+ * poisoning — the property that turns a truncated or length-corrupted
+ * pool-file section into a clean error instead of UB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/byteio.hh"
+
+using namespace dnastore;
+
+TEST(ByteWriter, LittleEndianLayout)
+{
+    ByteWriter w;
+    w.u8(0x11);
+    w.u16(0x2233);
+    w.u32(0x44556677);
+    w.u64(0x8899AABBCCDDEEFFull);
+    const std::vector<uint8_t> expected = {
+        0x11,                                           // u8
+        0x33, 0x22,                                     // u16 LE
+        0x77, 0x66, 0x55, 0x44,                         // u32 LE
+        0xFF, 0xEE, 0xDD, 0xCC, 0xBB, 0xAA, 0x99, 0x88, // u64 LE
+    };
+    EXPECT_EQ(w.data(), expected);
+    EXPECT_EQ(w.size(), expected.size());
+}
+
+TEST(ByteWriter, BytesAndStrings)
+{
+    ByteWriter w;
+    w.str("hi");
+    const uint8_t raw[] = { 1, 2, 3 };
+    w.bytes(raw, 3);
+    w.bytes(std::vector<uint8_t>{ 9 });
+    const std::vector<uint8_t> expected = { 'h', 'i', 1, 2, 3, 9 };
+    EXPECT_EQ(w.data(), expected);
+
+    std::vector<uint8_t> taken = w.take();
+    EXPECT_EQ(taken, expected);
+}
+
+TEST(ByteReader, RoundTripAllWidths)
+{
+    ByteWriter w;
+    w.u8(200);
+    w.u16(60000);
+    w.u32(4000000000u);
+    w.u64(0x0123456789ABCDEFull);
+    w.str("name");
+
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u8(), 200u);
+    EXPECT_EQ(r.u16(), 60000u);
+    EXPECT_EQ(r.u32(), 4000000000u);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.str(4), "name");
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, UnderflowPoisonsAndSticks)
+{
+    ByteWriter w;
+    w.u16(0xBEEF);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u8(), 0xEFu);
+    // A u32 needs 4 bytes; only 1 remains. The read must return 0,
+    // poison the reader, and consume nothing.
+    EXPECT_EQ(r.u32(), 0u);
+    EXPECT_FALSE(r.ok());
+    // Poisoning is sticky: even a read that WOULD fit now fails.
+    EXPECT_EQ(r.u8(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, UnderflowVariantsReturnEmpty)
+{
+    const std::vector<uint8_t> two = { 7, 8 };
+    {
+        ByteReader r(two);
+        EXPECT_EQ(r.str(3), "");
+        EXPECT_FALSE(r.ok());
+    }
+    {
+        ByteReader r(two);
+        EXPECT_TRUE(r.vec(3).empty());
+        EXPECT_FALSE(r.ok());
+    }
+    {
+        ByteReader r(two);
+        uint8_t out[3] = { 9, 9, 9 };
+        EXPECT_FALSE(r.read(out, 3));
+        EXPECT_EQ(out[0], 9u); // nothing was copied
+        EXPECT_FALSE(r.ok());
+    }
+    {
+        ByteReader r(two);
+        EXPECT_FALSE(r.skip(3));
+        EXPECT_FALSE(r.ok());
+    }
+}
+
+TEST(ByteReader, PosAndRemainingTrackReads)
+{
+    const std::vector<uint8_t> bytes = { 1, 2, 3, 4, 5, 6 };
+    ByteReader r(bytes);
+    EXPECT_EQ(r.pos(), 0u);
+    EXPECT_EQ(r.remaining(), 6u);
+    r.u32();
+    EXPECT_EQ(r.pos(), 4u);
+    EXPECT_EQ(r.remaining(), 2u);
+    EXPECT_TRUE(r.skip(2));
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteReader, ReadCopiesBytes)
+{
+    const std::vector<uint8_t> bytes = { 10, 20, 30 };
+    ByteReader r(bytes);
+    uint8_t out[3] = { 0, 0, 0 };
+    EXPECT_TRUE(r.read(out, 3));
+    EXPECT_EQ(out[0], 10u);
+    EXPECT_EQ(out[1], 20u);
+    EXPECT_EQ(out[2], 30u);
+}

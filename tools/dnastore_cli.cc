@@ -20,10 +20,24 @@
  *            clustering assumption) before decoding.
  *   sweep    --scenario NAME|all [--trials n] [--threads t] [--seed s]
  *            [--json FILE] [--csv FILE] [--timing] [--list]
+ *            [--from-pool FILE]
  *            Deterministic Monte-Carlo reliability sweep over the
  *            Scenario Lab's named hostile channel profiles; emits a
  *            structured JSON (and optionally CSV) report. The JSON is
- *            byte-identical for every --threads value.
+ *            byte-identical for every --threads value. With
+ *            --from-pool the scenarios store a pool file's real
+ *            objects (and its geometry) instead of the synthetic
+ *            payload.
+ *   pack     <files...> [--out store.dnapool] [--scheme ...]
+ *            [channel flags] [--no-pools]
+ *            Encode files and save the unit — read pools included
+ *            unless --no-pools — as a versioned, checksummed
+ *            `.dnapool` file (the durable store format).
+ *   unpack   <store.dnapool> --outdir DIR
+ *            Reopen a pool file read-only, retrieve every object
+ *            through the decode path, and write the recovered files.
+ *   simulate/sweep also accept --from-pool FILE to run against a
+ *            previously packed store instead of fresh inputs.
  *   --version
  *            Print the library version and exit.
  *
@@ -81,12 +95,17 @@ struct CliOptions
     double gammaShape = 0.0;
     bool gammaSet = false;
     size_t coverage = 10;
+    bool coverageSet = false;
     size_t threads = 1; // 0 = all hardware threads
     bool packedPools = false;
     bool cluster = false;
     size_t clusterQgram = 6;
     double clusterMaxDist = 0.25;
     bool clusterKnobsSet = false;
+    // pack/unpack/--from-pool
+    std::string fromPool; // empty = none
+    bool noPools = false;
+    bool outSet = false;
     // sweep
     std::string scenario = "all";
     size_t trials = 100;
@@ -136,6 +155,11 @@ parseArgs(int argc, char **argv, int first)
         };
         if (arg == "--out") {
             opt.out = next("--out");
+            opt.outSet = true;
+        } else if (arg == "--from-pool") {
+            opt.fromPool = next("--from-pool");
+        } else if (arg == "--no-pools") {
+            opt.noPools = true;
         } else if (arg == "--outdir") {
             opt.outdir = next("--outdir");
         } else if (arg == "--scheme") {
@@ -197,6 +221,7 @@ parseArgs(int argc, char **argv, int first)
         } else if (arg == "--coverage") {
             opt.coverage = std::strtoull(next("--coverage").c_str(),
                                          nullptr, 10);
+            opt.coverageSet = true;
         } else if (arg == "--threads") {
             opt.threads = std::strtoull(next("--threads").c_str(),
                                         nullptr, 10);
@@ -412,6 +437,35 @@ validateFlags(const CliOptions &opt)
     return kExitOk;
 }
 
+/** The runtime (not durable) knobs openFile takes from the flags. */
+api::OpenOptions
+openOptionsFor(const CliOptions &opt)
+{
+    api::OpenOptions open_opt;
+    open_opt.mode = api::OpenMode::ReadOnly;
+    open_opt.threads = opt.threads;
+    open_opt.packedReadPools = opt.packedPools;
+    return open_opt;
+}
+
+/**
+ * Channel for serving a .dnapool file: when the user gave no
+ * --coverage, adopt the file's own saved pool depth instead of
+ * tripping the depth gate on the CLI default.
+ */
+api::ChannelOptions
+channelOptionsForPool(const CliOptions &opt, const std::string &path)
+{
+    api::ChannelOptions chan = channelOptionsFor(opt);
+    if (opt.coverageSet || opt.gammaSet)
+        return chan;
+    api::Result<api::PoolFileContents> contents =
+        api::readPoolFile(path);
+    if (contents.ok() && contents->hasPools)
+        chan.coverage(contents->poolMaxCoverage);
+    return chan;
+}
+
 int
 cmdSimulate(const CliOptions &opt)
 {
@@ -422,13 +476,21 @@ cmdSimulate(const CliOptions &opt)
         .threads(opt.threads)
         .packedReadPools(opt.packedPools)
         .unitSeed(20220618);
-    api::Result<api::Store> store = api::Store::open(store_opt, chan);
+    // --from-pool reopens a packed store (read-only: simulate never
+    // mutates it) instead of encoding fresh inputs; the file supplies
+    // the geometry, scheme, and objects.
+    if (!opt.fromPool.empty())
+        chan = channelOptionsForPool(opt, opt.fromPool);
+    api::Result<api::Store> store = opt.fromPool.empty()
+        ? api::Store::open(store_opt, chan)
+        : api::Store::openFile(opt.fromPool, chan,
+                               openOptionsFor(opt));
     if (!store.ok()) {
         printStatus(store.status());
         return statusExit(store.status());
     }
     int exit_code = kExitOk;
-    if (!putInputs(*store, opt, &exit_code))
+    if (opt.fromPool.empty() && !putInputs(*store, opt, &exit_code))
         return exit_code;
 
     api::Result<api::Retrieval> retrieval = store->retrieveAll();
@@ -446,12 +508,81 @@ cmdSimulate(const CliOptions &opt)
     std::printf("scheme=%s error_rate=%.1f%% coverage=%zu%s: "
                 "exact=%s, %zu errors corrected, %zu molecules lost, "
                 "%zu codewords failed\n",
-                layoutSchemeName(opt.scheme),
+                layoutSchemeName(store->options().layout()),
                 chan.channelProfile().base.total() * 100,
                 retrieval->coverage, gamma ? " (gamma mean)" : "",
                 retrieval->exact ? "yes" : "no",
                 retrieval->correctedErrors, retrieval->erasedColumns,
                 retrieval->failedCodewords);
+    return retrieval->exact ? kExitOk : kExitThreshold;
+}
+
+int
+cmdPack(const CliOptions &opt)
+{
+    api::ChannelOptions chan = channelOptionsFor(opt);
+    api::StoreOptions store_opt;
+    store_opt.autoGeometry(true)
+        .layout(opt.scheme)
+        .threads(opt.threads)
+        .packedReadPools(opt.packedPools)
+        .unitSeed(20220618);
+    api::Result<api::Store> store = api::Store::open(store_opt, chan);
+    if (!store.ok()) {
+        printStatus(store.status());
+        return statusExit(store.status());
+    }
+    int exit_code = kExitOk;
+    if (!putInputs(*store, opt, &exit_code))
+        return exit_code;
+
+    const std::string out = opt.outSet ? opt.out : "store.dnapool";
+    api::Status status = store->save(out, !opt.noPools);
+    if (!status.ok()) {
+        printStatus(status);
+        return statusExit(status);
+    }
+    std::printf("packed %zu objects (%zu bytes) into %s%s\n",
+                store->objectCount(), store->totalBytes(),
+                out.c_str(),
+                opt.noPools ? " (unit only, no read pools)" : "");
+    return kExitOk;
+}
+
+int
+cmdUnpack(const CliOptions &opt)
+{
+    if (opt.inputs.size() != 1) {
+        std::fprintf(stderr, "unpack needs exactly one pool file\n");
+        return kExitUsage;
+    }
+    api::Result<api::Store> store = api::Store::openFile(
+        opt.inputs[0], channelOptionsForPool(opt, opt.inputs[0]),
+        openOptionsFor(opt));
+    if (!store.ok()) {
+        printStatus(store.status());
+        return statusExit(store.status());
+    }
+    api::Result<api::Retrieval> retrieval = store->retrieveAll();
+    if (!retrieval.ok()) {
+        printStatus(retrieval.status());
+        return statusExit(retrieval.status());
+    }
+    for (const auto &file : retrieval->objects.files()) {
+        std::string path = opt.outdir + "/" + file.name;
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(file.data.data()),
+                  std::streamsize(file.data.size()));
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return kExitRuntime;
+        }
+        std::printf("recovered %s (%zu bytes)%s\n", path.c_str(),
+                    file.data.size(),
+                    retrieval->exact ? ""
+                                     : " [ECC reported failures]");
+    }
     return retrieval->exact ? kExitOk : kExitThreshold;
 }
 
@@ -483,6 +614,25 @@ cmdSweep(const CliOptions &opt)
             return kExitUsage;
         }
         grid.push_back(*s);
+    }
+
+    // --from-pool: sweep the hostile grid over a packed store's real
+    // objects under its real geometry instead of the synthetic
+    // payload. The file is parsed once; every scenario adopts its
+    // config/scheme so the override always fits the unit.
+    if (!opt.fromPool.empty()) {
+        api::Result<api::PoolFileContents> file =
+            api::readPoolFile(opt.fromPool);
+        if (!file.ok()) {
+            printStatus(file.status());
+            return statusExit(file.status());
+        }
+        for (auto &scenario : grid) {
+            scenario.config = file->config;
+            scenario.scheme = file->scheme;
+            scenario.payloadOverride = file->manifest;
+            scenario.hasPayloadOverride = true;
+        }
     }
 
     SweepOptions sweep_opt;
@@ -559,12 +709,29 @@ usage()
         "  dnastore sweep [--scenario NAME|all] [--trials N] "
         "[--threads T] [--seed S]\n"
         "                [--json FILE] [--csv FILE] [--timing] "
-        "[--list]\n"
+        "[--list] [--from-pool FILE]\n"
         "    (Monte-Carlo reliability sweep over the Scenario Lab's\n"
         "     hostile channel profiles; JSON goes to stdout unless\n"
         "     --json is given and is byte-identical for every\n"
         "     --threads value; --timing adds non-deterministic wall\n"
-        "     times)\n"
+        "     times; --from-pool sweeps a packed store's objects\n"
+        "     under its saved geometry)\n"
+        "  dnastore pack <files...> [--out store.dnapool] "
+        "[--scheme S] [--no-pools]\n"
+        "                [channel flags as in simulate]\n"
+        "    (encode files and save the unit — synthesized read\n"
+        "     pools included unless --no-pools — as a versioned,\n"
+        "     checksummed .dnapool file; every section is CRC-\n"
+        "     guarded, so later corruption is detected and named)\n"
+        "  dnastore unpack <store.dnapool> [--outdir DIR] "
+        "[--threads T] [--coverage N]\n"
+        "    (reopen a pool file read-only — any number of processes\n"
+        "     can serve one file — retrieve every object through the\n"
+        "     decode path, and write the recovered files; without\n"
+        "     --coverage the file's saved pool depth is used)\n"
+        "  dnastore simulate --from-pool FILE [channel flags]\n"
+        "    (run the retrieval report against a packed store\n"
+        "     instead of fresh inputs)\n"
         "  dnastore --version\n"
         "\n"
         "exit codes:\n"
@@ -605,6 +772,10 @@ main(int argc, char **argv)
             return cmdSimulate(opt);
         if (cmd == "sweep")
             return cmdSweep(opt);
+        if (cmd == "pack")
+            return cmdPack(opt);
+        if (cmd == "unpack")
+            return cmdUnpack(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return kExitRuntime;
