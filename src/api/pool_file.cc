@@ -4,6 +4,10 @@
 #include <cstring>
 #include <stdexcept>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "api/options.hh"
 #include "util/byteio.hh"
 #include "util/crc32.hh"
@@ -388,17 +392,34 @@ Status
 writePoolFile(const std::string &path, const PoolFileContents &contents)
 {
     const std::vector<uint8_t> bytes = serializePoolFile(contents);
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    // Crash-safe replacement: stream into a sibling temp file, flush
+    // it to stable storage, then rename() over the target. A crash or
+    // power loss mid-save leaves any previous good file untouched (at
+    // worst plus a stale .tmp sibling, overwritten by the next save).
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr)
         return Status::unavailable(formatMessage(
-            "cannot open '%s' for writing", path.c_str()));
+            "cannot open '%s' for writing", tmp.c_str()));
     const size_t written =
         bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-    const bool flushed = std::fclose(f) == 0;
-    if (written != bytes.size() || !flushed)
+    bool synced = std::fflush(f) == 0;
+#ifndef _WIN32
+    synced = synced && ::fsync(fileno(f)) == 0;
+#endif
+    const bool closed = std::fclose(f) == 0;
+    if (written != bytes.size() || !synced || !closed) {
+        std::remove(tmp.c_str());
         return Status::unavailable(formatMessage(
-            "short write to '%s' (%zu of %zu bytes)", path.c_str(),
-            written, bytes.size()));
+            "write to '%s' failed (%zu of %zu bytes durable)",
+            tmp.c_str(), written, bytes.size()));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Status::unavailable(formatMessage(
+            "cannot move '%s' into place as '%s'", tmp.c_str(),
+            path.c_str()));
+    }
     return Status();
 }
 

@@ -99,7 +99,12 @@ std::vector<uint8_t> serializePoolFile(const PoolFileContents &contents);
  */
 Result<PoolFileContents> parsePoolFile(const std::vector<uint8_t> &bytes);
 
-/** serializePoolFile + atomic-enough write (Unavailable on I/O errors). */
+/**
+ * serializePoolFile + atomic replacement: the bytes stream into a
+ * sibling `<path>.tmp`, are fsync'd, and rename() over @p path, so a
+ * crash mid-save never destroys a previously good file. Unavailable
+ * on I/O errors (the temp file is removed).
+ */
 Status writePoolFile(const std::string &path,
                      const PoolFileContents &contents);
 

@@ -235,13 +235,21 @@ Result<Store>
 Store::openFile(const std::string &path, const ChannelOptions &channel,
                 const OpenOptions &open_options)
 {
-    Status status = channel.validate();
-    if (!status.ok())
-        return status;
     Result<PoolFileContents> contents = readPoolFile(path);
     if (!contents.ok())
         return contents.status();
-    PoolFileContents &file = *contents;
+    return openContents(std::move(*contents), channel, open_options,
+                        path);
+}
+
+Result<Store>
+Store::openContents(PoolFileContents file, const ChannelOptions &channel,
+                    const OpenOptions &open_options,
+                    const std::string &origin)
+{
+    Status status = channel.validate();
+    if (!status.ok())
+        return status;
 
     // The saved pools bound what this store can retrieve at; a
     // channel that would draw deeper must say so now, not DataLoss
@@ -251,7 +259,7 @@ Store::openFile(const std::string &path, const ChannelOptions &channel,
             "the channel needs pool depth %zu but '%s' holds pools "
             "of depth %zu (reopen with a shallower channel, or "
             "re-save with a deeper one)",
-            channel.maxCoverage(), path.c_str(),
+            channel.maxCoverage(), origin.c_str(),
             file.poolMaxCoverage));
 
     // Runtime knobs come from the opening process, never the file.
@@ -283,7 +291,7 @@ Store::openFile(const std::string &path, const ChannelOptions &channel,
             rep->sim->prepare(file.manifest);
     } catch (const std::invalid_argument &e) {
         return Status::failedPrecondition(formatMessage(
-            "'%s' cannot be restored: %s", path.c_str(), e.what()));
+            "'%s' cannot be restored: %s", origin.c_str(), e.what()));
     } catch (const std::exception &e) {
         return Status::internal(e.what());
     }
@@ -298,7 +306,7 @@ Store::openFile(const std::string &path, const ChannelOptions &channel,
             "'%s': the unit section does not match the manifest's "
             "re-encoding (sections are individually intact but "
             "mutually inconsistent)",
-            path.c_str()));
+            origin.c_str()));
     rep->resolvedCfg = cfg;
     rep->prepared = true;
     rep->synthesized = file.hasPools;
@@ -608,14 +616,22 @@ Store::submit(const DecodeJob &job)
             // does not parse exactly must be an error — silently
             // decoding with key 0 would search for the wrong primers
             // and mis-frame every strand.
+            // Editors and copy-paste leave stray blanks around the
+            // header; any run of spaces/tabs before the field or at
+            // end of line is framing, not a trailing field.
             std::string rest = header.substr(size_t(consumed));
+            const size_t first = rest.find_first_not_of(" \t");
+            const size_t last = rest.find_last_not_of(" \t");
+            rest = first == std::string::npos
+                ? std::string()
+                : rest.substr(first, last - first + 1);
             if (!rest.empty()) {
-                if (rest.compare(0, 5, " key=") != 0)
+                if (rest.compare(0, 4, "key=") != 0)
                     return Status::failedPrecondition(formatMessage(
                         "unrecognized trailing field in unit header: "
                         "'%s'",
                         rest.c_str()));
-                const char *digits = rest.c_str() + 5;
+                const char *digits = rest.c_str() + 4;
                 if (!std::isdigit(
                         static_cast<unsigned char>(*digits)))
                     return Status::failedPrecondition(formatMessage(

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "api/options.hh"
+#include "api/pool_file.hh"
 #include "api/status.hh"
 #include "pipeline/bundle.hh"
 #include "pipeline/config.hh"
@@ -271,6 +272,23 @@ class Store
                                   = ChannelOptions(),
                                   const OpenOptions &options
                                   = OpenOptions());
+
+    /**
+     * Open a store from already-parsed pool file contents — exactly
+     * what openFile() does after readPoolFile(), exposed so a caller
+     * that already parsed the file (e.g. to adopt its saved pool
+     * depth as a channel default) does not pay a second read+parse
+     * of the whole store. @p origin names the source in error
+     * messages. Same validation, integrity cross-check, and errors
+     * as openFile(), minus NotFound.
+     */
+    static Result<Store> openContents(PoolFileContents contents,
+                                      const ChannelOptions &channel
+                                      = ChannelOptions(),
+                                      const OpenOptions &options
+                                      = OpenOptions(),
+                                      const std::string &origin
+                                      = "pool contents");
 
     /**
      * Save the store to a durable `.dnapool` file. With @p with_pools

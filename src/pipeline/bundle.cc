@@ -15,6 +15,18 @@ FileBundle::checkName(const std::string &name)
         return "file name must not be empty";
     if (name.size() > 255)
         return "file name must be at most 255 bytes";
+    // Names surface as relative paths when a store is unpacked, and
+    // they arrive from untrusted bytes (pool files, unit artifacts).
+    // A name that is not a single plain path component ("../x",
+    // "a/b", "C:\\x") would let a crafted file write outside the
+    // unpack directory, so the format itself forbids it.
+    if (name.find('/') != std::string::npos ||
+        name.find('\\') != std::string::npos)
+        return "file name must not contain path separators";
+    if (name == "." || name == "..")
+        return "file name must not be a '.' or '..' path component";
+    if (name.find('\0') != std::string::npos)
+        return "file name must not contain NUL bytes";
     return nullptr;
 }
 

@@ -38,8 +38,12 @@ class FileBundle
     FileBundle() = default;
 
     /**
-     * Why @p name is not a legal file name, or nullptr when it is
-     * (non-empty, at most 255 bytes). Shared by the throwing add()
+     * Why @p name is not a legal file name, or nullptr when it is:
+     * non-empty, at most 255 bytes, NUL-free, and a single plain path
+     * component (no '/', '\\', '.' or '..' — names become relative
+     * output paths on unpack, and they are parsed from untrusted
+     * bytes, so anything that could escape the output directory is
+     * rejected by the format itself). Shared by the throwing add()
      * and the public API's Status-returning Store::put, so both
      * reject a bad name with the same wording.
      */
@@ -62,7 +66,7 @@ class FileBundle
     static const char *checkAdd(size_t file_count, size_t data_size);
 
     /**
-     * Add a file. Names must be non-empty, <= 255 bytes, unique;
+     * Add a file. Names must pass checkName() and be unique;
      * checkAdd() must also hold. Throws std::invalid_argument.
      */
     void add(const std::string &name, std::vector<uint8_t> data);

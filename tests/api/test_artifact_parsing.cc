@@ -164,6 +164,31 @@ TEST(ArtifactParsing, TrailingHeaderJunkIsFailedPrecondition)
     }
 }
 
+// Regression: a trailing space/tab left by an editor, or extra
+// blanks before the key= field, are line framing — not an
+// unrecognized trailing field.
+TEST(ArtifactParsing, StrayHeaderWhitespaceIsTolerated)
+{
+    const EncodedArtifact plain = sampleArtifact();
+    for (const char *pad : { " ", "\t", "  \t " }) {
+        Result<DecodedObjects> decoded =
+            decodeText(withHeader(plain, plain.header + pad));
+        ASSERT_TRUE(decoded.ok())
+            << "pad '" << pad << "': " << decoded.status().toString();
+        EXPECT_TRUE(decoded->exact);
+    }
+
+    const EncodedArtifact keyed = sampleArtifact(77);
+    std::string header = keyed.header;
+    const size_t at = header.find(" key=77");
+    ASSERT_NE(at, std::string::npos);
+    header.replace(at, 1, "\t  "); // tab + blanks before key=
+    Result<DecodedObjects> decoded =
+        decodeText(withHeader(keyed, header + " \t"));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_TRUE(decoded->exact);
+}
+
 TEST(ArtifactParsing, MissingHeaderIsFailedPrecondition)
 {
     Result<DecodedObjects> decoded = decodeText("ACGTACGT\nACGT\n");

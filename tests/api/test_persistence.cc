@@ -68,6 +68,35 @@ expectSameObjects(const FileBundle &a, const FileBundle &b)
 
 } // namespace
 
+// openContents is openFile minus the file I/O: a caller that already
+// parsed the file (the CLI does, to adopt the saved pool depth) must
+// get an identical store without a second read+parse.
+TEST(StorePersistence, OpenContentsMatchesOpenFile)
+{
+    const std::string path = tempPool("persist_contents.dnapool");
+    ScopedRemove cleanup{ path };
+
+    Store original = openTiny(11);
+    ASSERT_TRUE(original.put("obj.bin", patternBytes(600, 5)).ok());
+    ASSERT_TRUE(original.save(path).ok());
+
+    Result<PoolFileContents> contents = readPoolFile(path);
+    ASSERT_TRUE(contents.ok()) << contents.status().toString();
+    Result<Store> via_file = Store::openFile(path, tinyChannel());
+    ASSERT_TRUE(via_file.ok()) << via_file.status().toString();
+    Result<Store> via_contents = Store::openContents(
+        std::move(*contents), tinyChannel(), OpenOptions(), path);
+    ASSERT_TRUE(via_contents.ok())
+        << via_contents.status().toString();
+
+    Result<Retrieval> a = via_file->retrieveAll();
+    Result<Retrieval> b = via_contents->retrieveAll();
+    ASSERT_TRUE(a.ok()) << a.status().toString();
+    ASSERT_TRUE(b.ok()) << b.status().toString();
+    EXPECT_EQ(a->exact, b->exact);
+    expectSameObjects(a->objects, b->objects);
+}
+
 TEST(StorePersistence, SaveReopenWithPoolsIsByteIdentical)
 {
     const std::string path = tempPool("persist_with_pools.dnapool");

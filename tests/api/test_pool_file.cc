@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -245,6 +247,61 @@ TEST(PoolFileFormat, WriteReadFileRoundTrip)
     ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
     expectEqual(original, *parsed);
     std::remove(path.c_str());
+}
+
+// Zip-slip defense: a pool file whose manifest names an object
+// "../x" (valid CRC, crafted bytes) must be rejected at parse time —
+// names that could escape an unpack directory never reach callers.
+TEST(PoolFileFormat, TraversalNameInManifestIsRejected)
+{
+    std::vector<uint8_t> bytes = serializePoolFile(sampleContents());
+    Result<std::vector<PoolFileSection>> sections =
+        poolFileSections(bytes);
+    ASSERT_TRUE(sections.ok());
+    const PoolFileSection &manifest = (*sections)[2];
+    ASSERT_STREQ(manifest.name, "manifest");
+    // Payload: u32 count, u8 name_len, then the first name ("a.bin",
+    // 5 bytes). Swap in a same-length traversal name and RE-SIGN the
+    // section CRC so only the name rule can reject the file.
+    const size_t name_at = manifest.begin + 12 + 4 + 1;
+    const std::string evil = "../.b";
+    std::copy(evil.begin(), evil.end(), bytes.begin() + long(name_at));
+    const uint32_t crc = crc32(bytes.data() + manifest.begin,
+                               manifest.end - manifest.begin - 4);
+    for (int i = 0; i < 4; ++i)
+        bytes[manifest.end - 4 + size_t(i)] = uint8_t(crc >> (8 * i));
+    Result<PoolFileContents> parsed = parsePoolFile(bytes);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::FailedPrecondition)
+        << parsed.status().toString();
+    EXPECT_NE(parsed.status().message().find("manifest"),
+              std::string::npos);
+}
+
+// Saves replace atomically: a successful save leaves no ".tmp"
+// sibling behind, saving over an existing file round-trips, and a
+// failing save is Unavailable (never a half-written target).
+TEST(PoolFileFormat, WriteIsAtomicReplacement)
+{
+    const std::string path =
+        testing::TempDir() + "pool_file_atomic.dnapool";
+    ASSERT_TRUE(writePoolFile(path, sampleContents()).ok());
+    std::FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr) << "stale temp file left behind";
+    if (tmp != nullptr)
+        std::fclose(tmp);
+
+    PoolFileContents second = sampleContents();
+    second.unitSeed = 1;
+    ASSERT_TRUE(writePoolFile(path, second).ok());
+    Result<PoolFileContents> parsed = readPoolFile(path);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed->unitSeed, 1u);
+    std::remove(path.c_str());
+
+    Status bad =
+        writePoolFile("/nonexistent/dir/x.dnapool", sampleContents());
+    EXPECT_EQ(bad.code(), StatusCode::Unavailable);
 }
 
 TEST(PoolFileFormat, SectionNames)

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "pipeline/bundle.hh"
 #include "util/rng.hh"
 
@@ -39,6 +41,46 @@ TEST(FileBundle, NameValidation)
                  std::invalid_argument);
     b.add("dup", { 1 });
     EXPECT_THROW(b.add("dup", { 2 }), std::invalid_argument);
+}
+
+// Names become outdir-relative paths on unpack and arrive from
+// untrusted bytes, so anything that is not a single plain path
+// component is rejected by the format itself (zip-slip defense).
+TEST(FileBundle, TraversalNamesAreRejected)
+{
+    const char *hostile[] = {
+        "../escape",          "..",   ".",
+        "a/b",                "/abs", "..\\win",
+        "nested/../../etc",   "dir\\file",
+    };
+    for (const char *name : hostile) {
+        FileBundle b;
+        EXPECT_NE(FileBundle::checkName(name), nullptr) << name;
+        EXPECT_THROW(b.add(name, { 1 }), std::invalid_argument)
+            << name;
+    }
+    EXPECT_NE(FileBundle::checkName(std::string("nul\0byte", 8)),
+              nullptr);
+    // Dots inside a component stay legal.
+    EXPECT_EQ(FileBundle::checkName("archive.tar.gz"), nullptr);
+    EXPECT_EQ(FileBundle::checkName("..twodots"), nullptr);
+}
+
+// A serialized directory carrying a traversal name (crafted bytes,
+// not producible through add()) must fail deserialization.
+TEST(FileBundle, DeserializeRejectsTraversalNames)
+{
+    FileBundle b;
+    b.add("ok.bin", { 9, 9 });
+    std::vector<uint8_t> bytes = b.serialize();
+    // Directory layout: u32 dir_len, u16 count, u8 name_len, name...
+    // Overwrite "ok.bin" with "../a.b" (same length) in place.
+    const std::string evil = "../a.b";
+    std::copy(evil.begin(), evil.end(), bytes.begin() + 7);
+    bool ok = true;
+    FileBundle back = FileBundle::deserialize(bytes, &ok);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(back.fileCount(), 0u);
 }
 
 TEST(FileBundle, SerializeRoundTrip)

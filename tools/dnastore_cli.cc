@@ -364,6 +364,35 @@ cmdEncode(const CliOptions &opt)
     return kExitOk;
 }
 
+/**
+ * Write one recovered object under @p outdir. Object names come from
+ * untrusted bytes (a unit artifact or pool file); FileBundle's
+ * parsers already reject names that are not a single plain path
+ * component, but the write loop re-checks so --outdir can never be
+ * escaped (zip-slip) even if a future format revision relaxes the
+ * name rules. @p path returns the written path for reporting.
+ */
+bool
+writeRecovered(const std::string &outdir, const std::string &name,
+               const std::vector<uint8_t> &data, std::string *path)
+{
+    if (const char *err = FileBundle::checkName(name)) {
+        std::fprintf(stderr, "refusing to write object '%s': %s\n",
+                     name.c_str(), err);
+        return false;
+    }
+    *path = outdir + "/" + name;
+    std::ofstream out(*path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(data.data()),
+              std::streamsize(data.size()));
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path->c_str());
+        return false;
+    }
+    return true;
+}
+
 int
 cmdDecode(const CliOptions &opt)
 {
@@ -397,15 +426,9 @@ cmdDecode(const CliOptions &opt)
         return statusExit(decoded.status());
     }
     for (const auto &file : decoded->files) {
-        std::string path = opt.outdir + "/" + file.name;
-        std::ofstream out(path, std::ios::binary);
-        out.write(reinterpret_cast<const char *>(file.data.data()),
-                  std::streamsize(file.data.size()));
-        out.flush();
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::string path;
+        if (!writeRecovered(opt.outdir, file.name, file.data, &path))
             return kExitRuntime;
-        }
         std::printf("recovered %s (%zu bytes)%s\n", path.c_str(),
                     file.data.size(),
                     decoded->exact ? "" : " [ECC reported failures]");
@@ -449,21 +472,24 @@ openOptionsFor(const CliOptions &opt)
 }
 
 /**
- * Channel for serving a .dnapool file: when the user gave no
- * --coverage, adopt the file's own saved pool depth instead of
- * tripping the depth gate on the CLI default.
+ * Reopen a packed store for serving, parsing the file exactly once:
+ * the parsed contents supply both the coverage default (when the
+ * user gave no --coverage/--gamma, adopt the file's own saved pool
+ * depth instead of tripping the depth gate on the CLI default) and,
+ * via Store::openContents, the opened store itself.
  */
-api::ChannelOptions
-channelOptionsForPool(const CliOptions &opt, const std::string &path)
+api::Result<api::Store>
+openPoolStore(const CliOptions &opt, const std::string &path)
 {
-    api::ChannelOptions chan = channelOptionsFor(opt);
-    if (opt.coverageSet || opt.gammaSet)
-        return chan;
     api::Result<api::PoolFileContents> contents =
         api::readPoolFile(path);
-    if (contents.ok() && contents->hasPools)
+    if (!contents.ok())
+        return contents.status();
+    api::ChannelOptions chan = channelOptionsFor(opt);
+    if (!opt.coverageSet && !opt.gammaSet && contents->hasPools)
         chan.coverage(contents->poolMaxCoverage);
-    return chan;
+    return api::Store::openContents(std::move(*contents), chan,
+                                    openOptionsFor(opt), path);
 }
 
 int
@@ -478,13 +504,10 @@ cmdSimulate(const CliOptions &opt)
         .unitSeed(20220618);
     // --from-pool reopens a packed store (read-only: simulate never
     // mutates it) instead of encoding fresh inputs; the file supplies
-    // the geometry, scheme, and objects.
-    if (!opt.fromPool.empty())
-        chan = channelOptionsForPool(opt, opt.fromPool);
+    // the geometry, scheme, objects, and default coverage.
     api::Result<api::Store> store = opt.fromPool.empty()
         ? api::Store::open(store_opt, chan)
-        : api::Store::openFile(opt.fromPool, chan,
-                               openOptionsFor(opt));
+        : openPoolStore(opt, opt.fromPool);
     if (!store.ok()) {
         printStatus(store.status());
         return statusExit(store.status());
@@ -556,9 +579,8 @@ cmdUnpack(const CliOptions &opt)
         std::fprintf(stderr, "unpack needs exactly one pool file\n");
         return kExitUsage;
     }
-    api::Result<api::Store> store = api::Store::openFile(
-        opt.inputs[0], channelOptionsForPool(opt, opt.inputs[0]),
-        openOptionsFor(opt));
+    api::Result<api::Store> store =
+        openPoolStore(opt, opt.inputs[0]);
     if (!store.ok()) {
         printStatus(store.status());
         return statusExit(store.status());
@@ -569,15 +591,9 @@ cmdUnpack(const CliOptions &opt)
         return statusExit(retrieval.status());
     }
     for (const auto &file : retrieval->objects.files()) {
-        std::string path = opt.outdir + "/" + file.name;
-        std::ofstream out(path, std::ios::binary);
-        out.write(reinterpret_cast<const char *>(file.data.data()),
-                  std::streamsize(file.data.size()));
-        out.flush();
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::string path;
+        if (!writeRecovered(opt.outdir, file.name, file.data, &path))
             return kExitRuntime;
-        }
         std::printf("recovered %s (%zu bytes)%s\n", path.c_str(),
                     file.data.size(),
                     retrieval->exact ? ""
