@@ -75,6 +75,12 @@
 #include "api/pool_file.hh"
 #define DNASTORE_HAVE_POOL_FILE 1
 #endif
+#if __has_include("api/health.hh")
+// Marks the PR 7 API surface: the durability loop — health
+// telemetry, the aging fault injector, scrub repair.
+#include "api/health.hh"
+#define DNASTORE_HAVE_DURABILITY 1
+#endif
 #endif
 
 namespace dnastore {
@@ -546,6 +552,70 @@ collect(std::vector<BenchResult> &results, const Options &opt)
             std::fprintf(stderr, "pool bench setup failed: %s\n",
                          store.status().toString().c_str());
         }
+    }
+#endif
+
+#ifdef DNASTORE_HAVE_DURABILITY
+    // --- Durability loop: the health probe (full-depth decode plus
+    // per-cluster/per-codeword telemetry), a no-op scrub scan, a
+    // repair-all rewrite of every cluster, and one closed-loop aging
+    // trial (age + scrub + decode per epoch). Tracks the cost of
+    // background maintenance relative to e2e_retrieve.
+    {
+        AgingProfile aging;
+        aging.strandLossRate = 0.25;
+        aging.substitutionRate = 0.004;
+        api::StoreOptions sopt = api::StoreOptions::tiny();
+        sopt.unitSeed(42);
+        api::ChannelOptions copt;
+        copt.errorRate(0.02).coverage(8).aging(aging);
+        api::Result<api::Store> store = api::Store::open(sopt, copt);
+        bool ready = store.ok();
+        if (ready) {
+            Rng rng(17);
+            FileBundle payload = randomBundle(
+                StorageConfig::tinyTest().capacityBytes() / 2, rng);
+            for (const auto &file : payload.files())
+                ready = ready && store->put(file.name, file.data).ok();
+        }
+        if (ready) {
+            api::Store *st = &*store;
+            add("health_probe_tiny", [st]() {
+                g_sink ^= uint64_t(st->health()->exact);
+            });
+            add("scrub_scan_noop_tiny", [st]() {
+                g_sink ^= st->scrub()->clustersScanned;
+            });
+            api::ScrubOptions repair_all;
+            repair_all.repairAll = true;
+            add("scrub_repair_all_tiny", [st, repair_all]() {
+                g_sink ^= st->scrub(repair_all)->repaired;
+            });
+        } else {
+            std::fprintf(stderr,
+                         "durability bench setup failed: %s\n",
+                         store.status().toString().c_str());
+        }
+
+        // The lab-path closed loop: each op runs one independent
+        // trial — synthesize a trial-local pool, then six epochs of
+        // decay each followed by a scrub and a full decode.
+        ChannelProfile profile;
+        profile.base = ErrorModel::uniform(0.02);
+        profile.aging = aging;
+        StorageSimulator sim(StorageConfig::tinyTest(),
+                             LayoutScheme::Baseline, profile, 42);
+        Rng rng(18);
+        sim.prepare(randomBundle(
+            StorageConfig::tinyTest().capacityBytes() / 2, rng));
+        ScrubPolicy policy;
+        policy.minReads = 6;
+        uint64_t trial = 0;
+        add("lab_trial_scrub_loop", [&sim, &policy, &trial]() {
+            g_sink ^= uint64_t(
+                sim.runAgingTrial(8, trial++, 6, true, policy)
+                    .epochSuccess.back());
+        });
     }
 #endif
 }

@@ -12,6 +12,7 @@
 #ifndef DNASTORE_API_API_HH
 #define DNASTORE_API_API_HH
 
+#include "api/health.hh"
 #include "api/options.hh"
 #include "api/pool_file.hh"
 #include "api/status.hh"

@@ -161,6 +161,14 @@ ChannelOptions::profile(const ChannelProfile &profile)
 }
 
 ChannelOptions &
+ChannelOptions::aging(const AgingProfile &aging)
+{
+    aging_ = aging;
+    agingSet_ = true;
+    return *this;
+}
+
+ChannelOptions &
 ChannelOptions::coverage(size_t readsPerCluster)
 {
     // Last call wins: fixed coverage reverts any earlier
@@ -253,6 +261,12 @@ ChannelOptions::validate() const
         return Status::invalidArgument(
             "invalid dropout profile (rate outside [0,1] or "
             "burstLen == 0)");
+    if (!resolved.aging.valid())
+        return Status::invalidArgument(formatMessage(
+            "invalid aging profile (strand-loss %g / substitution %g "
+            "must each be in [0, 1])",
+            resolved.aging.strandLossRate,
+            resolved.aging.substitutionRate));
 
     // Coverage.
     if (coverage_ == 0)
@@ -284,13 +298,17 @@ ChannelOptions::validate() const
 ChannelProfile
 ChannelOptions::channelProfile() const
 {
-    if (profileSet_)
-        return profile_;
-    ChannelProfile flat;
-    flat.base = ratesSet_
-        ? ErrorModel::custom(insRate_, delRate_, subRate_)
-        : ErrorModel::uniform(errorRate_);
-    return flat;
+    ChannelProfile resolved;
+    if (profileSet_) {
+        resolved = profile_;
+    } else {
+        resolved.base = ratesSet_
+            ? ErrorModel::custom(insRate_, delRate_, subRate_)
+            : ErrorModel::uniform(errorRate_);
+    }
+    if (agingSet_)
+        resolved.aging = aging_;
+    return resolved;
 }
 
 CoverageModel

@@ -151,6 +151,14 @@ class ChannelOptions
     /** Full channel profile: base model plus stressors (Scenario Lab). */
     ChannelOptions &profile(const ChannelProfile &profile);
 
+    /**
+     * Aging/decay model driving Store::age(): per-epoch strand-loss
+     * and per-base substitution rates, both in [0, 1]. Combinable
+     * with any channel shape; when a full profile() is also set, this
+     * overrides the profile's own aging member.
+     */
+    ChannelOptions &aging(const AgingProfile &aging);
+
     /** Fixed reads per cluster (reverts any earlier gammaCoverage). */
     ChannelOptions &coverage(size_t readsPerCluster);
 
@@ -181,6 +189,10 @@ class ChannelOptions
     double gammaMean() const { return gammaMean_; }
     double gammaShape() const { return gammaShape_; }
     bool hasCluster() const { return clusterSet_; }
+    bool hasAging() const
+    {
+        return channelProfile().aging.enabled();
+    }
     const ClusterParams &clusterParams() const;
     uint64_t drawSeed() const { return drawSeed_; }
 
@@ -193,6 +205,8 @@ class ChannelOptions
 
   private:
     ChannelProfile profile_;
+    AgingProfile aging_;
+    bool agingSet_ = false;
     double errorRate_ = 0.06;
     bool errorRateSet_ = false;
     double insRate_ = 0.0, delRate_ = 0.0, subRate_ = 0.0;

@@ -101,9 +101,13 @@ poolsPayload(const PoolFileContents &c)
     ByteWriter w;
     w.u64(c.pools.size());
     w.u64(c.poolMaxCoverage);
-    for (const auto &cluster : c.pools)
+    // Pools may be ragged (aging loses whole reads), so each cluster
+    // carries its own read count (v2 of the format).
+    for (const auto &cluster : c.pools) {
+        w.u32(uint32_t(cluster.size()));
         for (const auto &read : cluster)
             writeStrand(w, read);
+    }
     return w.take();
 }
 
@@ -215,7 +219,11 @@ parsePools(const std::vector<uint8_t> &payload, PoolFileContents &c)
         return malformed(kSectionPools);
     c.pools.assign(size_t(cluster_count), {});
     for (auto &cluster : c.pools) {
-        cluster.assign(size_t(max_coverage), Strand());
+        const uint32_t reads = r.u32();
+        if (!r.ok() || reads > max_coverage ||
+            reads > r.remaining())
+            return malformed(kSectionPools);
+        cluster.assign(size_t(reads), Strand());
         for (auto &read : cluster) {
             if (!readStrand(r, read))
                 return malformed(kSectionPools);

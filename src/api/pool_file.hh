@@ -48,8 +48,12 @@
 namespace dnastore {
 namespace api {
 
-/** Format version this build writes and the newest it can read. */
-inline constexpr uint32_t kPoolFormatVersion = 1;
+/**
+ * Format version this build writes and the newest it can read.
+ * v2 added per-cluster read counts to the pools section (pools may
+ * be ragged after aging; v1 pools were rectangular).
+ */
+inline constexpr uint32_t kPoolFormatVersion = 2;
 
 /** Section ids of the v1 format. */
 enum : uint32_t
@@ -82,7 +86,12 @@ struct PoolFileContents
     size_t payloadBits = 0;
     std::vector<Strand> strands;
 
-    /** Synthesized read pools (present only when saved with pools). */
+    /**
+     * Synthesized read pools (present only when saved with pools).
+     * Clusters may hold fewer than poolMaxCoverage reads: aging
+     * (Store::age) loses whole strands, and a post-aging save
+     * persists the ragged pool exactly as it decayed.
+     */
     bool hasPools = false;
     size_t poolMaxCoverage = 0;
     std::vector<std::vector<Strand>> pools;

@@ -1,5 +1,6 @@
 #include "api/store.hh"
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -17,7 +18,7 @@ namespace api {
 const char *
 version()
 {
-    return "0.6.0";
+    return "0.7.0";
 }
 
 std::string
@@ -57,6 +58,57 @@ mapRetrieval(const RetrievalResult &result)
     out.failedCodewords = result.decoded.stats.failedCodewords;
     out.indexFaults = result.decoded.stats.indexFaults;
     out.errorsPerCodeword = result.decoded.stats.errorsPerCodeword;
+    return out;
+}
+
+HealthReport
+mapHealth(const UnitHealth &health)
+{
+    HealthReport out;
+    out.clusters = health.clusters;
+    out.liveReads = health.liveReads;
+    out.poolCoverage = health.poolCoverage;
+    out.emptyClusters = health.emptyClusters;
+    out.indexFaults = health.indexFaults;
+    out.erasedColumns = health.erasedColumns;
+    out.failedCodewords = health.failedCodewords;
+    out.agedEpochs = health.agedEpochs;
+    out.exact = health.exact;
+    out.meanAgreement = health.meanAgreement;
+    out.minAgreement = health.minAgreement;
+    out.minMargin = health.minMargin;
+    out.perCluster.reserve(health.perCluster.size());
+    for (const ClusterHealth &c : health.perCluster)
+        out.perCluster.push_back(
+            { c.reads, c.indexOk, c.claimed, c.column, c.agreement });
+    out.perCodeword.reserve(health.perCodeword.size());
+    for (const CodewordHealth &cw : health.perCodeword)
+        out.perCodeword.push_back({ cw.ok, cw.errorsCorrected,
+                                    cw.erasuresCorrected, cw.margin });
+    return out;
+}
+
+ScrubPolicy
+mapScrubOptions(const ScrubOptions &options)
+{
+    ScrubPolicy policy;
+    policy.minReads = options.minReads;
+    policy.minAgreement = options.minAgreement;
+    policy.repairAll = options.repairAll;
+    return policy;
+}
+
+ScrubReport
+mapScrubReport(const PoolScrubReport &report)
+{
+    ScrubReport out;
+    out.clustersScanned = report.clustersScanned;
+    out.lowMargin = report.lowMargin;
+    out.repaired = report.repaired;
+    out.unrepairable = report.unrepairable;
+    out.failedCodewords = report.failedCodewords;
+    out.readsRewritten = report.readsRewritten;
+    out.repairable = report.repairable;
     return out;
 }
 
@@ -111,6 +163,20 @@ struct Store::Rep
      * one decode pass, not N. Invalidated by put() and rebuilds.
      */
     std::shared_ptr<const Retrieval> lastRetrieval;
+
+    /**
+     * Pool mutation counter, bumped by every repair that lands (sync
+     * age()/scrub() and — on their own thread — in-flight ScrubJobs).
+     * retrieveCached() serves the memo only when the generation it
+     * was decoded at still matches, so a stale memo can never serve
+     * pre-repair bytes. Shared so a ScrubJob outliving a Store move
+     * still invalidates through it.
+     */
+    std::shared_ptr<std::atomic<uint64_t>> poolGeneration =
+        std::make_shared<std::atomic<uint64_t>>(0);
+
+    /** Value of *poolGeneration when lastRetrieval was decoded. */
+    uint64_t memoGeneration = 0;
 
     /** openFile(OpenMode::ReadOnly): put() is FailedPrecondition. */
     bool readOnly = false;
@@ -430,9 +496,16 @@ Store::retrieveCached()
     if (!status.ok())
         return status;
     // Clean store + fixed channel = deterministic result; serve the
-    // memoized pass (ensureSynthesized left it in place).
-    if (rep_->lastRetrieval)
+    // memoized pass (ensureSynthesized left it in place) — unless a
+    // repair landed since it was decoded (age(), scrub(), or an
+    // async ScrubJob bump the pool generation).
+    if (rep_->lastRetrieval &&
+        rep_->memoGeneration == rep_->poolGeneration->load())
         return rep_->lastRetrieval;
+    rep_->lastRetrieval.reset();
+    // Sampled BEFORE the decode: a repair landing mid-pass leaves the
+    // memo stamped stale, so the next call decodes again.
+    const uint64_t generation = rep_->poolGeneration->load();
     const ChannelOptions &chan = rep_->channel;
     try {
         Retrieval out;
@@ -453,6 +526,7 @@ Store::retrieveCached()
             out = mapRetrieval(
                 rep_->sim->retrieve(chan.fixedCoverage()));
         }
+        rep_->memoGeneration = generation;
         rep_->lastRetrieval =
             std::make_shared<const Retrieval>(std::move(out));
         return rep_->lastRetrieval;
@@ -547,9 +621,79 @@ Store::minExactCoverage(size_t lo, size_t hi)
     }
 }
 
+Result<HealthReport>
+Store::health()
+{
+    Status status = rep_->ensureSynthesized();
+    if (!status.ok())
+        return status;
+    try {
+        return mapHealth(rep_->sim->probeHealth());
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    }
+}
+
+Result<size_t>
+Store::age(size_t epochs)
+{
+    if (rep_->readOnly)
+        return Status::failedPrecondition(
+            "the store was opened read-only; age() is not available");
+    if (!rep_->channel.hasAging())
+        return Status::failedPrecondition(
+            "the channel has no aging profile; set "
+            "ChannelOptions::aging before calling age()");
+    Status status = rep_->ensureSynthesized();
+    if (!status.ok())
+        return status;
+    try {
+        size_t lost = rep_->sim->age(epochs);
+        rep_->poolGeneration->fetch_add(1);
+        rep_->lastRetrieval.reset();
+        return lost;
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    }
+}
+
+Result<ScrubReport>
+Store::scrub(const ScrubOptions &options)
+{
+    if (rep_->readOnly)
+        return Status::failedPrecondition(
+            "the store was opened read-only; scrub() is not "
+            "available");
+    Status status = rep_->ensureSynthesized();
+    if (!status.ok())
+        return status;
+    try {
+        PoolScrubReport report =
+            rep_->sim->scrub(mapScrubOptions(options));
+        if (report.repaired > 0) {
+            rep_->poolGeneration->fetch_add(1);
+            rep_->lastRetrieval.reset();
+        }
+        if (!report.repairable && report.lowMargin > 0)
+            return Status::unavailable(formatMessage(
+                "%zu clusters need repair but %zu codewords failed at "
+                "the current read depth, so the recovered data cannot "
+                "be trusted for rewriting; retry after re-synthesis "
+                "or at deeper coverage",
+                report.lowMargin, report.failedCodewords));
+        return mapScrubReport(report);
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    }
+}
+
 Future<Result<EncodedArtifact>>
 Store::submit(const EncodeJob &)
 {
+    if (!rep_)
+        return readyFuture<EncodedArtifact>(Status::unavailable(
+            "the store was moved from or torn down; nothing can be "
+            "submitted against it"));
     Result<StorageConfig> cfg = rep_->resolveConfig();
     if (!cfg.ok())
         return readyFuture<EncodedArtifact>(cfg.status());
@@ -580,6 +724,10 @@ Store::submit(const EncodeJob &)
 Future<Result<DecodedObjects>>
 Store::submit(const DecodeJob &job)
 {
+    if (!rep_)
+        return readyFuture<DecodedObjects>(Status::unavailable(
+            "the store was moved from or torn down; nothing can be "
+            "submitted against it"));
     return Future<Result<DecodedObjects>>(std::async(
         std::launch::async,
         [text = job.text,
@@ -712,10 +860,28 @@ Store::submit(const DecodeJob &job)
 Future<Result<TrialSeries>>
 Store::submit(const TrialJob &job)
 {
+    if (!rep_)
+        return readyFuture<TrialSeries>(Status::unavailable(
+            "the store was moved from or torn down; nothing can be "
+            "submitted against it"));
     if (job.useClusterer && !rep_->channel.hasCluster())
         return readyFuture<TrialSeries>(Status::failedPrecondition(
             "TrialJob.useClusterer needs ClusterOptions on the "
             "store's channel"));
+    if (job.agingEpochs > 0) {
+        // The aging loop owns a trial-local fixed-depth pool; the
+        // per-trial gamma/clusterer machinery does not compose with
+        // epoch-wise decay (and has no pool for scrub to rewrite).
+        if (job.useClusterer || rep_->channel.hasGamma())
+            return readyFuture<TrialSeries>(Status::failedPrecondition(
+                "TrialJob.agingEpochs needs fixed coverage without "
+                "the clusterer (gamma coverage and useClusterer do "
+                "not compose with the aging loop)"));
+        if (!rep_->channel.hasAging())
+            return readyFuture<TrialSeries>(Status::failedPrecondition(
+                "TrialJob.agingEpochs needs an aging profile on the "
+                "store's channel (ChannelOptions::aging)"));
+    }
     // Encoding happens on the submitting thread so concurrent jobs
     // only ever touch the simulator through const trial paths.
     Status status = rep_->ensurePrepared();
@@ -732,10 +898,15 @@ Store::submit(const TrialJob &job)
     if (job.useClusterer)
         cluster = std::make_shared<const ClusterParams>(
             rep_->channel.clusterParams());
+    const size_t aging_epochs = job.agingEpochs;
+    const bool scrub_each_epoch = job.scrubEachEpoch;
+    const ScrubPolicy policy = mapScrubOptions(job.scrub);
+    const size_t fixed_coverage = rep_->channel.fixedCoverage();
     return Future<Result<TrialSeries>>(std::async(
         std::launch::async,
         [sim, coverage, cluster, seeds = job.trialSeeds,
-         threads = job.threads]() -> Result<TrialSeries> {
+         threads = job.threads, aging_epochs, scrub_each_epoch,
+         policy, fixed_coverage]() -> Result<TrialSeries> {
             try {
                 TrialSeries series;
                 series.trials.resize(seeds.size());
@@ -744,10 +915,25 @@ Store::submit(const TrialJob &job)
                 // series is bit-identical for every thread count and
                 // steal schedule (the Scenario Lab contract).
                 parallelFor(seeds.size(), threads, [&](size_t t) {
+                    TrialResult &rec = series.trials[t];
+                    if (aging_epochs > 0) {
+                        AgingTrialOutcome outcome = sim->runAgingTrial(
+                            fixed_coverage, seeds[t], aging_epochs,
+                            scrub_each_epoch, policy);
+                        rec.epochSuccess = outcome.epochSuccess;
+                        rec.success = !outcome.epochSuccess.empty() &&
+                            outcome.epochSuccess.back() != 0;
+                        rec.byteErrorRate =
+                            outcome.epochByteErrorRate.empty()
+                                ? 0.0
+                                : outcome.epochByteErrorRate.back();
+                        rec.readsLost = outcome.readsLost;
+                        rec.scrubRepaired = outcome.repaired;
+                        return;
+                    }
                     TrialOutcome outcome =
                         sim->runTrial(coverage, seeds[t],
                                       cluster.get());
-                    TrialResult &rec = series.trials[t];
                     rec.success = outcome.result.exactPayload;
                     rec.byteErrorRate = outcome.byteErrorRate;
                     rec.erasedColumns =
@@ -762,6 +948,50 @@ Store::submit(const TrialJob &job)
                     rec.recall = outcome.quality.recall;
                 });
                 return series;
+            } catch (const std::exception &e) {
+                return Status::internal(e.what());
+            }
+        }));
+}
+
+Future<Result<ScrubReport>>
+Store::submit(const ScrubJob &job)
+{
+    if (!rep_)
+        return readyFuture<ScrubReport>(Status::unavailable(
+            "the store was moved from or torn down; nothing can be "
+            "submitted against it"));
+    if (rep_->readOnly)
+        return readyFuture<ScrubReport>(Status::failedPrecondition(
+            "the store was opened read-only; scrub is not available"));
+    Status status = rep_->ensureSynthesized();
+    if (!status.ok())
+        return readyFuture<ScrubReport>(std::move(status));
+
+    // Unlike the other jobs this one MUTATES the shared simulator
+    // (that is its purpose: the repairs must land in the store's
+    // pool). The generation counter travels as a shared_ptr so the
+    // memo is invalidated even if the Store moves while the job runs.
+    std::shared_ptr<StorageSimulator> sim = rep_->sim;
+    std::shared_ptr<std::atomic<uint64_t>> generation =
+        rep_->poolGeneration;
+    const ScrubPolicy policy = mapScrubOptions(job.options);
+    return Future<Result<ScrubReport>>(std::async(
+        std::launch::async,
+        [sim, generation, policy]() -> Result<ScrubReport> {
+            try {
+                PoolScrubReport report = sim->scrub(policy);
+                if (report.repaired > 0)
+                    generation->fetch_add(1);
+                if (!report.repairable && report.lowMargin > 0)
+                    return Status::unavailable(formatMessage(
+                        "%zu clusters need repair but %zu codewords "
+                        "failed at the current read depth, so the "
+                        "recovered data cannot be trusted for "
+                        "rewriting; retry after re-synthesis or at "
+                        "deeper coverage",
+                        report.lowMargin, report.failedCodewords));
+                return mapScrubReport(report);
             } catch (const std::exception &e) {
                 return Status::internal(e.what());
             }

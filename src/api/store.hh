@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "api/health.hh"
 #include "api/options.hh"
 #include "api/pool_file.hh"
 #include "api/status.hh"
@@ -136,6 +137,12 @@ struct TrialResult
     size_t clustersDropped = 0;
     double precision = 0.0; //!< Clustered trials only.
     double recall = 0.0;    //!< Clustered trials only.
+
+    // Aging trials only (TrialJob::agingEpochs > 0); success and
+    // byteErrorRate then describe the FINAL epoch.
+    std::vector<uint8_t> epochSuccess; //!< Decode success per epoch.
+    size_t readsLost = 0;              //!< Reads lost to aging.
+    size_t scrubRepaired = 0;          //!< Clusters scrub rewrote.
 };
 
 /** TrialJob artifact: per-trial results, in trial order. */
@@ -169,6 +176,35 @@ struct TrialJob
 
     /** Group reads with the store's ClusterOptions per trial. */
     bool useClusterer = false;
+
+    /**
+     * When > 0, each trial runs the aging loop instead of a single
+     * decode: synthesize a trial-local pool, then per epoch age it
+     * one step, optionally scrub it, and decode — TrialResult's
+     * epochSuccess records the curve. Needs a channel with an aging
+     * profile and fixed coverage; the clusterer and gamma coverage
+     * are rejected (FailedPrecondition).
+     */
+    size_t agingEpochs = 0;
+
+    /** Scrub after each epoch's decay (the closed loop under test). */
+    bool scrubEachEpoch = false;
+
+    /** Scrub policy of the per-epoch scrubs. */
+    ScrubOptions scrub;
+};
+
+/**
+ * Scrub the store's pool asynchronously: the probe decode, policy
+ * selection, and any rewrites run on the job's dispatcher thread
+ * against the store's own pool (this job mutates the store — the
+ * retrieveAll() memo is invalidated when repairs land). Do not run
+ * pool-backed retrievals on the owning thread while a ScrubJob is in
+ * flight; queue them after Future::get().
+ */
+struct ScrubJob
+{
+    ScrubOptions options;
 };
 
 /** How openFile() treats the opened store. */
@@ -363,10 +399,54 @@ class Store
      */
     Result<size_t> minExactCoverage(size_t lo, size_t hi);
 
+    // ------------------------------------------------ durability loop
+    /**
+     * Measure the pool's health with one full-depth probe decode:
+     * per-cluster live reads and consensus agreement, per-codeword
+     * RS correction split and remaining margin. Read-only (works on
+     * read-only stores); synthesizes first if needed. The report —
+     * and its toJson() rendering — is byte-identical at any thread
+     * count and SIMD tier.
+     */
+    Result<HealthReport> health();
+
+    /**
+     * Apply @p epochs of the channel's aging profile to the pool:
+     * per epoch, whole reads are lost and surviving bases substitute.
+     * Deterministic (epoch seeds derive from the unit seed and a
+     * monotone epoch counter: age(1);age(1) decays exactly like
+     * age(2)). Invalidates the retrieveAll() memo.
+     *
+     * @return Reads lost across the epochs.
+     *
+     * Errors: FailedPrecondition on a read-only store or a channel
+     * with no aging profile (ChannelOptions::aging).
+     */
+    Result<size_t> age(size_t epochs);
+
+    /**
+     * Scrub the pool: probe-decode at full depth, select the clusters
+     * @p options call low-margin, and — when every codeword decoded,
+     * so the recovered data is trustworthy — rewrite each selected
+     * cluster with fresh full-depth reads of its repaired strand.
+     * Repairs invalidate the retrieveAll() memo.
+     *
+     * Errors: FailedPrecondition on a read-only store; Unavailable
+     * when clusters need repair but some codeword failed at the
+     * current depth (every column then embeds an untrusted symbol, so
+     * no rewrite is safe — transient: deeper coverage can clear it).
+     */
+    Result<ScrubReport> scrub(const ScrubOptions &options
+                              = ScrubOptions());
+
     // ----------------------------------------------------- async jobs
+    // Every submit() on a moved-from (or torn-down) Store yields a
+    // ready Unavailable Future instead of dereferencing the dead
+    // handle — the one state in which the façade cannot serve at all.
     Future<Result<EncodedArtifact>> submit(const EncodeJob &job);
     Future<Result<DecodedObjects>> submit(const DecodeJob &job);
     Future<Result<TrialSeries>> submit(const TrialJob &job);
+    Future<Result<ScrubReport>> submit(const ScrubJob &job);
 
     // ----------------------------------------------------- inspection
     const StoreOptions &options() const;

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic storage-aging fault injector.
+ *
+ * Ages an already-synthesized ReadPool by whole epochs of an
+ * AgingProfile (channel/stressors.hh): each epoch every read is lost
+ * with probability strandLossRate and each surviving base substitutes
+ * with probability substitutionRate. Unlike the sequencing-time
+ * stressors, aging mutates the durable pool itself — the decoder sees
+ * fewer, noisier reads on every later retrieval, which is what the
+ * scrubber (pipeline/simulator.hh) exists to detect and repair.
+ *
+ * Determinism contract, matching ReadPool generation: per-cluster
+ * seeds are drawn serially from one stream seeded by @p epoch_seed,
+ * each cluster's decay walks its own RNG, and clusters only mutate
+ * their own arenas — so an aged pool is bit-identical for every
+ * thread count, steal schedule, and storage mode.
+ */
+
+#ifndef DNASTORE_CHANNEL_AGING_HH
+#define DNASTORE_CHANNEL_AGING_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "channel/read_pool.hh"
+#include "channel/stressors.hh"
+
+namespace dnastore {
+
+/**
+ * Apply one aging epoch to @p pool.
+ *
+ * @param pool        The pool to decay in place (may already be
+ *                    ragged from earlier epochs).
+ * @param aging       Per-epoch loss/substitution rates; a disabled
+ *                    profile is a no-op.
+ * @param epoch_seed  Seed of this epoch's per-cluster streams. Pass
+ *                    a fresh value per epoch (the simulator mixes its
+ *                    unit seed with a monotone epoch counter) so
+ *                    epochs decay independently.
+ * @param num_threads Fan-out width (1 serial, 0 = all hardware
+ *                    threads); never affects the result.
+ * @return Reads lost to strand scission this epoch.
+ */
+size_t agePoolEpoch(ReadPool &pool, const AgingProfile &aging,
+                    uint64_t epoch_seed, size_t num_threads);
+
+} // namespace dnastore
+
+#endif // DNASTORE_CHANNEL_AGING_HH

@@ -1,5 +1,6 @@
 #include "channel/read_pool.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/parallel.hh"
@@ -62,9 +63,9 @@ ReadPool::ReadPool(const std::vector<std::vector<Strand>> &clusters,
       maxCoverage_(max_coverage)
 {
     for (const auto &reads : clusters) {
-        if (reads.size() != max_coverage)
+        if (reads.size() > max_coverage)
             throw std::invalid_argument(
-                "ReadPool: every restored cluster must hold exactly "
+                "ReadPool: a restored cluster holds more than "
                 "max_coverage reads");
     }
     if (storage_ == ReadStorage::Flat) {
@@ -73,7 +74,7 @@ ReadPool::ReadPool(const std::vector<std::vector<Strand>> &clusters,
             size_t total = 0;
             for (const auto &read : clusters[c])
                 total += read.size();
-            flat_[c].reserve(total, max_coverage);
+            flat_[c].reserve(total, clusters[c].size());
             for (const auto &read : clusters[c])
                 flat_[c].append(
                     StrandView(read.data(), read.size()));
@@ -84,7 +85,7 @@ ReadPool::ReadPool(const std::vector<std::vector<Strand>> &clusters,
             size_t total = 0;
             for (const auto &read : clusters[c])
                 total += read.size();
-            packed_[c].reserve(total, max_coverage);
+            packed_[c].reserve(total, clusters[c].size());
             for (const auto &read : clusters[c])
                 packed_[c].append(
                     StrandView(read.data(), read.size()));
@@ -101,6 +102,25 @@ ReadPool::snapshot() const
     return out;
 }
 
+size_t
+ReadPool::clusterSize(size_t cluster) const
+{
+    if (cluster >= clusterCount_)
+        throw std::out_of_range("ReadPool: bad cluster index");
+    return storage_ == ReadStorage::Flat
+        ? flat_[cluster].strandCount()
+        : packed_[cluster].strandCount();
+}
+
+size_t
+ReadPool::totalReads() const
+{
+    size_t total = 0;
+    for (size_t c = 0; c < clusterCount_; ++c)
+        total += clusterSize(c);
+    return total;
+}
+
 std::vector<Strand>
 ReadPool::reads(size_t cluster, size_t coverage) const
 {
@@ -108,14 +128,42 @@ ReadPool::reads(size_t cluster, size_t coverage) const
         throw std::out_of_range("ReadPool: bad cluster index");
     if (coverage > maxCoverage_)
         throw std::out_of_range("ReadPool: coverage exceeds pool size");
-    std::vector<Strand> out(coverage);
-    for (size_t r = 0; r < coverage; ++r) {
+    const size_t n = std::min(coverage, clusterSize(cluster));
+    std::vector<Strand> out(n);
+    for (size_t r = 0; r < n; ++r) {
         if (storage_ == ReadStorage::Flat)
             out[r] = flat_[cluster].view(r).toStrand();
         else
             packed_[cluster].unpackInto(r, out[r]);
     }
     return out;
+}
+
+void
+ReadPool::replaceCluster(size_t cluster,
+                         const std::vector<Strand> &reads)
+{
+    if (cluster >= clusterCount_)
+        throw std::out_of_range("ReadPool: bad cluster index");
+    if (reads.size() > maxCoverage_)
+        throw std::invalid_argument(
+            "ReadPool: replacement exceeds the pool's coverage");
+    size_t total = 0;
+    for (const auto &read : reads)
+        total += read.size();
+    if (storage_ == ReadStorage::Flat) {
+        StrandArena fresh;
+        fresh.reserve(total, reads.size());
+        for (const auto &read : reads)
+            fresh.append(StrandView(read.data(), read.size()));
+        flat_[cluster] = std::move(fresh);
+    } else {
+        PackedArena fresh;
+        fresh.reserve(total, reads.size());
+        for (const auto &read : reads)
+            fresh.append(StrandView(read.data(), read.size()));
+        packed_[cluster] = std::move(fresh);
+    }
 }
 
 void
@@ -142,16 +190,21 @@ ReadPool::fillBatch(const std::vector<size_t> &counts,
 
     batch.clear();
     batch.offsets.reserve(clusterCount_ + 1);
+    // Aged pools are ragged: a cluster serves at most what survives.
+    static thread_local std::vector<size_t> live;
+    live.resize(clusterCount_);
     size_t total = 0;
-    for (size_t count : counts)
-        total += count;
+    for (size_t c = 0; c < clusterCount_; ++c) {
+        live[c] = std::min(counts[c], clusterSize(c));
+        total += live[c];
+    }
     batch.views.reserve(total);
 
     if (storage_ == ReadStorage::Flat) {
         // Views alias the pool arenas directly: zero copies.
         batch.offsets.push_back(0);
         for (size_t c = 0; c < clusterCount_; ++c) {
-            for (size_t r = 0; r < counts[c]; ++r)
+            for (size_t r = 0; r < live[c]; ++r)
                 batch.views.push_back(flat_[c].view(r));
             batch.offsets.push_back(batch.views.size());
         }
@@ -159,13 +212,13 @@ ReadPool::fillBatch(const std::vector<size_t> &counts,
         // Unpack every requested read into the batch scratch first;
         // views are taken afterwards since arena growth relocates.
         for (size_t c = 0; c < clusterCount_; ++c) {
-            for (size_t r = 0; r < counts[c]; ++r)
+            for (size_t r = 0; r < live[c]; ++r)
                 packed_[c].unpackInto(r, batch.scratch);
         }
         batch.offsets.push_back(0);
         size_t idx = 0;
         for (size_t c = 0; c < clusterCount_; ++c) {
-            for (size_t r = 0; r < counts[c]; ++r)
+            for (size_t r = 0; r < live[c]; ++r)
                 batch.views.push_back(batch.scratch.view(idx++));
             batch.offsets.push_back(batch.views.size());
         }

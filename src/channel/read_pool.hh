@@ -67,10 +67,12 @@ class ReadPool
      * Rebuild a pool from explicit per-cluster reads — the restore
      * half of the durable `.dnapool` format. Read order is preserved
      * exactly, so prefix-based coverage queries return the same
-     * batches the saved pool would have.
+     * batches the saved pool would have. Clusters may be ragged
+     * (aging loses whole reads): each may hold up to @p max_coverage
+     * reads, and coverage queries clamp to what survives.
      *
-     * @throws std::invalid_argument unless every cluster holds
-     *         exactly @p max_coverage reads (pools are rectangular).
+     * @throws std::invalid_argument when a cluster holds more than
+     *         @p max_coverage reads.
      */
     ReadPool(const std::vector<std::vector<Strand>> &clusters,
              size_t max_coverage,
@@ -93,22 +95,47 @@ class ReadPool
     ReadStorage storage() const { return storage_; }
 
     /**
+     * Reads currently alive in cluster @p cluster. Equal to
+     * maxCoverage() for a freshly generated pool; aging
+     * (channel/aging.hh) loses reads, leaving the pool ragged.
+     */
+    size_t clusterSize(size_t cluster) const;
+
+    /** Live reads summed across clusters. */
+    size_t totalReads() const;
+
+    /**
      * The first @p coverage reads of cluster @p cluster, as owning
      * copies (compatibility API; hot paths use fillBatch instead).
+     * Clamped to the cluster's live read count.
      *
      * @throws std::out_of_range if coverage exceeds maxCoverage().
      */
     std::vector<Strand> reads(size_t cluster, size_t coverage) const;
 
     /**
+     * Replace cluster @p cluster's reads wholesale — the repair half
+     * of the scrubber (pipeline/simulator.hh): a repaired cluster's
+     * rewritten strands overwrite whatever decayed reads it held.
+     * Touches only that cluster's arena, so distinct clusters may be
+     * replaced concurrently.
+     *
+     * @throws std::invalid_argument when more than maxCoverage()
+     *         reads are supplied.
+     */
+    void replaceCluster(size_t cluster,
+                        const std::vector<Strand> &reads);
+
+    /**
      * Fill @p batch with the first @p coverage reads of every cluster
      * as views — no read is copied for flat pools; packed pools unpack
      * into the batch's scratch arena. The batch's buffers are reused
-     * across calls.
+     * across calls. Per-cluster counts clamp to the live reads, so an
+     * aged (ragged) pool serves what survives.
      */
     void fillBatch(size_t coverage, ReadBatch &batch) const;
 
-    /** Fill @p batch with counts[c] reads of cluster c. */
+    /** Fill @p batch with counts[c] reads of cluster c (clamped). */
     void fillBatch(const std::vector<size_t> &counts,
                    ReadBatch &batch) const;
 

@@ -37,10 +37,17 @@ DropoutProfile::valid() const
 }
 
 bool
+AgingProfile::valid() const
+{
+    return strandLossRate >= 0.0 && strandLossRate <= 1.0 &&
+        substitutionRate >= 0.0 && substitutionRate <= 1.0;
+}
+
+bool
 ChannelProfile::valid() const
 {
     return base.valid() && ramp.valid() && pcr.valid() &&
-        dropout.valid();
+        dropout.valid() && aging.valid();
 }
 
 void
@@ -63,6 +70,10 @@ ChannelProfile::validateOrThrow(const char *who) const
         throw std::invalid_argument(
             prefix + "invalid dropout profile (rate outside [0,1] or "
                      "burstLen == 0)");
+    if (!aging.valid())
+        throw std::invalid_argument(
+            prefix + "invalid aging profile (strand-loss or "
+                     "substitution rate outside [0,1])");
 }
 
 void

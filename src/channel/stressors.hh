@@ -108,6 +108,35 @@ struct DropoutProfile
     bool valid() const;
 };
 
+/**
+ * Storage aging: per-epoch decay of an already-synthesized pool.
+ * Unlike the sequencing-time stressors above, aging acts on reads
+ * that exist — each epoch every read is lost outright with
+ * probability strandLossRate (strand scission, depurination past
+ * recovery) and every surviving base substitutes with probability
+ * substitutionRate (deamination-style damage). Applied by
+ * agePoolEpoch (channel/aging.hh) with the per-cluster serial-seed
+ * discipline of ReadPool generation, so an aged pool is bit-identical
+ * for every thread count.
+ */
+struct AgingProfile
+{
+    /** Per-epoch probability a read is lost entirely. */
+    double strandLossRate = 0.0;
+
+    /** Per-epoch per-base substitution probability on survivors. */
+    double substitutionRate = 0.0;
+
+    bool
+    enabled() const
+    {
+        return strandLossRate > 0.0 || substitutionRate > 0.0;
+    }
+
+    /** Both rates in [0, 1]. */
+    bool valid() const;
+};
+
 /** A channel profile: base IDS model composed with stressors. */
 struct ChannelProfile
 {
@@ -115,6 +144,7 @@ struct ChannelProfile
     PositionalRamp ramp;
     PcrProfile pcr;
     DropoutProfile dropout;
+    AgingProfile aging;
 
     /** All components valid (ramped rates are clamped, see below). */
     bool valid() const;

@@ -92,6 +92,21 @@ reportsToJson(const std::vector<ScenarioReport> &reports,
             out << ",\n      \"cluster_recall_mean\": "
                 << fmtDouble(r.meanRecall);
         }
+        if (r.agingEpochs > 0) {
+            // The durability-loop curve: success rate after each
+            // aging epoch. The scalar success fields above describe
+            // the final epoch.
+            out << ",\n      \"aging_epochs\": " << r.agingEpochs;
+            out << ",\n      \"epoch_success_rate\": [";
+            for (size_t e = 0; e < r.epochSuccessRate.size(); ++e)
+                out << (e == 0 ? "" : ", ")
+                    << fmtDouble(r.epochSuccessRate[e]);
+            out << "]";
+            out << ",\n      \"reads_lost_mean\": "
+                << fmtDouble(r.meanReadsLost);
+            out << ",\n      \"scrub_repaired_mean\": "
+                << fmtDouble(r.meanScrubRepaired);
+        }
         if (include_timing)
             out << ",\n      \"wall_ms\": " << fmtDouble(r.wallMs);
         out << "\n    }";

@@ -122,6 +122,47 @@ buildScenarios()
         all.push_back(s);
     }
     {
+        // Archival decay with no maintenance: each epoch loses a
+        // quarter of the surviving reads and substitutes residual
+        // bases. Clusters empty out, erasures blow through the parity
+        // budget, and the success curve collapses — the open-loop
+        // baseline the scrub-loop scenario is measured against. The
+        // threshold is 0: this scenario *documents* the decay; the
+        // closed-loop comparison lives in scrub-loop and the lab
+        // tests, which assert its final-epoch rate strictly exceeds
+        // this one's.
+        Scenario s = baseScenario(
+            "aging-decay", "2% IDS error, fixed coverage 8, 6 aging "
+                           "epochs (25% strand loss + 0.4% "
+                           "substitution per epoch), no scrubbing: "
+                           "open-loop archival decay");
+        s.channel.base = ErrorModel::uniform(0.02);
+        s.channel.aging.strandLossRate = 0.25;
+        s.channel.aging.substitutionRate = 0.004;
+        s.coverageMean = 8.0;
+        s.agingEpochs = 6;
+        s.minSuccessRate = 0.0;
+        all.push_back(s);
+    }
+    {
+        // The same decay with the loop closed: after each epoch the
+        // scrubber probe-decodes the pool and re-synthesizes clusters
+        // that fell below 6 live reads from the RS-repaired data.
+        Scenario s = baseScenario(
+            "scrub-loop", "the aging-decay channel with a scrub after "
+                          "every epoch (repair clusters below 6 live "
+                          "reads): the closed durability loop");
+        s.channel.base = ErrorModel::uniform(0.02);
+        s.channel.aging.strandLossRate = 0.25;
+        s.channel.aging.substitutionRate = 0.004;
+        s.coverageMean = 8.0;
+        s.agingEpochs = 6;
+        s.scrubEachEpoch = true;
+        s.scrubMinReads = 6;
+        s.minSuccessRate = 0.95;
+        all.push_back(s);
+    }
+    {
         // The nominal channel without the perfect-clustering
         // assumption: reads arrive as one interleaved soup and must
         // be regrouped by the real clusterer first.

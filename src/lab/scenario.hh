@@ -80,6 +80,25 @@ struct Scenario
     ClusterParams clusterParams;
 
     /**
+     * When > 0, trials run the closed durability loop instead of one
+     * decode: per epoch the trial pool ages by channel.aging, is
+     * optionally scrubbed, and is decoded — the sweep reports the
+     * success-rate-vs-epoch curve, and the scenario's threshold
+     * applies to the FINAL epoch. Needs fixed coverage (coverageShape
+     * = 0) and no clusterer.
+     */
+    size_t agingEpochs = 0;
+
+    /** Scrub after each epoch's decay (the repair half of the loop). */
+    bool scrubEachEpoch = false;
+
+    /** Scrub policy: repair clusters below this many live reads. */
+    size_t scrubMinReads = 0;
+
+    /** Scrub policy: repair below this consensus agreement. */
+    double scrubMinAgreement = 0.0;
+
+    /**
      * Minimum decode-success rate the regression suite enforces for
      * this scenario (fraction of trials recovering the payload
      * byte-exactly).

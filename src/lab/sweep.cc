@@ -73,6 +73,10 @@ SweepRunner::run(const Scenario &scenario) const
         s = seed_stream.next();
     job.threads = opt_.threads;
     job.useClusterer = scenario.clustered;
+    job.agingEpochs = scenario.agingEpochs;
+    job.scrubEachEpoch = scenario.scrubEachEpoch;
+    job.scrub.minReads = scenario.scrubMinReads;
+    job.scrub.minAgreement = scenario.scrubMinAgreement;
 
     api::Result<api::TrialSeries> series =
         store->submit(job).get();
@@ -93,6 +97,9 @@ SweepRunner::run(const Scenario &scenario) const
         rec.clustersDropped = outcome.clustersDropped;
         rec.precision = outcome.precision;
         rec.recall = outcome.recall;
+        rec.epochSuccess = outcome.epochSuccess;
+        rec.readsLost = outcome.readsLost;
+        rec.scrubRepaired = outcome.scrubRepaired;
     }
 
     // Serial aggregation in trial order: identical doubles for every
@@ -103,8 +110,19 @@ SweepRunner::run(const Scenario &scenario) const
     report.trials = opt_.trials;
     report.clustered = scenario.clustered;
     report.minSuccessRate = scenario.minSuccessRate;
+    report.agingEpochs = scenario.agingEpochs;
+    if (scenario.agingEpochs > 0)
+        report.epochSuccessRate.assign(scenario.agingEpochs, 0.0);
     for (const auto &rec : records) {
         report.successes += rec.success ? 1 : 0;
+        for (size_t e = 0;
+             e < rec.epochSuccess.size() &&
+             e < report.epochSuccessRate.size();
+             ++e)
+            report.epochSuccessRate[e] +=
+                rec.epochSuccess[e] ? 1.0 : 0.0;
+        report.meanReadsLost += double(rec.readsLost);
+        report.meanScrubRepaired += double(rec.scrubRepaired);
         report.meanByteErrorRate += rec.byteErrorRate;
         if (rec.byteErrorRate > report.maxByteErrorRate)
             report.maxByteErrorRate = rec.byteErrorRate;
@@ -127,6 +145,10 @@ SweepRunner::run(const Scenario &scenario) const
         report.meanClustersDropped /= n;
         report.meanPrecision /= n;
         report.meanRecall /= n;
+        for (double &rate : report.epochSuccessRate)
+            rate /= n;
+        report.meanReadsLost /= n;
+        report.meanScrubRepaired /= n;
     }
     // Quantize the bound to whole trials (floor): at reduced trial
     // counts a healthy scenario must not fail just because the

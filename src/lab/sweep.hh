@@ -49,6 +49,12 @@ struct TrialRecord
     size_t clustersDropped = 0;
     double precision = 0.0; //!< Clustered scenarios only.
     double recall = 0.0;    //!< Clustered scenarios only.
+
+    // Aging scenarios only (Scenario::agingEpochs > 0); success and
+    // byteErrorRate then describe the final epoch.
+    std::vector<uint8_t> epochSuccess; //!< Decode success per epoch.
+    size_t readsLost = 0;              //!< Reads lost to aging.
+    size_t scrubRepaired = 0;          //!< Clusters scrub rewrote.
 };
 
 /** Aggregated result of sweeping one scenario. */
@@ -69,6 +75,17 @@ struct ScenarioReport
     bool clustered = false;
     double meanPrecision = 0.0; //!< Clustered scenarios only.
     double meanRecall = 0.0;    //!< Clustered scenarios only.
+
+    /**
+     * Aging scenarios only: epochs per trial, the success rate after
+     * each epoch (the decay — or closed-loop — curve), and the mean
+     * per-trial repair work. The scalar success fields describe the
+     * final epoch.
+     */
+    size_t agingEpochs = 0;
+    std::vector<double> epochSuccessRate;
+    double meanReadsLost = 0.0;
+    double meanScrubRepaired = 0.0;
 
     /** Threshold echoed from the scenario (regression bound). */
     double minSuccessRate = 0.0;

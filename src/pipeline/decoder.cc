@@ -63,13 +63,21 @@ UnitDecoder::decode(const std::vector<std::vector<Strand>> &clusters,
 
 DecodedUnit
 UnitDecoder::decode(const ReadBatch &batch,
-                    const std::vector<size_t> &forced_erasures) const
+                    const std::vector<size_t> &forced_erasures,
+                    DecodeProbe *probe) const
 {
     const size_t n_cols = cfg_.codewordLen();
     const size_t strand_len = cfg_.strandLen();
 
     DecodedUnit out;
     out.stats.errorsPerCodeword.assign(map_->codewords(), 0);
+    out.stats.rsErrors.assign(map_->codewords(), 0);
+    out.stats.rsErasures.assign(map_->codewords(), 0);
+    if (probe != nullptr) {
+        probe->clusters.clear();
+        probe->clusters.resize(
+            std::min(batch.clusters(), size_t(n_cols)));
+    }
 
     std::vector<bool> forced(n_cols, false);
     for (size_t col : forced_erasures)
@@ -119,6 +127,25 @@ UnitDecoder::decode(const ReadBatch &batch,
                 compat_reads[r].assign(reads[r].begin(), reads[r].end());
             consensus = reconstruct_(compat_reads, strand_len);
         }
+        if (probe != nullptr) {
+            // Telemetry only: per-read agreement with the consensus.
+            // Slot-per-cluster writes, so thread count cannot leak
+            // into the probe.
+            ClusterProbe &p = probe->clusters[cl];
+            p.reads = n_reads;
+            double total = 0.0;
+            for (size_t r = 0; r < n_reads; ++r) {
+                const size_t len =
+                    std::max(reads[r].size(), consensus.size());
+                const size_t dist = editDistanceRange(
+                    reads[r].data(), reads[r].size(),
+                    consensus.data(), consensus.size());
+                total += len == 0
+                    ? 1.0
+                    : 1.0 - double(dist) / double(len);
+            }
+            p.agreement = n_reads == 0 ? 0.0 : total / double(n_reads);
+        }
         if (consensus.size() != strand_len) {
             // A substituted reconstructor may miss the length; treat
             // the cluster as unusable (erasure).
@@ -132,6 +159,10 @@ UnitDecoder::decode(const ReadBatch &batch,
         if (idx >= n_cols) {
             o.kind = ClusterOutcome::Fault;
             return;
+        }
+        if (probe != nullptr) {
+            probe->clusters[cl].indexOk = true;
+            probe->clusters[cl].column = idx;
         }
         // Unpack payload bases into row symbols directly: the bases
         // form one MSB-first bitstream consumed symbolBits at a time.
@@ -172,6 +203,8 @@ UnitDecoder::decode(const ReadBatch &batch,
         if (forced[o.idx])
             continue; // column artificially erased
         claimed[o.idx] = true;
+        if (probe != nullptr)
+            probe->clusters[cl].claimed = true;
         for (size_t row = 0; row < cfg_.rows; ++row)
             received.at(row, size_t(o.idx)) = o.symbols[row];
     }
@@ -213,6 +246,8 @@ UnitDecoder::decode(const ReadBatch &batch,
             map_->scatter(received, j, codeword);
             out.stats.errorsPerCodeword[j] =
                 result.errorsCorrected + result.erasuresCorrected;
+            out.stats.rsErrors[j] = result.errorsCorrected;
+            out.stats.rsErasures[j] = result.erasuresCorrected;
             codeword_ok[j] = 1;
         }
     });
@@ -223,6 +258,7 @@ UnitDecoder::decode(const ReadBatch &batch,
             all_ok = false;
         }
     }
+    out.stats.codewordOk = codeword_ok;
     out.exact = all_ok;
 
     // Unpack the data region back into the serialized stream and split

@@ -41,8 +41,50 @@ struct DecodeStats
     /** Errors detected and corrected per codeword (Figure 11's y-axis). */
     std::vector<size_t> errorsPerCodeword;
 
+    /**
+     * The RS correction split behind errorsPerCodeword: true errors
+     * (unknown position, cost 2 parity each) and erasures (known
+     * position, cost 1) per codeword. errorsPerCodeword[j] ==
+     * rsErrors[j] + rsErasures[j]; the health layer's remaining-margin
+     * math (parity - 2*errors - erasures) needs the split, not the
+     * sum. Empty when the decode predates the probe (never here).
+     */
+    std::vector<size_t> rsErrors;
+    std::vector<size_t> rsErasures;
+
+    /** Per-codeword decode verdict (1 = decoded, 0 = failed). */
+    std::vector<uint8_t> codewordOk;
+
     /** Total corrected symbol errors across codewords. */
     size_t totalCorrected() const;
+};
+
+/**
+ * Optional per-cluster telemetry of one decode pass — the measure
+ * half of the durability loop (Store::health / Store::scrub). Filled
+ * only when a probe is passed to decode(): the agreement computation
+ * costs one edit-distance per read, which the hot paths skip.
+ */
+struct ClusterProbe
+{
+    size_t reads = 0;       //!< Reads consensus saw for this cluster.
+    bool indexOk = false;   //!< Consensus framed and indexed validly.
+    bool claimed = false;   //!< Column claim won (first claim wins).
+    uint64_t column = 0;    //!< Claimed column (valid when indexOk).
+
+    /**
+     * Mean per-read agreement with the cluster consensus:
+     * 1 - editDistance(read, consensus) / strandLen, averaged over
+     * the cluster's reads; 0 for empty clusters. Low agreement means
+     * noisy or decayed reads even when the index still parses.
+     */
+    double agreement = 0.0;
+};
+
+/** decode() telemetry sink: per-cluster probes, slot per cluster. */
+struct DecodeProbe
+{
+    std::vector<ClusterProbe> clusters;
 };
 
 /** Result of decoding one unit. */
@@ -93,10 +135,17 @@ class UnitDecoder
      * simulator: reads stay wherever the pool put them and only
      * StrandViews flow through consensus. Bit-identical to the
      * vector-of-vectors overload.
+     *
+     * @param probe When non-null, per-cluster health telemetry
+     *        (read counts, index validity, consensus agreement) is
+     *        collected into it. Slot-per-cluster writes keep the
+     *        probe bit-identical at any thread count; the decode
+     *        result itself is unaffected.
      */
     DecodedUnit decode(
         const ReadBatch &batch,
-        const std::vector<size_t> &forced_erasures = {}) const;
+        const std::vector<size_t> &forced_erasures = {},
+        DecodeProbe *probe = nullptr) const;
 
     const StorageConfig &config() const { return cfg_; }
     LayoutScheme scheme() const { return scheme_; }

@@ -4,12 +4,26 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "channel/aging.hh"
+#include "util/parallel.hh"
+
 namespace dnastore {
+
+namespace {
+
+// Distinct per-purpose mixing constants (splitmix64's multipliers)
+// keep the aging, scrub, and aging-trial seed streams disjoint from
+// each other and from runTrial's 0x9e3779b97f4a7c15 stream.
+constexpr uint64_t kAgingMix = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kScrubMix = 0x94d049bb133111ebULL;
+constexpr uint64_t kAgingTrialMix = 0xda942042e4dd58b5ULL;
+
+} // namespace
 
 StorageSimulator::StorageSimulator(const StorageConfig &cfg,
                                    LayoutScheme scheme,
                                    const ErrorModel &model, uint64_t seed)
-    : StorageSimulator(cfg, scheme, ChannelProfile{ model, {}, {}, {} },
+    : StorageSimulator(cfg, scheme, ChannelProfile{ model, {}, {}, {}, {} },
                        seed)
 {
 }
@@ -45,6 +59,8 @@ StorageSimulator::store(const FileBundle &bundle, size_t max_coverage)
                                        cfg_.packedReadPools
                                            ? ReadStorage::Packed
                                            : ReadStorage::Flat);
+    agedEpochs_ = 0;
+    scrubGeneration_ = 0;
 }
 
 std::vector<std::vector<Strand>>
@@ -75,6 +91,8 @@ StorageSimulator::restore(const FileBundle &bundle,
                                        cfg_.packedReadPools
                                            ? ReadStorage::Packed
                                            : ReadStorage::Flat);
+    agedEpochs_ = 0;
+    scrubGeneration_ = 0;
 }
 
 RetrievalResult
@@ -239,6 +257,229 @@ StorageSimulator::runTrial(const CoverageModel &coverage,
     }
     out.byteErrorRate =
         stored_.empty() ? 0.0 : double(bad) / double(stored_.size());
+    return out;
+}
+
+size_t
+StorageSimulator::age(size_t epochs)
+{
+    if (!pool_)
+        throw std::logic_error("StorageSimulator: store() first");
+    const AgingProfile &aging = profileChannel_.profile().aging;
+    size_t lost = 0;
+    for (size_t e = 0; e < epochs; ++e) {
+        // The epoch counter advances even for a disabled profile (a
+        // no-op epoch is the identity whatever its seed), so enabling
+        // aging later never re-runs consumed epoch seeds.
+        const uint64_t epoch_seed =
+            seed_ ^ (kAgingMix * uint64_t(agedEpochs_ + 1));
+        ++agedEpochs_;
+        lost += agePoolEpoch(*pool_, aging, epoch_seed,
+                             cfg_.numThreads);
+    }
+    return lost;
+}
+
+UnitHealth
+StorageSimulator::probeHealth() const
+{
+    if (!pool_)
+        throw std::logic_error("StorageSimulator: store() first");
+    return probePool(*pool_);
+}
+
+UnitHealth
+StorageSimulator::probePool(const ReadPool &pool) const
+{
+    ReadBatch batch;
+    pool.fillBatch(pool.maxCoverage(), batch);
+    DecodeProbe probe;
+    DecodedUnit decoded = decoder_.decode(batch, {}, &probe);
+
+    UnitHealth health;
+    health.clusters = pool.clusters();
+    health.poolCoverage = pool.maxCoverage();
+    health.agedEpochs = agedEpochs_;
+    health.indexFaults = decoded.stats.indexFaults;
+    health.erasedColumns = decoded.stats.erasedColumns;
+    health.failedCodewords = decoded.stats.failedCodewords;
+    health.exact = decoded.exact;
+
+    health.perCluster.resize(probe.clusters.size());
+    double agreement_sum = 0.0;
+    double agreement_min = 1.0;
+    size_t live_clusters = 0;
+    for (size_t c = 0; c < probe.clusters.size(); ++c) {
+        const ClusterProbe &p = probe.clusters[c];
+        ClusterHealth &h = health.perCluster[c];
+        h.reads = p.reads;
+        h.indexOk = p.indexOk;
+        h.claimed = p.claimed;
+        h.column = p.column;
+        h.agreement = p.agreement;
+        health.liveReads += p.reads;
+        if (p.reads == 0) {
+            ++health.emptyClusters;
+            continue;
+        }
+        ++live_clusters;
+        agreement_sum += p.agreement;
+        agreement_min = std::min(agreement_min, p.agreement);
+    }
+    health.meanAgreement =
+        live_clusters == 0 ? 0.0 : agreement_sum / double(live_clusters);
+    health.minAgreement = live_clusters == 0 ? 0.0 : agreement_min;
+
+    const size_t n_codewords = decoded.stats.codewordOk.size();
+    health.perCodeword.resize(n_codewords);
+    int min_margin = int(cfg_.paritySymbols);
+    for (size_t j = 0; j < n_codewords; ++j) {
+        CodewordHealth &cw = health.perCodeword[j];
+        cw.ok = decoded.stats.codewordOk[j] != 0;
+        cw.errorsCorrected = decoded.stats.rsErrors[j];
+        cw.erasuresCorrected = decoded.stats.rsErasures[j];
+        cw.margin = cw.ok ? int(cfg_.paritySymbols) -
+                int(2 * cw.errorsCorrected + cw.erasuresCorrected)
+                          : -1;
+        min_margin = std::min(min_margin, cw.margin);
+    }
+    health.minMargin = n_codewords == 0 ? 0 : min_margin;
+    return health;
+}
+
+PoolScrubReport
+StorageSimulator::scrub(const ScrubPolicy &policy)
+{
+    if (!pool_)
+        throw std::logic_error("StorageSimulator: store() first");
+    const uint64_t scrub_seed =
+        seed_ ^ (kScrubMix * uint64_t(scrubGeneration_ + 1));
+    ++scrubGeneration_;
+    return scrubPool(*pool_, policy, scrub_seed);
+}
+
+PoolScrubReport
+StorageSimulator::scrubPool(ReadPool &pool, const ScrubPolicy &policy,
+                            uint64_t scrub_seed) const
+{
+    // Measure: one full-depth probe decode.
+    ReadBatch batch;
+    pool.fillBatch(pool.maxCoverage(), batch);
+    DecodeProbe probe;
+    DecodedUnit decoded = decoder_.decode(batch, {}, &probe);
+
+    PoolScrubReport report;
+    report.clustersScanned = pool.clusters();
+    report.failedCodewords = decoded.stats.failedCodewords;
+
+    // Decide: the policy picks the low-margin clusters. A cluster
+    // that lost its column claim (empty, index fault, duplicate) is
+    // always low-margin — it currently contributes an erasure.
+    std::vector<uint8_t> selected(pool.clusters(), 0);
+    for (size_t c = 0; c < pool.clusters(); ++c) {
+        const ClusterProbe &p = c < probe.clusters.size()
+            ? probe.clusters[c]
+            : ClusterProbe{};
+        const bool low = policy.repairAll || !p.claimed ||
+            p.reads < policy.minReads ||
+            p.agreement < policy.minAgreement;
+        selected[c] = low ? 1 : 0;
+        report.lowMargin += low ? 1 : 0;
+    }
+
+    // Repair is safe only when EVERY codeword decoded: each codeword
+    // touches each column exactly once, so one failed codeword means
+    // every column (and thus every rewrite source) embeds an
+    // untrusted symbol. Transiently unrepairable — deeper coverage
+    // can clear it.
+    if (!decoded.exact) {
+        report.unrepairable = report.lowMargin;
+        return report;
+    }
+    report.repairable = true;
+    if (report.lowMargin == 0)
+        return report;
+
+    // The rewrite source is the RS-repaired data, not the stored
+    // ground truth: re-encode the recovered bundle and cross-check it
+    // against the stored unit (they must agree when every codeword
+    // decoded — a mismatch is an internal inconsistency).
+    if (!decoded.bundleOk)
+        throw std::logic_error(
+            "scrub: codewords decoded but the bundle did not parse");
+    EncodedUnit repaired = encoder_.encode(decoded.bundle);
+    if (repaired.strands != unit_.strands)
+        throw std::logic_error(
+            "scrub: the re-encoded repair does not match the stored "
+            "unit");
+
+    // Rewrite seeds are pre-drawn serially for ALL clusters, so the
+    // selection set never shifts another cluster's synthesis noise,
+    // and repairs are bit-identical at any thread count.
+    Rng base(scrub_seed);
+    std::vector<uint64_t> seeds(pool.clusters());
+    for (auto &s : seeds)
+        s = base.next();
+
+    const size_t depth = pool.maxCoverage();
+    parallelFor(pool.clusters(), cfg_.numThreads, [&](size_t c) {
+        if (!selected[c])
+            return;
+        Rng rng(seeds[c]);
+        std::vector<Strand> fresh(depth);
+        for (auto &read : fresh)
+            channel_.transmitInto(repaired.strands[c], rng, read);
+        pool.replaceCluster(c, fresh);
+    });
+    for (size_t c = 0; c < pool.clusters(); ++c) {
+        if (selected[c]) {
+            ++report.repaired;
+            report.readsRewritten += depth;
+        }
+    }
+    return report;
+}
+
+AgingTrialOutcome
+StorageSimulator::runAgingTrial(size_t coverage, uint64_t trial_seed,
+                                size_t epochs, bool scrub_each_epoch,
+                                const ScrubPolicy &policy) const
+{
+    if (unit_.strands.empty())
+        throw std::logic_error(
+            "StorageSimulator: prepare() or store() first");
+
+    // Trial-local pool and RNG stream: the stored pool is untouched
+    // and trials are mutually independent (fan-out safe).
+    Rng rng(seed_ ^ (kAgingTrialMix * (trial_seed + 1)));
+    ReadPool local(unit_.strands, channel_, coverage, rng);
+
+    const AgingProfile &aging = profileChannel_.profile().aging;
+    AgingTrialOutcome out;
+    out.epochSuccess.reserve(epochs);
+    out.epochByteErrorRate.reserve(epochs);
+    ReadBatch batch;
+    for (size_t e = 0; e < epochs; ++e) {
+        out.readsLost += agePoolEpoch(local, aging, rng.next(), 1);
+        if (scrub_each_epoch) {
+            PoolScrubReport rep = scrubPool(local, policy, rng.next());
+            out.repaired += rep.repaired;
+            if (!rep.repairable)
+                ++out.unrepairableEpochs;
+        }
+        local.fillBatch(coverage, batch);
+        RetrievalResult result = decodeBatch(batch, coverage, {});
+        out.epochSuccess.push_back(result.exactPayload ? 1 : 0);
+        const auto &raw = result.decoded.rawStream;
+        size_t bad = 0;
+        for (size_t i = 0; i < stored_.size(); ++i) {
+            if (i >= raw.size() || raw[i] != stored_[i])
+                ++bad;
+        }
+        out.epochByteErrorRate.push_back(
+            stored_.empty() ? 0.0
+                            : double(bad) / double(stored_.size()));
+    }
     return out;
 }
 

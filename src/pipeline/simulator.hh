@@ -76,6 +76,92 @@ struct TrialOutcome
     size_t clustersFound = 0;
 };
 
+/** One cluster's health, from a full-depth probe decode. */
+struct ClusterHealth
+{
+    size_t reads = 0;     //!< Live reads the probe decoded from.
+    bool indexOk = false; //!< Consensus framed and indexed validly.
+    bool claimed = false; //!< Won its column claim.
+    uint64_t column = 0;  //!< Claimed column (valid when indexOk).
+    double agreement = 0.0; //!< Mean read/consensus agreement.
+};
+
+/** One codeword's health, from the same probe decode. */
+struct CodewordHealth
+{
+    bool ok = false;            //!< RS decoded this codeword.
+    size_t errorsCorrected = 0; //!< True errors (2 parity each).
+    size_t erasuresCorrected = 0; //!< Erasures (1 parity each).
+
+    /**
+     * Remaining correction budget: paritySymbols - (2*errors +
+     * erasures). -1 when the codeword failed (budget exhausted).
+     */
+    int margin = 0;
+};
+
+/** Unit-level health snapshot: the measure half of the scrub loop. */
+struct UnitHealth
+{
+    size_t clusters = 0;
+    size_t liveReads = 0;      //!< Reads surviving across clusters.
+    size_t poolCoverage = 0;   //!< Pool depth when fully populated.
+    size_t emptyClusters = 0;  //!< Clusters aged down to zero reads.
+    size_t indexFaults = 0;
+    size_t erasedColumns = 0;
+    size_t failedCodewords = 0;
+    size_t agedEpochs = 0;     //!< Epochs of decay applied so far.
+    bool exact = false;        //!< Full-depth decode was clean.
+    double meanAgreement = 0.0; //!< Over non-empty clusters.
+    double minAgreement = 0.0;  //!< Over non-empty clusters.
+    int minMargin = 0;          //!< Min codeword margin (-1 = failed).
+    std::vector<ClusterHealth> perCluster;
+    std::vector<CodewordHealth> perCodeword;
+};
+
+/** What the scrubber repairs and when (see StorageSimulator::scrub). */
+struct ScrubPolicy
+{
+    /** Repair clusters with fewer live reads than this. */
+    size_t minReads = 0;
+
+    /** Repair clusters whose consensus agreement falls below this. */
+    double minAgreement = 0.0;
+
+    /** Rewrite every cluster regardless of margin. */
+    bool repairAll = false;
+};
+
+/** What one scrub pass did. */
+struct PoolScrubReport
+{
+    size_t clustersScanned = 0;
+    size_t lowMargin = 0; //!< Clusters the policy selected for repair.
+    size_t repaired = 0;  //!< Clusters rewritten at full depth.
+
+    /**
+     * Clusters selected but not repairable: some codeword failed at
+     * the current read depth, so every column holds an untrusted
+     * symbol and no rewrite is safe. Transient — more coverage (or a
+     * later, luckier consensus) can clear it.
+     */
+    size_t unrepairable = 0;
+    size_t failedCodewords = 0; //!< Codewords failing the probe decode.
+    size_t readsRewritten = 0;
+    bool repairable = false; //!< Probe decode recovered every codeword.
+};
+
+/** Per-epoch outcome of one aging Monte-Carlo trial. */
+struct AgingTrialOutcome
+{
+    /** Decode success after each epoch (aging, optional scrub). */
+    std::vector<uint8_t> epochSuccess;
+    std::vector<double> epochByteErrorRate;
+    size_t readsLost = 0;          //!< Total reads lost to aging.
+    size_t repaired = 0;           //!< Clusters rewritten (scrubbing).
+    size_t unrepairableEpochs = 0; //!< Epochs scrub had to skip.
+};
+
 /** Simulates storage and retrieval of one encoding unit. */
 class StorageSimulator
 {
@@ -136,9 +222,10 @@ class StorageSimulator
      * return byte-identical results to the simulator the snapshot
      * was taken from.
      *
-     * @throws std::invalid_argument unless every cluster of @p pools
-     *         holds exactly @p max_coverage reads and there is one
-     *         cluster per encoded strand.
+     * @throws std::invalid_argument unless @p pools holds one cluster
+     *         per encoded strand, each with at most @p max_coverage
+     *         reads (fewer is fine: an aged pool restores ragged,
+     *         exactly as it decayed).
      */
     void restore(const FileBundle &bundle,
                  const std::vector<std::vector<Strand>> &pools,
@@ -199,6 +286,63 @@ class StorageSimulator
         size_t lo, size_t hi,
         const std::vector<size_t> &forced_erasures = {}) const;
 
+    // ------------------------------------------------- durability loop
+    /**
+     * Apply @p epochs of the profile's AgingProfile to the stored
+     * pool: per epoch, reads are lost and surviving bases substitute
+     * (channel/aging.hh). Epoch seeds mix the unit seed with a
+     * monotone epoch counter, so age(1);age(1) decays identically to
+     * age(2) and the aged pool is bit-identical at any thread count.
+     *
+     * @return Reads lost across the epochs.
+     * @throws std::logic_error before store().
+     */
+    size_t age(size_t epochs);
+
+    /** Epochs of decay applied to the stored pool so far. */
+    size_t agedEpochs() const { return agedEpochs_; }
+
+    /**
+     * Measure the stored pool's health with one full-depth probe
+     * decode: per-cluster live reads and consensus agreement, per-
+     * codeword RS correction split and remaining margin. Read-only.
+     *
+     * @throws std::logic_error before store().
+     */
+    UnitHealth probeHealth() const;
+
+    /**
+     * Scrub the stored pool: probe-decode at full depth, select the
+     * clusters @p policy calls low-margin, and — when every codeword
+     * decoded, i.e. the recovered data is trustworthy — rewrite each
+     * selected cluster with fresh full-depth reads of its repaired
+     * strand (re-synthesis through the base channel). When any
+     * codeword failed, every column embeds an untrusted symbol, so
+     * nothing is rewritten and the report says unrepairable. Scrub
+     * generations advance a seed counter, so repeated scrubs draw
+     * fresh (but reproducible) synthesis noise.
+     *
+     * @throws std::logic_error before store(); the re-encoded repair
+     *         is cross-checked against the stored unit and a mismatch
+     *         throws (internal inconsistency).
+     */
+    PoolScrubReport scrub(const ScrubPolicy &policy);
+
+    /**
+     * One Monte-Carlo aging trial over a trial-local pool (the stored
+     * pool is untouched): synthesize a fresh pool of @p coverage
+     * reads per cluster, then per epoch age it one step, optionally
+     * scrub it with @p policy, and decode — recording per-epoch
+     * success. All randomness derives from @p trial_seed, so trials
+     * fan out with bit-identical results (the Scenario Lab contract).
+     *
+     * @throws std::logic_error before prepare()/store().
+     */
+    AgingTrialOutcome runAgingTrial(size_t coverage,
+                                    uint64_t trial_seed, size_t epochs,
+                                    bool scrub_each_epoch,
+                                    const ScrubPolicy &policy) const;
+
     /** The unit as written (for error accounting in benches). */
     const EncodedUnit &unit() const { return unit_; }
 
@@ -212,6 +356,18 @@ class StorageSimulator
     RetrievalResult decodeBatch(
         const ReadBatch &batch, size_t coverage_label,
         const std::vector<size_t> &forced_erasures) const;
+
+    /**
+     * The scrub engine, over any pool of this unit's clusters: the
+     * member scrub() runs it on the stored pool, runAgingTrial on its
+     * trial-local pools. Per-cluster rewrite seeds are pre-drawn
+     * serially for ALL clusters from @p scrub_seed, so which clusters
+     * the policy selects can never shift another cluster's noise.
+     */
+    PoolScrubReport scrubPool(ReadPool &pool, const ScrubPolicy &policy,
+                              uint64_t scrub_seed) const;
+
+    UnitHealth probePool(const ReadPool &pool) const;
 
     ClusteredRetrievalResult decodeClusteredBatch(
         const ReadBatch &batch, size_t coverage_label,
@@ -227,6 +383,8 @@ class StorageSimulator
     EncodedUnit unit_;
     std::vector<uint8_t> stored_;
     std::unique_ptr<ReadPool> pool_;
+    size_t agedEpochs_ = 0;      //!< Epochs applied to pool_.
+    size_t scrubGeneration_ = 0; //!< Scrubs run against pool_.
 };
 
 } // namespace dnastore

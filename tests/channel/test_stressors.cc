@@ -63,7 +63,7 @@ TEST(ProfileChannel, FlatProfileMatchesIdsChannelBitForBit)
     // the paper's channel.
     ErrorModel model = ErrorModel::custom(0.02, 0.03, 0.04);
     IdsChannel ids(model);
-    ProfileChannel profile(ChannelProfile{ model, {}, {}, {} });
+    ProfileChannel profile(ChannelProfile{ model, {}, {}, {}, {} });
 
     Rng strand_rng(11);
     for (int iter = 0; iter < 20; ++iter) {

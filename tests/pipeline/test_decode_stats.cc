@@ -1,0 +1,222 @@
+/**
+ * DecodeStats accuracy: the per-codeword RS correction split
+ * (rsErrors / rsErasures) against injected faults whose exact
+ * error/erasure mix is known in advance. The health layer's
+ * remaining-margin math (parity - 2*errors - erasures) is only as
+ * good as these counters, so they are asserted symbol-exact here:
+ *
+ *  - emptied clusters are pure erasures: every codeword reports
+ *    exactly one erasure per lost column and zero errors;
+ *  - a cluster serving a validly framed strand with the *wrong*
+ *    payload is a pure error: the claimed column holds untrusted
+ *    symbols at unknown-bad positions, and each codeword reports
+ *    exactly one error where the planted symbol differs;
+ *  - mixes add up independently, and the margin identity
+ *    parity - (2*errors + erasures) >= 0 holds for every decoded
+ *    codeword.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/decoder.hh"
+#include "pipeline/encoder.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+FileBundle
+randomBundle(size_t total_bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> data(total_bytes);
+    for (auto &b : data)
+        b = uint8_t(rng.next());
+    FileBundle bundle;
+    bundle.add("payload.bin", std::move(data));
+    return bundle;
+}
+
+std::vector<std::vector<Strand>>
+cleanClusters(const EncodedUnit &unit, size_t copies)
+{
+    std::vector<std::vector<Strand>> clusters;
+    clusters.reserve(unit.strands.size());
+    for (const auto &s : unit.strands)
+        clusters.emplace_back(copies, s);
+    return clusters;
+}
+
+/**
+ * Expected per-codeword *error* count after planting unit B's strand
+ * in unit A's cluster @p col: one error wherever the two matrices
+ * disagree at that column (the codeword map tells us which codeword
+ * each cell belongs to).
+ */
+std::vector<size_t>
+expectedErrors(const StorageConfig &cfg, LayoutScheme scheme,
+               const EncodedUnit &a, const EncodedUnit &b, size_t col)
+{
+    auto map = makeCodewordMap(cfg, scheme);
+    std::vector<size_t> expected(map->codewords(), 0);
+    for (size_t row = 0; row < cfg.rows; ++row) {
+        if (a.matrix.at(row, col) != b.matrix.at(row, col))
+            ++expected[map->locate(row, col).codeword];
+    }
+    return expected;
+}
+
+class DecodeStatsSchemes : public ::testing::TestWithParam<LayoutScheme>
+{
+};
+
+TEST_P(DecodeStatsSchemes, ErasureOnlyMixIsCountedExactly)
+{
+    auto cfg = StorageConfig::tinyTest();
+    auto bundle = randomBundle(cfg.capacityBytes() / 2, 101);
+    UnitEncoder enc(cfg, GetParam());
+    UnitDecoder dec(cfg, GetParam());
+    auto unit = enc.encode(bundle);
+
+    // Empty out five clusters: every codeword touches every column
+    // exactly once, so each lost column is exactly one erasure in
+    // every codeword — no more, no less.
+    const std::vector<size_t> lost = { 3, 17, 101, 102, 250 };
+    auto clusters = cleanClusters(unit, 3);
+    for (size_t c : lost)
+        clusters[c].clear();
+
+    auto result = dec.decode(clusters);
+    ASSERT_TRUE(result.exact);
+    EXPECT_EQ(result.stats.erasedColumns, lost.size());
+
+    const size_t n_cw = makeCodewordMap(cfg, GetParam())->codewords();
+    ASSERT_EQ(result.stats.rsErrors.size(), n_cw);
+    ASSERT_EQ(result.stats.rsErasures.size(), n_cw);
+    ASSERT_EQ(result.stats.errorsPerCodeword.size(), n_cw);
+    for (size_t j = 0; j < n_cw; ++j) {
+        EXPECT_EQ(result.stats.rsErrors[j], 0u) << "codeword " << j;
+        EXPECT_EQ(result.stats.rsErasures[j], lost.size())
+            << "codeword " << j;
+        EXPECT_EQ(result.stats.errorsPerCodeword[j], lost.size());
+        EXPECT_EQ(result.stats.codewordOk[j], 1);
+    }
+}
+
+TEST_P(DecodeStatsSchemes, ErrorOnlyMixIsCountedExactly)
+{
+    auto cfg = StorageConfig::tinyTest();
+    UnitEncoder enc(cfg, GetParam());
+    UnitDecoder dec(cfg, GetParam());
+    auto unit_a = enc.encode(randomBundle(cfg.capacityBytes() / 2, 102));
+    auto unit_b = enc.encode(randomBundle(cfg.capacityBytes() / 2, 103));
+
+    // Plant B's strand for column 42 into A's cluster 42: the index
+    // still parses and claims the column, but the payload symbols are
+    // untrusted — RS sees unknown-position errors, never erasures.
+    const size_t planted = 42;
+    auto clusters = cleanClusters(unit_a, 3);
+    clusters[planted].assign(3, unit_b.strands[planted]);
+
+    std::vector<size_t> expected = expectedErrors(
+        cfg, GetParam(), unit_a, unit_b, planted);
+    // Two random payloads disagree almost everywhere at this column;
+    // make sure the injection is not vacuous.
+    size_t total = 0;
+    for (size_t e : expected)
+        total += e;
+    ASSERT_GT(total, 0u);
+
+    auto result = dec.decode(clusters);
+    ASSERT_TRUE(result.exact);
+    EXPECT_EQ(result.stats.erasedColumns, 0u);
+
+    const size_t n_cw = expected.size();
+    ASSERT_EQ(result.stats.rsErrors.size(), n_cw);
+    for (size_t j = 0; j < n_cw; ++j) {
+        EXPECT_EQ(result.stats.rsErrors[j], expected[j])
+            << "codeword " << j;
+        EXPECT_EQ(result.stats.rsErasures[j], 0u) << "codeword " << j;
+        EXPECT_EQ(result.stats.errorsPerCodeword[j], expected[j]);
+    }
+}
+
+TEST_P(DecodeStatsSchemes, MixedFaultsSplitAndMarginAddUp)
+{
+    auto cfg = StorageConfig::tinyTest();
+    UnitEncoder enc(cfg, GetParam());
+    UnitDecoder dec(cfg, GetParam());
+    auto unit_a = enc.encode(randomBundle(cfg.capacityBytes() / 2, 104));
+    auto unit_b = enc.encode(randomBundle(cfg.capacityBytes() / 2, 105));
+
+    const std::vector<size_t> lost = { 7, 200 };
+    const size_t planted = 99;
+    auto clusters = cleanClusters(unit_a, 3);
+    for (size_t c : lost)
+        clusters[c].clear();
+    clusters[planted].assign(3, unit_b.strands[planted]);
+
+    std::vector<size_t> expected_err = expectedErrors(
+        cfg, GetParam(), unit_a, unit_b, planted);
+
+    auto result = dec.decode(clusters);
+    ASSERT_TRUE(result.exact);
+    EXPECT_EQ(result.stats.erasedColumns, lost.size());
+
+    for (size_t j = 0; j < expected_err.size(); ++j) {
+        EXPECT_EQ(result.stats.rsErrors[j], expected_err[j])
+            << "codeword " << j;
+        EXPECT_EQ(result.stats.rsErasures[j], lost.size())
+            << "codeword " << j;
+        // The identity the health report is built on: the split sums
+        // to the legacy per-codeword total, and the remaining margin
+        // is non-negative for every decoded codeword.
+        EXPECT_EQ(result.stats.errorsPerCodeword[j],
+                  result.stats.rsErrors[j] + result.stats.rsErasures[j]);
+        ASSERT_EQ(result.stats.codewordOk[j], 1);
+        const int margin = int(cfg.paritySymbols) -
+            int(2 * result.stats.rsErrors[j] +
+                result.stats.rsErasures[j]);
+        EXPECT_GE(margin, 0) << "codeword " << j;
+    }
+}
+
+TEST_P(DecodeStatsSchemes, ForcedErasuresCountAsErasures)
+{
+    auto cfg = StorageConfig::tinyTest();
+    auto bundle = randomBundle(cfg.capacityBytes() / 2, 106);
+    UnitEncoder enc(cfg, GetParam());
+    UnitDecoder dec(cfg, GetParam());
+    auto unit = enc.encode(bundle);
+    auto clusters = cleanClusters(unit, 3);
+
+    // Forced erasures emulate reduced redundancy: the reads are fine
+    // but the columns are declared untrusted, so RS must charge one
+    // erasure per column per codeword.
+    const std::vector<size_t> forced = { 0, 1, 2, 3 };
+    auto result = dec.decode(clusters, forced);
+    ASSERT_TRUE(result.exact);
+    for (size_t j = 0; j < result.stats.rsErasures.size(); ++j) {
+        EXPECT_EQ(result.stats.rsErrors[j], 0u);
+        EXPECT_EQ(result.stats.rsErasures[j], forced.size())
+            << "codeword " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DecodeStatsSchemes,
+                         ::testing::Values(LayoutScheme::Baseline,
+                                           LayoutScheme::Gini,
+                                           LayoutScheme::DnaMapper),
+                         [](const auto &info) {
+                             switch (info.param) {
+                             case LayoutScheme::Baseline:
+                                 return "Baseline";
+                             case LayoutScheme::Gini:
+                                 return "Gini";
+                             default:
+                                 return "DnaMapper";
+                             }
+                         });
+
+} // namespace
+} // namespace dnastore

@@ -36,6 +36,21 @@
  *   unpack   <store.dnapool> --outdir DIR
  *            Reopen a pool file read-only, retrieve every object
  *            through the decode path, and write the recovered files.
+ *   health   <store.dnapool> [--json FILE] [--threads t]
+ *            Probe-decode the pool at full depth and emit the health
+ *            report (per-cluster live reads and consensus agreement,
+ *            per-codeword RS correction split and remaining margin)
+ *            as deterministic JSON — byte-identical for every
+ *            --threads value.
+ *   scrub    <store.dnapool> [--out FILE] [--age N --age-loss p
+ *            --age-sub p] [--min-reads n] [--min-agreement f]
+ *            [--repair-all] [--json FILE]
+ *            Optionally age the pool N epochs, then scrub it: probe-
+ *            decode, select low-margin clusters, re-synthesize them
+ *            from the RS-repaired data, and save the repaired pool
+ *            back (to --out, or in place). Scrub synthesis noise
+ *            comes from the channel flags, so identical invocations
+ *            produce byte-identical repaired files.
  *   simulate/sweep also accept --from-pool FILE to run against a
  *            previously packed store instead of fresh inputs.
  *   --version
@@ -106,6 +121,14 @@ struct CliOptions
     std::string fromPool; // empty = none
     bool noPools = false;
     bool outSet = false;
+    // health/scrub
+    size_t ageEpochs = 0;
+    double ageLoss = 0.0;
+    double ageSub = 0.0;
+    bool agingSet = false;
+    size_t scrubMinReads = 0;
+    double scrubMinAgreement = 0.0;
+    bool scrubRepairAll = false;
     // sweep
     std::string scenario = "all";
     size_t trials = 100;
@@ -237,6 +260,25 @@ parseArgs(int argc, char **argv, int first)
             opt.clusterMaxDist = std::strtod(
                 next("--cluster-maxdist").c_str(), nullptr);
             opt.clusterKnobsSet = true;
+        } else if (arg == "--age") {
+            opt.ageEpochs = std::strtoull(next("--age").c_str(),
+                                          nullptr, 10);
+        } else if (arg == "--age-loss") {
+            opt.ageLoss = std::strtod(next("--age-loss").c_str(),
+                                      nullptr);
+            opt.agingSet = true;
+        } else if (arg == "--age-sub") {
+            opt.ageSub = std::strtod(next("--age-sub").c_str(),
+                                     nullptr);
+            opt.agingSet = true;
+        } else if (arg == "--min-reads") {
+            opt.scrubMinReads = std::strtoull(
+                next("--min-reads").c_str(), nullptr, 10);
+        } else if (arg == "--min-agreement") {
+            opt.scrubMinAgreement = std::strtod(
+                next("--min-agreement").c_str(), nullptr);
+        } else if (arg == "--repair-all") {
+            opt.scrubRepairAll = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             opt.ok = false;
@@ -329,6 +371,12 @@ channelOptionsFor(const CliOptions &opt)
         chan.gammaCoverage(opt.gammaMean, opt.gammaShape);
     if (opt.cluster)
         chan.cluster(clusterOptionsFor(opt));
+    if (opt.agingSet) {
+        AgingProfile aging;
+        aging.strandLossRate = opt.ageLoss;
+        aging.substitutionRate = opt.ageSub;
+        chan.aging(aging);
+    }
     chan.drawSeed(opt.seed);
     return chan;
 }
@@ -462,10 +510,11 @@ validateFlags(const CliOptions &opt)
 
 /** The runtime (not durable) knobs openFile takes from the flags. */
 api::OpenOptions
-openOptionsFor(const CliOptions &opt)
+openOptionsFor(const CliOptions &opt,
+               api::OpenMode mode = api::OpenMode::ReadOnly)
 {
     api::OpenOptions open_opt;
-    open_opt.mode = api::OpenMode::ReadOnly;
+    open_opt.mode = mode;
     open_opt.threads = opt.threads;
     open_opt.packedReadPools = opt.packedPools;
     return open_opt;
@@ -476,10 +525,12 @@ openOptionsFor(const CliOptions &opt)
  * the parsed contents supply both the coverage default (when the
  * user gave no --coverage/--gamma, adopt the file's own saved pool
  * depth instead of tripping the depth gate on the CLI default) and,
- * via Store::openContents, the opened store itself.
+ * via Store::openContents, the opened store itself. Read-only unless
+ * the caller (scrub: it mutates the pool) asks otherwise.
  */
 api::Result<api::Store>
-openPoolStore(const CliOptions &opt, const std::string &path)
+openPoolStore(const CliOptions &opt, const std::string &path,
+              api::OpenMode mode = api::OpenMode::ReadOnly)
 {
     api::Result<api::PoolFileContents> contents =
         api::readPoolFile(path);
@@ -489,7 +540,25 @@ openPoolStore(const CliOptions &opt, const std::string &path)
     if (!opt.coverageSet && !opt.gammaSet && contents->hasPools)
         chan.coverage(contents->poolMaxCoverage);
     return api::Store::openContents(std::move(*contents), chan,
-                                    openOptionsFor(opt), path);
+                                    openOptionsFor(opt, mode), path);
+}
+
+/** Emit @p json to --json FILE, or stdout when no path was given. */
+int
+emitJson(const std::string &json, const std::string &path)
+{
+    if (path.empty()) {
+        std::fputs(json.c_str(), stdout);
+        return kExitOk;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return kExitRuntime;
+    }
+    out << json;
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return kExitOk;
 }
 
 int
@@ -659,18 +728,8 @@ cmdSweep(const CliOptions &opt)
     std::vector<ScenarioReport> reports = runner.runAll(grid);
 
     std::string json = reportsToJson(reports, sweep_opt, opt.timing);
-    if (opt.jsonPath.empty()) {
-        std::fputs(json.c_str(), stdout);
-    } else {
-        std::ofstream out(opt.jsonPath);
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         opt.jsonPath.c_str());
-            return kExitRuntime;
-        }
-        out << json;
-        std::fprintf(stderr, "wrote %s\n", opt.jsonPath.c_str());
-    }
+    if (int code = emitJson(json, opt.jsonPath))
+        return code;
     if (!opt.csvPath.empty()) {
         std::ofstream out(opt.csvPath);
         if (!out) {
@@ -700,6 +759,93 @@ cmdSweep(const CliOptions &opt)
         all_passed = all_passed && r.passed;
     }
     return all_passed ? kExitOk : kExitThreshold;
+}
+
+int
+cmdHealth(const CliOptions &opt)
+{
+    if (opt.inputs.size() != 1) {
+        std::fprintf(stderr, "health needs exactly one pool file\n");
+        return kExitUsage;
+    }
+    // Health is a pure probe: the read-only open is enough, so any
+    // number of processes can inspect one file concurrently.
+    api::Result<api::Store> store = openPoolStore(opt, opt.inputs[0]);
+    if (!store.ok()) {
+        printStatus(store.status());
+        return statusExit(store.status());
+    }
+    api::Result<api::HealthReport> health = store->health();
+    if (!health.ok()) {
+        printStatus(health.status());
+        return statusExit(health.status());
+    }
+    if (int code = emitJson(health->toJson(), opt.jsonPath))
+        return code;
+    // Summary on stderr so piped JSON stays clean.
+    std::fprintf(stderr,
+                 "%zu clusters, %zu live reads, %zu empty, min margin "
+                 "%d: %s\n",
+                 health->clusters, health->liveReads,
+                 health->emptyClusters, health->minMargin,
+                 health->exact ? "decodes exactly" : "DEGRADED");
+    return health->exact ? kExitOk : kExitThreshold;
+}
+
+int
+cmdScrub(const CliOptions &opt)
+{
+    if (opt.inputs.size() != 1) {
+        std::fprintf(stderr, "scrub needs exactly one pool file\n");
+        return kExitUsage;
+    }
+    api::Result<api::Store> store = openPoolStore(
+        opt, opt.inputs[0], api::OpenMode::ReadWrite);
+    if (!store.ok()) {
+        printStatus(store.status());
+        return statusExit(store.status());
+    }
+    // --age first: the optional decay injection, so one invocation can
+    // exercise a full age-then-repair cycle. Store::age rejects the
+    // call (FailedPrecondition) unless --age-loss/--age-sub configured
+    // an aging profile.
+    if (opt.ageEpochs > 0) {
+        api::Result<size_t> lost = store->age(opt.ageEpochs);
+        if (!lost.ok()) {
+            printStatus(lost.status());
+            return statusExit(lost.status());
+        }
+        std::fprintf(stderr, "aged %zu epochs: %zu reads lost\n",
+                     opt.ageEpochs, *lost);
+    }
+    api::ScrubOptions scrub_opt;
+    scrub_opt.minReads = opt.scrubMinReads;
+    scrub_opt.minAgreement = opt.scrubMinAgreement;
+    scrub_opt.repairAll = opt.scrubRepairAll;
+    api::Result<api::ScrubReport> report = store->scrub(scrub_opt);
+    if (!report.ok()) {
+        // Unavailable (selected clusters exist but the probe decode
+        // could not recover every codeword) maps to the runtime exit:
+        // the pool needs deeper reads, not different flags.
+        printStatus(report.status());
+        return statusExit(report.status());
+    }
+    if (int code = emitJson(report->toJson(), opt.jsonPath))
+        return code;
+    std::fprintf(stderr,
+                 "scanned %zu clusters, %zu low-margin, repaired %zu "
+                 "(%zu reads rewritten)\n",
+                 report->clustersScanned, report->lowMargin,
+                 report->repaired, report->readsRewritten);
+    // Persist the repaired pool: over the input in place, or to --out.
+    const std::string out = opt.outSet ? opt.out : opt.inputs[0];
+    api::Status saved = store->save(out, true);
+    if (!saved.ok()) {
+        printStatus(saved);
+        return statusExit(saved);
+    }
+    std::fprintf(stderr, "saved repaired store to %s\n", out.c_str());
+    return kExitOk;
 }
 
 void
@@ -748,6 +894,24 @@ usage()
         "  dnastore simulate --from-pool FILE [channel flags]\n"
         "    (run the retrieval report against a packed store\n"
         "     instead of fresh inputs)\n"
+        "  dnastore health <store.dnapool> [--json FILE] "
+        "[--threads T]\n"
+        "    (probe-decode the pool and report per-cluster and\n"
+        "     per-codeword health — live reads, consensus agreement,\n"
+        "     RS errors vs erasures, remaining correction margin —\n"
+        "     as deterministic JSON; exit 3 when the unit no longer\n"
+        "     decodes exactly)\n"
+        "  dnastore scrub <store.dnapool> [--out FILE] [--json FILE]\n"
+        "                [--min-reads N] [--min-agreement F] "
+        "[--repair-all]\n"
+        "                [--age E --age-loss P --age-sub P]\n"
+        "    (re-decode low-margin clusters, repair them via RS\n"
+        "     errors-and-erasures, rewrite the repaired strands at\n"
+        "     full depth, and save the healed pool — over the input\n"
+        "     unless --out names another file; --age first applies E\n"
+        "     epochs of decay with per-epoch strand-loss/substitution\n"
+        "     rates, so one invocation exercises the full\n"
+        "     age-then-repair cycle)\n"
         "  dnastore --version\n"
         "\n"
         "exit codes:\n"
@@ -792,6 +956,10 @@ main(int argc, char **argv)
             return cmdPack(opt);
         if (cmd == "unpack")
             return cmdUnpack(opt);
+        if (cmd == "health")
+            return cmdHealth(opt);
+        if (cmd == "scrub")
+            return cmdScrub(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return kExitRuntime;
