@@ -81,6 +81,12 @@
 #include "api/health.hh"
 #define DNASTORE_HAVE_DURABILITY 1
 #endif
+#if __has_include("cluster/stream.hh")
+// Marks the PR 8 API surface: bounded-memory streaming clustering
+// with out-of-core spill segments.
+#include "cluster/stream.hh"
+#define DNASTORE_HAVE_STREAM_CLUSTER 1
+#endif
 #endif
 
 namespace dnastore {
@@ -173,6 +179,21 @@ collect(std::vector<BenchResult> &results, const Options &opt)
         if (wants(name))
             results.push_back(runBench(name, opt, op));
     };
+    // Heavy benches (minutes per op): always a single timed
+    // iteration with no warmup, and skipped entirely in --quick smoke
+    // mode unless --only names them explicitly.
+    auto addHeavy = [&](const char *name,
+                        const std::function<void()> &op) {
+        if (!wants(name))
+            return;
+        if (opt.quick && opt.only == nullptr)
+            return;
+        double t0 = nowNs();
+        op();
+        double t1 = nowNs();
+        results.push_back({ name, t1 - t0, 1 });
+    };
+    (void)addHeavy;
 
     // --- Galois field multiply (bench-scale and paper-scale fields).
     for (unsigned m : { 10u, 16u }) {
@@ -339,6 +360,48 @@ collect(std::vector<BenchResult> &results, const Options &opt)
             g_sink ^= clusterReads(reads, par8).count();
         });
 #endif
+    }
+#endif
+
+#ifdef DNASTORE_HAVE_STREAM_CLUSTER
+    // --- Streaming out-of-core clustering at soup scale. Reads are
+    // generated on the fly and fed straight into the engine — the
+    // soup never exists as a std::vector<Strand>, which is the
+    // engine's whole point. qgram 12 keeps the gram space (4^12)
+    // comfortably wider than the strand count, as a real pipeline
+    // would configure at this scale. n10m spills: the 256 MiB budget
+    // is far below the ~500 MiB of packed records 10M reads produce.
+    {
+        auto streamSoup = [](const char *label, size_t n_strands,
+                             size_t coverage, size_t budget_bytes) {
+            ClusterParams params;
+            params.qgram = 12;
+            params.memoryBudgetBytes = budget_bytes;
+            StreamingClusterer engine(params);
+            IdsChannel channel(ErrorModel::uniform(0.05));
+            Rng rng(19);
+            for (size_t s = 0; s < n_strands; ++s) {
+                Strand original = randomStrand(120, rng);
+                for (size_t c = 0; c < coverage; ++c)
+                    engine.add(channel.transmit(original, rng));
+            }
+            g_sink ^= engine.finish().count();
+            const StreamStats &stats = engine.stats();
+            std::fprintf(stderr,
+                         "%s: %zu reads, %zu shards, peak buffer "
+                         "%zu KiB, spilled %zu KiB\n",
+                         label, stats.reads, stats.shards,
+                         stats.peakBufferBytes >> 10,
+                         stats.spilledBytes >> 10);
+        };
+        addHeavy("cluster_stream_n1m", [&streamSoup]() {
+            streamSoup("cluster_stream_n1m", 100000, 10,
+                       size_t(512) << 20);
+        });
+        addHeavy("cluster_stream_n10m_spill", [&streamSoup]() {
+            streamSoup("cluster_stream_n10m_spill", 1000000, 10,
+                       size_t(256) << 20);
+        });
     }
 #endif
 

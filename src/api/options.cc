@@ -381,6 +381,27 @@ ClusterOptions::shards(size_t n)
     return *this;
 }
 
+ClusterOptions &
+ClusterOptions::memoryBudgetMb(size_t mb)
+{
+    params_.memoryBudgetBytes = mb << 20;
+    return *this;
+}
+
+ClusterOptions &
+ClusterOptions::sketchBits(size_t log2bits)
+{
+    params_.sketchBits = log2bits;
+    return *this;
+}
+
+ClusterOptions &
+ClusterOptions::spillDir(const std::string &dir)
+{
+    params_.spillDir = dir;
+    return *this;
+}
+
 Status
 ClusterOptions::validate() const
 {
@@ -395,6 +416,12 @@ ClusterOptions::validate() const
         return Status::invalidArgument(formatMessage(
             "cluster-maxdist must be in (0, 1] (got %g)",
             params_.maxDistanceFrac));
+    if (params_.sketchBits != 0 &&
+        (params_.sketchBits < 10 || params_.sketchBits > 36))
+        return Status::invalidArgument(formatMessage(
+            "cluster-sketch-bits must be 0 (auto) or in [10, 36] "
+            "(got %zu)",
+            params_.sketchBits));
     return Status();
 }
 

@@ -115,6 +115,24 @@ class ClusterOptions
     /** Minimizer shards (0 = auto, 1 = classic single pass). */
     ClusterOptions &shards(size_t n);
 
+    /**
+     * Memory budget for read buffering, in MiB. 0 (default) keeps the
+     * soup in memory; any other value routes clustering through the
+     * streaming out-of-core engine (bit-identical output, spills past
+     * the budget to checksummed segments under spillDir()).
+     */
+    ClusterOptions &memoryBudgetMb(size_t mb);
+
+    /**
+     * log2 bit-size of the gram-lookup Bloom sketch, 0 = auto-sized
+     * or explicitly in [10, 36]. Never changes a clustering — only
+     * how often the gram index is probed fruitlessly.
+     */
+    ClusterOptions &sketchBits(size_t log2bits);
+
+    /** Spill directory for streaming runs ("" = system temp dir). */
+    ClusterOptions &spillDir(const std::string &dir);
+
     /** First broken constraint as InvalidArgument; Ok when valid. */
     Status validate() const;
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
-#include <unordered_map>
+#include <utility>
 
+#include "cluster/greedy.hh"
+#include "cluster/stream.hh"
 #include "dna/packed_strand.hh"
 #include "util/parallel.hh"
 
@@ -50,307 +53,101 @@ bandedEditDistance(const Strand &a, const Strand &b, size_t limit,
     return std::min(prev[m], limit + 1);
 }
 
-namespace {
-
-/** Cheap 64-bit mix for q-gram hashing. */
-uint64_t
-mix(uint64_t x)
-{
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ULL;
-    x ^= x >> 33;
-    return x;
-}
-
-/**
- * Sorted unique q-gram hashes of a read, optionally truncated to the
- * @p cap smallest (minhash). Representatives are indexed with all
- * their grams; queries use a capped subset, which keeps lookups cheap
- * while making a shared gram between a noisy read and its cluster's
- * representative overwhelmingly likely.
- */
-std::vector<uint64_t>
-signature(const Strand &read, const ClusterParams &params, size_t cap)
-{
-    std::vector<uint64_t> hashes;
-    if (read.size() < params.qgram)
-        return hashes;
-    uint64_t gram = 0;
-    const uint64_t mask =
-        (uint64_t(1) << (2 * params.qgram)) - 1;
-    for (size_t i = 0; i < read.size(); ++i) {
-        gram = ((gram << 2) | bitsFromBase(read[i])) & mask;
-        if (i + 1 >= params.qgram)
-            hashes.push_back(mix(gram));
-    }
-    std::sort(hashes.begin(), hashes.end());
-    hashes.erase(std::unique(hashes.begin(), hashes.end()),
-                 hashes.end());
-    if (hashes.size() > cap)
-        hashes.resize(cap);
-    return hashes;
-}
-
-/**
- * The minimizer: the smallest q-gram hash of the read. Content-only,
- * so the shard a read lands in never depends on thread count or read
- * order; noisy copies of one strand usually share it, which keeps
- * same-strand reads in one shard.
- */
-uint64_t
-minimizer(const Strand &read, const ClusterParams &params)
-{
-    if (read.size() < params.qgram)
-        return 0;
-    uint64_t gram = 0;
-    const uint64_t mask = (uint64_t(1) << (2 * params.qgram)) - 1;
-    uint64_t best = std::numeric_limits<uint64_t>::max();
-    for (size_t i = 0; i < read.size(); ++i) {
-        gram = ((gram << 2) | bitsFromBase(read[i])) & mask;
-        if (i + 1 >= params.qgram)
-            best = std::min(best, mix(gram));
-    }
-    return best;
-}
-
-/** Greedy single-linkage-to-representative clustering state. */
-struct GreedyClusters
-{
-    /** cluster (creation order) -> representative read (global id). */
-    std::vector<size_t> representative;
-
-    /** cluster -> member reads (global ids, ascending). */
-    std::vector<std::vector<size_t>> members;
-
-    /** q-gram hash -> clusters whose representative contains it. */
-    std::unordered_map<uint64_t, std::vector<size_t>> index;
-};
-
-/**
- * Candidate clusters sharing at least two query hashes with a
- * representative (one shared gram happens by chance; two is a strong
- * hint). Ascending cluster ids.
- */
-void
-candidateClusters(const GreedyClusters &state,
-                  const std::vector<uint64_t> &sig,
-                  std::vector<size_t> &hits,
-                  std::vector<size_t> &candidates)
-{
-    hits.clear();
-    candidates.clear();
-    for (uint64_t h : sig) {
-        auto it = state.index.find(h);
-        if (it == state.index.end())
-            continue;
-        for (size_t cluster : it->second)
-            hits.push_back(cluster);
-    }
-    std::sort(hits.begin(), hits.end());
-    for (size_t i = 0; i < hits.size();) {
-        size_t j = i;
-        while (j < hits.size() && hits[j] == hits[i])
-            ++j;
-        if (j - i >= 2 || sig.size() < 4)
-            candidates.push_back(hits[i]);
-        i = j;
-    }
-}
-
-/**
- * Best matching cluster for @p read among @p candidates, by exact
- * batched edit distance against the candidate representatives:
- * smallest distance <= limit wins, earliest candidate on ties.
- * Returns size_t(-1) when nothing is close enough.
- */
-size_t
-bestCluster(const std::vector<Strand> &reads, const Strand &read,
-            const GreedyClusters &state,
-            const std::vector<size_t> &candidates, size_t limit)
-{
-    static thread_local std::vector<StrandView> reps;
-    static thread_local std::vector<uint32_t> dists;
-    const size_t k = candidates.size();
-    if (k == 0)
-        return size_t(-1);
-    reps.clear();
-    for (size_t cluster : candidates)
-        reps.push_back(reads[state.representative[cluster]]);
-    dists.resize(k);
-    editDistanceBatch(read.data(), read.size(), reps.data(), k,
-                      dists.data());
-    size_t best_cluster = size_t(-1);
-    size_t best_dist = size_t(-1);
-    for (size_t i = 0; i < k; ++i) {
-        if (dists[i] <= limit && dists[i] < best_dist) {
-            best_dist = dists[i];
-            best_cluster = candidates[i];
-        }
-    }
-    return best_cluster;
-}
-
-/** Open a new cluster represented by read @p r, indexing its grams. */
-size_t
-openCluster(GreedyClusters &state, const std::vector<Strand> &reads,
-            size_t r, const ClusterParams &params)
-{
-    size_t cluster = state.members.size();
-    state.members.emplace_back();
-    state.representative.push_back(r);
-    // Index the representative with ALL its grams so future noisy
-    // reads still find it.
-    auto full = signature(reads[r], params, size_t(-1));
-    for (uint64_t h : full)
-        state.index[h].push_back(cluster);
-    return cluster;
-}
-
-/**
- * Greedy clustering of the reads selected by @p subset (global ids,
- * ascending), in read order — the classic serial algorithm.
- */
-GreedyClusters
-greedyCluster(const std::vector<Strand> &reads,
-              const std::vector<size_t> &subset,
-              const ClusterParams &params)
-{
-    GreedyClusters state;
-    const size_t query_cap =
-        std::max<size_t>(params.signatureSize, 24);
-    std::vector<size_t> hits, candidates;
-    for (size_t r : subset) {
-        const Strand &read = reads[r];
-        auto sig = signature(read, params, query_cap);
-        candidateClusters(state, sig, hits, candidates);
-        size_t limit = size_t(params.maxDistanceFrac *
-                              double(read.size()));
-        size_t cluster =
-            bestCluster(reads, read, state, candidates, limit);
-        if (cluster == size_t(-1))
-            cluster = openCluster(state, reads, r, params);
-        state.members[cluster].push_back(r);
-    }
-    return state;
-}
-
-/** Shard count: explicit, or sized from the read count (content-only). */
-size_t
-resolveShardCount(const ClusterParams &params, size_t n_reads)
-{
-    if (params.numShards != 0)
-        return std::min(params.numShards, std::max<size_t>(n_reads, 1));
-    if (n_reads < 2048)
-        return 1;
-    return std::min<size_t>(64, n_reads / 512);
-}
-
-/** Convert greedy state into the public Clustering shape. */
-Clustering
-finalize(GreedyClusters &&state, size_t n_reads)
-{
-    // Canonical ids: clusters ordered by smallest member, members
-    // ascending. The single-shard greedy pass already produces this
-    // order; the sharded merge needs the sort.
-    for (auto &m : state.members)
-        std::sort(m.begin(), m.end());
-    std::vector<size_t> order(state.members.size());
-    for (size_t i = 0; i < order.size(); ++i)
-        order[i] = i;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return state.members[a].front() < state.members[b].front();
-    });
-
-    Clustering out;
-    out.clusterOf.assign(n_reads, 0);
-    out.members.reserve(order.size());
-    for (size_t cluster : order) {
-        for (size_t r : state.members[cluster])
-            out.clusterOf[r] = out.members.size();
-        out.members.push_back(std::move(state.members[cluster]));
-    }
-    return out;
-}
-
-} // namespace
-
 Clustering
 clusterReads(const std::vector<Strand> &reads,
              const ClusterParams &params)
 {
+    using cluster_detail::GreedyState;
+
     // 2 * qgram bits must fit a uint64_t hash; qgram 0 would hash
     // every position identically.
     if (params.qgram < 1 || params.qgram > 31)
         throw std::invalid_argument(
             "ClusterParams::qgram must be in [1, 31]");
 
-    const size_t shards = resolveShardCount(params, reads.size());
+    // A memory budget means the caller wants the bounded-memory
+    // engine; its output is bit-identical to the path below.
+    if (params.memoryBudgetBytes != 0)
+        return clusterReadsStreaming(reads, params);
+
+    const size_t shards =
+        cluster_detail::resolveShardCount(params, reads.size());
     if (shards <= 1) {
-        std::vector<size_t> all(reads.size());
+        GreedyState state(params);
         for (size_t r = 0; r < reads.size(); ++r)
-            all[r] = r;
-        return finalize(greedyCluster(reads, all, params),
-                        reads.size());
+            state.consume(r, reads[r]);
+        return state.finalize(reads.size());
     }
 
     // Partition by content minimizer and cluster each shard
     // independently; the shard jobs are what the thread pool steals.
     std::vector<std::vector<size_t>> shard_reads(shards);
-    for (size_t r = 0; r < reads.size(); ++r)
-        shard_reads[minimizer(reads[r], params) % shards].push_back(r);
+    for (size_t r = 0; r < reads.size(); ++r) {
+        uint64_t min =
+            cluster_detail::minimizerOf(reads[r], params.qgram);
+        shard_reads[min % shards].push_back(r);
+    }
 
-    std::vector<GreedyClusters> shard_state(shards);
+    std::vector<std::unique_ptr<GreedyState>> shard_state(shards);
     parallelFor(shards, params.numThreads, [&](size_t s) {
-        shard_state[s] = greedyCluster(reads, shard_reads[s], params);
+        auto state = std::make_unique<GreedyState>(params);
+        for (size_t r : shard_reads[s])
+            state->consume(r, reads[r]);
+        shard_state[s] = std::move(state);
     });
 
     // Deterministic merge, shard-major: re-run the greedy join over
     // shard-cluster representatives, folding whole member lists into
     // the matched global cluster. Thread count never enters here.
-    GreedyClusters merged;
-    const size_t query_cap =
-        std::max<size_t>(params.signatureSize, 24);
-    std::vector<size_t> hits, candidates;
+    GreedyState merged(params);
     for (size_t s = 0; s < shards; ++s) {
-        GreedyClusters &local = shard_state[s];
-        for (size_t c = 0; c < local.members.size(); ++c) {
-            size_t rep = local.representative[c];
-            const Strand &rep_read = reads[rep];
-            auto sig = signature(rep_read, params, query_cap);
-            candidateClusters(merged, sig, hits, candidates);
-            size_t limit = size_t(params.maxDistanceFrac *
-                                  double(rep_read.size()));
-            size_t target =
-                bestCluster(reads, rep_read, merged, candidates, limit);
-            if (target == size_t(-1))
-                target = openCluster(merged, reads, rep, params);
-            auto &dst = merged.members[target];
-            dst.insert(dst.end(), local.members[c].begin(),
-                       local.members[c].end());
-        }
+        GreedyState &local = *shard_state[s];
+        for (size_t c = 0; c < local.clusterCount(); ++c)
+            merged.consumeGroup(local.representativeId(c),
+                                local.representativeStrand(c),
+                                std::move(local.membersOf(c)));
+        shard_state[s].reset();
     }
-    return finalize(std::move(merged), reads.size());
+    return merged.finalize(reads.size());
 }
 
 ClusterQuality
 scoreClustering(const Clustering &clustering,
                 const std::vector<size_t> &truth)
 {
-    // Pairwise counting over all read pairs, O(n^2) but only used by
-    // tests and diagnostics.
+    // Contingency counting over sorted labels: pairs agreeing on a
+    // label are sum over label groups of C(group, 2), and pairs
+    // agreeing on both are the same sum over (pred, truth) groups.
+    // O(n log n), exactly equal to the old all-pairs loop.
     const auto &pred = clustering.clusterOf;
-    size_t same_both = 0, same_pred = 0, same_truth = 0;
-    for (size_t i = 0; i < pred.size(); ++i) {
-        for (size_t j = i + 1; j < pred.size(); ++j) {
-            bool p = pred[i] == pred[j];
-            bool t = truth[i] == truth[j];
-            same_both += (p && t);
-            same_pred += p;
-            same_truth += t;
+    const size_t n = pred.size();
+
+    auto pairsWithin = [](auto &sorted) {
+        size_t pairs = 0;
+        for (size_t i = 0; i < sorted.size();) {
+            size_t j = i;
+            while (j < sorted.size() && sorted[j] == sorted[i])
+                ++j;
+            pairs += (j - i) * (j - i - 1) / 2;
+            i = j;
         }
-    }
+        return pairs;
+    };
+
+    std::vector<size_t> by_pred(pred);
+    std::sort(by_pred.begin(), by_pred.end());
+    size_t same_pred = pairsWithin(by_pred);
+
+    std::vector<size_t> by_truth(truth);
+    std::sort(by_truth.begin(), by_truth.end());
+    size_t same_truth = pairsWithin(by_truth);
+
+    std::vector<std::pair<size_t, size_t>> both(n);
+    for (size_t i = 0; i < n; ++i)
+        both[i] = { pred[i], truth[i] };
+    std::sort(both.begin(), both.end());
+    size_t same_both = pairsWithin(both);
+
     ClusterQuality q;
     q.precision = same_pred ? double(same_both) / double(same_pred)
                             : 1.0;

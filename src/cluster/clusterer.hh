@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dna/strand.hh"
@@ -60,10 +61,39 @@ struct ClusterParams
     /**
      * Number of minimizer-signature shards clustered independently
      * before the deterministic shard merge. 0 (default) sizes the
-     * shard set from the read count (1 for small inputs); 1 forces
-     * the classic single-pass greedy clustering.
+     * shard set from the read count at a ~512 reads-per-shard target
+     * (1 for small inputs, no ceiling — a 10M-read soup gets ~19k
+     * shards); 1 forces the classic single-pass greedy clustering.
      */
     size_t numShards = 0;
+
+    /**
+     * Memory budget for the read soup, in bytes. 0 (default) keeps
+     * everything in memory; any other value routes clusterReads
+     * through the streaming engine (cluster/stream.hh), which buffers
+     * 2-bit packed reads up to the budget and spills the excess to
+     * CRC-checksummed shard segments under spillDir. The clustering
+     * produced is bit-identical to the in-memory path. The budget
+     * governs read buffering only — the representative index scales
+     * with the cluster count, not the read count.
+     */
+    size_t memoryBudgetBytes = 0;
+
+    /**
+     * log2 bit-size of the Bloom sketch that pre-filters gram
+     * lookups, in [10, 36]. 0 (default) sizes it automatically from
+     * the representative count (~8 bits per indexed gram, ~5%
+     * false-positive rate). Sketch sizing can never change a
+     * clustering — false positives only cost a wasted index probe.
+     */
+    size_t sketchBits = 0;
+
+    /**
+     * Directory for streaming spill segments. Empty (default) uses
+     * the system temporary directory. Only consulted when
+     * memoryBudgetBytes forces an out-of-core run.
+     */
+    std::string spillDir;
 };
 
 /** Result of clustering a read set. */

@@ -1,0 +1,121 @@
+#include "cluster/gram_index.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnastore {
+
+// ------------------------------------------------------------ GramSketch
+
+void
+GramSketch::reset(size_t log2bits)
+{
+    if (log2bits < 10 || log2bits > 36)
+        throw std::invalid_argument(
+            "GramSketch log2bits must be in [10, 36]");
+    size_t words = (size_t(1) << log2bits) / 64;
+    bits_.assign(words, 0);
+    mask_ = (uint64_t(1) << log2bits) - 1;
+}
+
+size_t
+GramSketch::autoLog2Bits(size_t expected_keys)
+{
+    // ~8 bits per key, power-of-two rounded up; floor keeps the
+    // filter at least one cache line even for tiny indexes.
+    size_t log2bits = 10;
+    while (log2bits < 36 &&
+           (size_t(1) << log2bits) < expected_keys * 8)
+        ++log2bits;
+    return log2bits;
+}
+
+double
+GramSketch::estimatedFpr(size_t keys) const
+{
+    if (bits_.empty())
+        return 1.0;
+    double m = double(bitCount());
+    double fill = 1.0 - std::exp(-2.0 * double(keys) / m);
+    return fill * fill;
+}
+
+// ------------------------------------------------------------- GramIndex
+
+namespace {
+constexpr size_t kInitialSlots = 1024;
+} // namespace
+
+GramIndex::GramIndex()
+{
+    fps_.assign(kInitialSlots, 0);
+    heads_.assign(kInitialSlots, 0);
+    mask_ = kInitialSlots - 1;
+}
+
+void
+GramIndex::clear()
+{
+    fps_.assign(kInitialSlots, 0);
+    heads_.assign(kInitialSlots, 0);
+    entries_.clear();
+    keys_ = 0;
+    mask_ = kInitialSlots - 1;
+}
+
+void
+GramIndex::insert(uint64_t key, size_t cluster)
+{
+    if (cluster > 0xffffffffULL)
+        throw std::length_error(
+            "GramIndex cluster ids are limited to 2^32 - 1");
+    if (entries_.size() >= 0xffffffffULL)
+        throw std::length_error(
+            "GramIndex posting pool is limited to 2^32 - 1 entries");
+    // Keep probes short: grow at 1/2 load so the average successful
+    // probe stays near two slots.
+    if ((keys_ + 1) * 2 > mask_ + 1)
+        grow();
+    uint32_t fp = fingerprint(key);
+    size_t slot = probe(fp);
+    if (heads_[slot] == 0) {
+        fps_[slot] = fp;
+        ++keys_;
+    }
+    entries_.push_back({ uint32_t(cluster), heads_[slot] });
+    heads_[slot] = uint32_t(entries_.size());
+}
+
+void
+GramIndex::grow()
+{
+    size_t new_slots = (mask_ + 1) * 2;
+    std::vector<uint32_t> fps(new_slots, 0);
+    std::vector<uint32_t> heads(new_slots, 0);
+    size_t new_mask = new_slots - 1;
+    for (size_t s = 0; s <= mask_; ++s) {
+        if (heads_[s] == 0)
+            continue;
+        size_t slot = fps_[s] & new_mask;
+        while (heads[slot] != 0)
+            slot = (slot + 1) & new_mask;
+        fps[slot] = fps_[s];
+        heads[slot] = heads_[s];
+    }
+    fps_ = std::move(fps);
+    heads_ = std::move(heads);
+    mask_ = new_mask;
+}
+
+void
+GramIndex::rebuildSketch(GramSketch &sketch, size_t log2bits) const
+{
+    sketch.reset(log2bits);
+    for (size_t s = 0; s <= mask_; ++s) {
+        if (heads_[s] != 0)
+            sketch.insert(fps_[s]);
+    }
+}
+
+} // namespace dnastore

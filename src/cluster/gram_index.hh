@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Flat sketch-and-index structures for q-gram candidate generation.
+ *
+ * Candidate generation is the clusterer's asymptotic wall: for every
+ * read, each signature gram is looked up in an index of the grams of
+ * all cluster representatives. The original node-based
+ * `unordered_map<uint64_t, vector<size_t>>` costs a pointer chase and
+ * an allocation per distinct gram; at millions of representatives the
+ * index no longer fits in cache and every probe is a miss.
+ *
+ * Two flat replacements, borrowed in spirit from layout-into-bins
+ * sketching (chopper-style k-mer count sketches with false-positive
+ * correction):
+ *
+ *  - GramSketch: a tiny Bloom filter over the indexed gram hashes.
+ *    Most query grams of a noisy read are corrupted and were never
+ *    indexed; the sketch rejects them with one or two probes of a
+ *    bit array that stays cache-resident, before the (larger) index
+ *    is touched at all. False positives only cost a wasted index
+ *    probe — they can never change a clustering.
+ *  - GramIndex: open-addressing hash table in a single contiguous
+ *    slot array (linear probing), with per-key posting chains kept in
+ *    one contiguous entry pool. No per-key allocation, no node
+ *    chasing; growth rehashes slots only, never the entries.
+ *
+ * Both structures are content-deterministic: the stored multiset of
+ * (gram, cluster) pairs — and therefore every candidate list derived
+ * from them — depends only on the insertion sequence, never on
+ * capacity, probe order, or sketch sizing.
+ */
+
+#ifndef DNASTORE_CLUSTER_GRAM_INDEX_HH
+#define DNASTORE_CLUSTER_GRAM_INDEX_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnastore {
+
+/**
+ * Bloom filter over 32-bit gram fingerprints (two probes per key).
+ *
+ * Sized by a log2 bit-count; autoLog2Bits() picks the size for an
+ * expected key count at roughly 8 bits per key, which with two probes
+ * gives a ~5% theoretical false-positive rate (estimatedFpr()).
+ * mayContain() never returns false for an inserted fingerprint.
+ */
+class GramSketch
+{
+  public:
+    GramSketch() = default;
+
+    /** Clear and size the filter to 2^log2bits bits ([10, 36]). */
+    void reset(size_t log2bits);
+
+    /** log2 bit-count targeting ~8 bits per expected key. */
+    static size_t autoLog2Bits(size_t expected_keys);
+
+    void
+    insert(uint32_t fp)
+    {
+        uint64_t h = spread(fp);
+        bits_[(h & mask_) >> 6] |= uint64_t(1) << (h & 63);
+        uint64_t g = h >> 32;
+        bits_[(g & mask_) >> 6] |= uint64_t(1) << (g & 63);
+    }
+
+    bool
+    mayContain(uint32_t fp) const
+    {
+        uint64_t h = spread(fp);
+        if (!(bits_[(h & mask_) >> 6] >> (h & 63) & 1))
+            return false;
+        uint64_t g = h >> 32;
+        return bits_[(g & mask_) >> 6] >> (g & 63) & 1;
+    }
+
+    bool empty() const { return bits_.empty(); }
+    size_t bitCount() const { return bits_.size() * 64; }
+
+    /**
+     * Theoretical false-positive rate for @p keys inserted keys at
+     * the current size: (1 - e^(-2k/m))^2 for two probes.
+     */
+    double estimatedFpr(size_t keys) const;
+
+  private:
+    /** 32 -> 64 bit avalanche so the two probe words are independent. */
+    static uint64_t
+    spread(uint32_t fp)
+    {
+        uint64_t x = fp;
+        x *= 0x9e3779b97f4a7c15ULL;
+        x ^= x >> 29;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 32;
+        return x;
+    }
+
+    std::vector<uint64_t> bits_;
+    uint64_t mask_ = 0; //!< bitCount - 1 (bitCount is a power of two).
+};
+
+/**
+ * gram hash -> postings of cluster ids, in one slot array plus one
+ * entry pool.
+ *
+ * Slots store a 32-bit fingerprint of the (already well-mixed) 64-bit
+ * gram hash instead of the full key: a fingerprint collision merges
+ * two posting chains, which only adds a spurious candidate that exact
+ * verification rejects — never a wrong clustering — and halves the
+ * slot footprint at the scales where the index dominates memory.
+ *
+ * Posting chains are newest-first; callers sort the gathered hits, so
+ * per-chain order never reaches a result.
+ */
+class GramIndex
+{
+  public:
+    GramIndex();
+
+    void clear();
+
+    /** Add @p cluster to @p key's postings (duplicates allowed). */
+    void insert(uint64_t key, size_t cluster);
+
+    /** Append every cluster posted under @p key to @p out. */
+    void
+    lookup(uint64_t key, std::vector<size_t> &out) const
+    {
+        size_t slot = probe(fingerprint(key));
+        uint32_t e = heads_[slot];
+        while (e != 0) {
+            out.push_back(entries_[e - 1].cluster);
+            e = entries_[e - 1].next;
+        }
+    }
+
+    /** Distinct keys indexed (fingerprint-merged keys count once). */
+    size_t keyCount() const { return keys_; }
+
+    /** Total postings stored. */
+    size_t entryCount() const { return entries_.size(); }
+
+    /**
+     * Rebuild @p sketch from every indexed fingerprint, sized for the
+     * current key count (used when the sketch outgrows its bits).
+     */
+    void rebuildSketch(GramSketch &sketch, size_t log2bits) const;
+
+    /** The fingerprint the slot array stores for @p key. */
+    static uint32_t
+    fingerprint(uint64_t key)
+    {
+        // Keys are mixed hashes already; fold the halves so the
+        // fingerprint keeps entropy from all 64 bits.
+        uint32_t fp = uint32_t(key ^ (key >> 32));
+        // 0 marks never-written slots in fps_; remap.
+        return fp == 0 ? 1u : fp;
+    }
+
+  private:
+    /**
+     * Slot holding @p fp's chain, or the first free slot of its probe
+     * sequence (heads_[slot] == 0).
+     */
+    size_t
+    probe(uint32_t fp) const
+    {
+        size_t slot = fp & mask_;
+        while (heads_[slot] != 0 && fps_[slot] != fp)
+            slot = (slot + 1) & mask_;
+        return slot;
+    }
+
+    void grow();
+
+    struct Entry
+    {
+        uint32_t cluster;
+        uint32_t next; //!< 1-based index into entries_; 0 = end.
+    };
+
+    std::vector<uint32_t> fps_;   //!< Slot fingerprints.
+    std::vector<uint32_t> heads_; //!< 1-based chain heads; 0 = empty.
+    std::vector<Entry> entries_;  //!< Posting pool, insertion order.
+    size_t keys_ = 0;             //!< Occupied slots.
+    size_t mask_ = 0;             //!< Slot count - 1 (power of two).
+};
+
+} // namespace dnastore
+
+#endif // DNASTORE_CLUSTER_GRAM_INDEX_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The greedy single-linkage-to-representative clustering core, shared
+ * by the in-memory clusterer (cluster/clusterer.cc) and the streaming
+ * engine (cluster/stream.hh).
+ *
+ * GreedyState consumes reads one at a time — join the closest
+ * verified representative or open a new cluster — against a
+ * sketch-filtered flat gram index (cluster/gram_index.hh), and owns
+ * every scratch buffer the per-read loop needs, so the steady state
+ * does no heap allocation. The consumer is deliberately ignorant of
+ * where reads live: the in-memory path feeds it views into the
+ * caller's vector, the streaming path feeds it records decoded from
+ * spill segments, and identical consume sequences produce identical
+ * clusterings — that equivalence is the streaming engine's
+ * bit-identity contract.
+ *
+ * Everything here is an internal contract between the cluster/ TUs
+ * (and their tests); the public surface stays cluster/clusterer.hh
+ * and cluster/stream.hh.
+ */
+
+#ifndef DNASTORE_CLUSTER_GREEDY_HH
+#define DNASTORE_CLUSTER_GREEDY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clusterer.hh"
+#include "cluster/gram_index.hh"
+#include "dna/packed_strand.hh"
+
+namespace dnastore {
+namespace cluster_detail {
+
+/** Cheap 64-bit mix for q-gram hashing. */
+inline uint64_t
+mixHash(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * Sorted unique q-gram hashes of @p read into @p out, truncated to
+ * the @p cap smallest (minhash); pass SIZE_MAX for all of them.
+ * Reuses @p out's capacity — the reason it is an out-parameter.
+ */
+void signatureInto(StrandView read, size_t qgram, size_t cap,
+                   std::vector<uint64_t> &out);
+
+/**
+ * The minimizer: the smallest q-gram hash of the read (0 when the
+ * read is shorter than @p qgram). Content-only, so the shard a read
+ * lands in never depends on thread count or read order.
+ */
+uint64_t minimizerOf(StrandView read, size_t qgram);
+
+/**
+ * Shard count: explicit, or sized from the read count at a ~512
+ * reads-per-shard target (content-only — thread counts must never
+ * enter, or the clustering would stop being bit-identical across
+ * them; the target instead keeps the shard set comfortably wider
+ * than any realistic thread count). No ceiling: a 10M-read soup gets
+ * ~19k shards instead of serializing into 64 giant greedy passes.
+ */
+size_t resolveShardCount(const ClusterParams &params, size_t n_reads);
+
+/**
+ * Greedy clustering state: representatives, members, and the
+ * sketch-filtered gram index they are found through.
+ *
+ * Representative strands are copied into an internal arena at
+ * open-cluster time, so consumers may discard a read's storage the
+ * moment consume() returns — the property the out-of-core shard pass
+ * is built on.
+ */
+class GreedyState
+{
+  public:
+    explicit GreedyState(const ClusterParams &params);
+
+    /**
+     * Assign @p read (global id @p global_id) to the best verified
+     * cluster, opening one if nothing is within the distance limit.
+     */
+    void consume(size_t global_id, StrandView read);
+
+    /**
+     * The shard-merge step: join-or-open by @p rep exactly like
+     * consume(), then fold the whole member list of the shard cluster
+     * it represents into the target.
+     */
+    void consumeGroup(size_t rep_id, StrandView rep,
+                      std::vector<size_t> &&members);
+
+    size_t clusterCount() const { return members_.size(); }
+    size_t representativeId(size_t c) const { return representative_[c]; }
+    StrandView representativeStrand(size_t c) const
+    {
+        return repArena_.view(c);
+    }
+    std::vector<size_t> &membersOf(size_t c) { return members_[c]; }
+
+    /**
+     * Convert into the public Clustering shape: members ascending,
+     * clusters ordered by smallest member. Consumes the state.
+     */
+    Clustering finalize(size_t n_reads);
+
+  private:
+    /** Candidate generation + verification; returns the cluster id. */
+    size_t joinOrOpen(size_t rep_id, StrandView read);
+
+    /** Candidates for sig_, ascending, via sketch + flat index. */
+    void gatherCandidates();
+
+    /** Smallest verified distance <= limit, earliest on ties. */
+    size_t bestCluster(StrandView read, size_t limit);
+
+    /** Open a new cluster represented by @p read, indexing its grams. */
+    size_t openCluster(size_t rep_id, StrandView read);
+
+    ClusterParams params_;
+    size_t queryCap_;
+    bool autoSketch_;
+
+    GramIndex index_;
+    GramSketch sketch_;
+    StrandArena repArena_;
+    std::vector<size_t> representative_;
+    std::vector<std::vector<size_t>> members_;
+
+    // Reusable per-read scratch: one signature/candidate/verify set
+    // per state instead of a fresh vector per read.
+    std::vector<uint64_t> sig_, fullSig_;
+    std::vector<size_t> hits_, candidates_;
+    std::vector<StrandView> reps_;
+    std::vector<uint32_t> dists_;
+};
+
+} // namespace cluster_detail
+} // namespace dnastore
+
+#endif // DNASTORE_CLUSTER_GREEDY_HH

@@ -1,0 +1,437 @@
+#include "cluster/stream.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "cluster/greedy.hh"
+#include "util/crc32.hh"
+#include "util/parallel.hh"
+#include "util/simd.hh"
+
+namespace dnastore {
+
+double
+StreamStats::gcFraction() const
+{
+    uint64_t total =
+        baseCounts[0] + baseCounts[1] + baseCounts[2] + baseCounts[3];
+    if (total == 0)
+        return 0.0;
+    return double(baseCounts[1] + baseCounts[2]) / double(total);
+}
+
+namespace cluster_detail {
+
+void
+appendSpillChunk(std::vector<uint8_t> &out, const uint8_t *payload,
+                 size_t n)
+{
+    ByteWriter header;
+    header.u32(kSpillMagic);
+    header.u32(uint32_t(n));
+    header.u32(crc32(payload, n));
+    out.insert(out.end(), header.data().begin(), header.data().end());
+    out.insert(out.end(), payload, payload + n);
+}
+
+namespace {
+
+/** Largest chunk a writer emits; readers reject anything bigger. */
+constexpr size_t kMaxChunkBytes = size_t(16) << 20;
+
+/** Parse one chunk's records; bytes are CRC-verified already. */
+void
+parseRecords(const uint8_t *payload, size_t n,
+             const std::function<void(uint64_t, uint64_t, size_t,
+                                      const uint64_t *)> &record,
+             std::vector<uint64_t> &words)
+{
+    ByteReader reader(payload, n);
+    while (reader.ok() && reader.remaining() > 0) {
+        uint64_t id = reader.u64();
+        uint64_t minimizer = reader.u64();
+        size_t len = reader.u32();
+        size_t n_words = packedWordCount(len);
+        words.resize(n_words);
+        for (size_t w = 0; w < n_words; ++w)
+            words[w] = reader.u64();
+        if (!reader.ok())
+            break;
+        record(id, minimizer, len, words.data());
+    }
+    if (!reader.ok())
+        throw SpillError(
+            "spill chunk record ran past the chunk payload "
+            "(corrupt record framing)");
+}
+
+} // namespace
+
+void
+parseSpillChunks(const uint8_t *bytes, size_t n,
+                 const std::function<void(uint64_t, uint64_t, size_t,
+                                          const uint64_t *)> &record)
+{
+    std::vector<uint64_t> words;
+    ByteReader reader(bytes, n);
+    while (reader.ok() && reader.remaining() > 0) {
+        uint32_t magic = reader.u32();
+        uint32_t len = reader.u32();
+        uint32_t crc = reader.u32();
+        if (!reader.ok())
+            throw SpillError("truncated spill chunk header");
+        if (magic != kSpillMagic)
+            throw SpillError("bad spill chunk magic");
+        if (len > kMaxChunkBytes)
+            throw SpillError("implausible spill chunk length");
+        if (len > reader.remaining())
+            throw SpillError("truncated spill chunk payload");
+        const uint8_t *payload = bytes + reader.pos();
+        reader.skip(len);
+        if (crc32(payload, len) != crc)
+            throw SpillError("spill chunk CRC mismatch");
+        parseRecords(payload, len, record, words);
+    }
+}
+
+} // namespace cluster_detail
+
+using cluster_detail::appendSpillChunk;
+using cluster_detail::kSpillMagic;
+
+namespace {
+
+/** Seal buffered records into a CRC-framed chunk past this size. */
+constexpr size_t kChunkTargetBytes = size_t(1) << 20;
+
+std::string
+defaultSpillDir()
+{
+    const char *env = std::getenv("TMPDIR");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    return "/tmp";
+}
+
+uint64_t
+nextInstanceTag()
+{
+    static std::atomic<uint64_t> counter{ 0 };
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+/**
+ * One logical segment: an optional on-disk prefix (chunks flushed
+ * under memory pressure) followed by sealed in-memory chunks and the
+ * currently-open record buffer. Readers see disk chunks first, then
+ * memory chunks — exactly the append order.
+ */
+struct StreamingClusterer::Segment
+{
+    std::string path;            //!< Empty until first spill.
+    std::FILE *file = nullptr;   //!< Open read/write once spilled.
+    size_t fileBytes = 0;        //!< Chunk bytes flushed to disk.
+    std::vector<uint8_t> chunks; //!< Sealed, CRC-framed chunks.
+    ByteWriter open;             //!< Records of the unsealed chunk.
+};
+
+/** What survives a shard's greedy pass into the serial merge. */
+struct StreamingClusterer::ShardResult
+{
+    std::vector<size_t> repIds;
+    StrandArena reps;
+    std::vector<std::vector<size_t>> members;
+};
+
+StreamingClusterer::StreamingClusterer(const ClusterParams &params)
+    : params_(params),
+      spillDir_(params.spillDir.empty() ? defaultSpillDir()
+                                        : params.spillDir),
+      instanceTag_(nextInstanceTag()),
+      log_(std::make_unique<Segment>())
+{
+    if (params.qgram < 1 || params.qgram > 31)
+        throw std::invalid_argument(
+            "ClusterParams::qgram must be in [1, 31]");
+}
+
+StreamingClusterer::~StreamingClusterer()
+{
+    if (log_)
+        releaseSegment(*log_);
+}
+
+void
+StreamingClusterer::appendRecord(Segment &seg, uint64_t id,
+                                 uint64_t minimizer, StrandView read)
+{
+    size_t before = seg.open.size();
+    seg.open.u64(id);
+    seg.open.u64(minimizer);
+    seg.open.u32(uint32_t(read.size()));
+    size_t n_words = packedWordCount(read.size());
+    packScratch_.resize(n_words);
+    packBases(read.data(), read.size(), packScratch_.data());
+    for (size_t w = 0; w < n_words; ++w)
+        seg.open.u64(packScratch_[w]);
+    bufferedBytes_ += seg.open.size() - before;
+    stats_.peakBufferBytes =
+        std::max(stats_.peakBufferBytes, bufferedBytes_);
+    if (seg.open.size() >= kChunkTargetBytes)
+        sealChunk(seg);
+}
+
+void
+StreamingClusterer::sealChunk(Segment &seg)
+{
+    if (seg.open.size() == 0)
+        return;
+    std::vector<uint8_t> payload = seg.open.take();
+    // Framing adds the 12-byte header; budget accounting follows the
+    // buffered bytes wherever they live.
+    bufferedBytes_ += 12;
+    appendSpillChunk(seg.chunks, payload.data(), payload.size());
+    seg.open = ByteWriter();
+}
+
+void
+StreamingClusterer::spillToDisk(Segment &seg)
+{
+    sealChunk(seg);
+    if (seg.chunks.empty())
+        return;
+    if (seg.file == nullptr) {
+        seg.path = spillDir_ + "/dnastream-" +
+            std::to_string(getpid()) + "-" +
+            std::to_string(instanceTag_) + "-" +
+            std::to_string(reinterpret_cast<uintptr_t>(&seg)) +
+            ".spill";
+        seg.file = std::fopen(seg.path.c_str(), "w+b");
+        if (seg.file == nullptr)
+            throw SpillError("cannot create spill segment " +
+                             seg.path + ": " + std::strerror(errno));
+    }
+    if (std::fwrite(seg.chunks.data(), 1, seg.chunks.size(),
+                    seg.file) != seg.chunks.size())
+        throw SpillError("short write to spill segment " + seg.path);
+    seg.fileBytes += seg.chunks.size();
+    stats_.spilledBytes += seg.chunks.size();
+    ++stats_.spillChunks;
+    bufferedBytes_ -= seg.chunks.size();
+    seg.chunks.clear();
+    seg.chunks.shrink_to_fit();
+}
+
+void
+StreamingClusterer::enforceBudget(std::vector<Segment> &segs)
+{
+    if (params_.memoryBudgetBytes == 0 ||
+        bufferedBytes_ <= params_.memoryBudgetBytes)
+        return;
+    // Deterministic and simple: flush every segment with sealed or
+    // open bytes. The schedule can never change a clustering — only
+    // where the same bytes wait.
+    for (auto &seg : segs)
+        spillToDisk(seg);
+}
+
+void
+StreamingClusterer::releaseSegment(Segment &seg)
+{
+    if (seg.file != nullptr) {
+        std::fclose(seg.file);
+        seg.file = nullptr;
+    }
+    if (!seg.path.empty()) {
+        std::remove(seg.path.c_str());
+        seg.path.clear();
+    }
+    bufferedBytes_ -= seg.chunks.size() + seg.open.size();
+    seg.chunks.clear();
+    seg.chunks.shrink_to_fit();
+    seg.open = ByteWriter();
+    seg.fileBytes = 0;
+}
+
+void
+StreamingClusterer::forEachRecord(
+    Segment &seg,
+    const std::function<void(uint64_t, uint64_t, size_t,
+                             const uint64_t *)> &record)
+{
+    sealChunk(seg);
+    if (seg.file != nullptr) {
+        if (std::fflush(seg.file) != 0)
+            throw SpillError("cannot flush spill segment " +
+                             seg.path);
+        if (std::fseek(seg.file, 0, SEEK_SET) != 0)
+            throw SpillError("cannot rewind spill segment " +
+                             seg.path);
+        // Bounded read-back: one CRC-framed chunk at a time.
+        std::vector<uint8_t> header(12), chunk;
+        size_t consumed = 0;
+        while (consumed < seg.fileBytes) {
+            if (std::fread(header.data(), 1, 12, seg.file) != 12)
+                throw SpillError("truncated spill chunk header in " +
+                                 seg.path);
+            ByteReader hr(header.data(), header.size());
+            hr.skip(4); // magic, re-verified by parseSpillChunks
+            uint32_t len = hr.u32();
+            if (len > cluster_detail::kMaxChunkBytes * 2)
+                throw SpillError(
+                    "implausible spill chunk length in " + seg.path);
+            chunk.resize(12 + len);
+            std::memcpy(chunk.data(), header.data(), 12);
+            if (std::fread(chunk.data() + 12, 1, len, seg.file) !=
+                len)
+                throw SpillError("truncated spill chunk in " +
+                                 seg.path);
+            cluster_detail::parseSpillChunks(chunk.data(),
+                                             chunk.size(), record);
+            consumed += 12 + len;
+        }
+    }
+    cluster_detail::parseSpillChunks(seg.chunks.data(),
+                                     seg.chunks.size(), record);
+}
+
+void
+StreamingClusterer::add(StrandView read)
+{
+    if (finished_)
+        throw std::logic_error(
+            "StreamingClusterer::add after finish");
+    uint64_t id = stats_.reads++;
+    uint64_t minimizer =
+        cluster_detail::minimizerOf(read, params_.qgram);
+    // Soup composition through the SIMD histogram kernel; per-read
+    // 32-bit lanes, accumulated into 64-bit totals so 100M+ read
+    // soups cannot overflow.
+    uint32_t counts[4] = { 0, 0, 0, 0 };
+    simd::histogram4(reinterpret_cast<const uint8_t *>(read.data()),
+                     read.size(), counts);
+    for (int b = 0; b < 4; ++b)
+        stats_.baseCounts[b] += counts[b];
+    appendRecord(*log_, id, minimizer, read);
+    if (params_.memoryBudgetBytes != 0 &&
+        bufferedBytes_ > params_.memoryBudgetBytes)
+        spillToDisk(*log_);
+}
+
+Clustering
+StreamingClusterer::finish()
+{
+    if (finished_)
+        throw std::logic_error(
+            "StreamingClusterer::finish called twice");
+    finished_ = true;
+
+    using cluster_detail::GreedyState;
+    const size_t n = stats_.reads;
+    const size_t shards =
+        cluster_detail::resolveShardCount(params_, n);
+    stats_.shards = shards;
+
+    Strand unpacked;
+    if (shards <= 1) {
+        GreedyState state(params_);
+        forEachRecord(*log_, [&](uint64_t id, uint64_t, size_t len,
+                                 const uint64_t *words) {
+            unpacked.resize(len);
+            unpackBases(words, len, unpacked.data());
+            state.consume(size_t(id), unpacked);
+        });
+        releaseSegment(*log_);
+        return state.finalize(n);
+    }
+
+    // ---- Shuffle: stream the log into per-shard segments. Records
+    // arrive in ingest (global-id) order and appends preserve it, so
+    // every shard segment is id-ascending without sorting.
+    std::vector<Segment> shard_segs(shards);
+    forEachRecord(*log_, [&](uint64_t id, uint64_t minimizer,
+                             size_t len, const uint64_t *words) {
+        Segment &seg = shard_segs[minimizer % shards];
+        size_t before = seg.open.size();
+        seg.open.u64(id);
+        seg.open.u64(minimizer);
+        seg.open.u32(uint32_t(len));
+        size_t n_words = packedWordCount(len);
+        for (size_t w = 0; w < n_words; ++w)
+            seg.open.u64(words[w]);
+        bufferedBytes_ += seg.open.size() - before;
+        stats_.peakBufferBytes =
+            std::max(stats_.peakBufferBytes, bufferedBytes_);
+        if (seg.open.size() >= kChunkTargetBytes)
+            sealChunk(seg);
+        enforceBudget(shard_segs);
+    });
+    releaseSegment(*log_);
+
+    // ---- Cluster each shard independently (the parallel part),
+    // keeping only what the merge needs: representative ids +
+    // strands and member lists. Shard segments are released the
+    // moment their greedy pass ends.
+    std::vector<ShardResult> results(shards);
+    parallelFor(shards, params_.numThreads, [&](size_t s) {
+        GreedyState state(params_);
+        Strand local;
+        forEachRecord(shard_segs[s],
+                      [&](uint64_t id, uint64_t, size_t len,
+                          const uint64_t *words) {
+                          local.resize(len);
+                          unpackBases(words, len, local.data());
+                          state.consume(size_t(id), local);
+                      });
+        ShardResult &out = results[s];
+        size_t clusters = state.clusterCount();
+        out.repIds.reserve(clusters);
+        out.members.reserve(clusters);
+        for (size_t c = 0; c < clusters; ++c) {
+            out.repIds.push_back(state.representativeId(c));
+            out.reps.append(state.representativeStrand(c));
+            out.members.push_back(std::move(state.membersOf(c)));
+        }
+        if (shard_segs[s].file != nullptr) {
+            std::fclose(shard_segs[s].file);
+            shard_segs[s].file = nullptr;
+            std::remove(shard_segs[s].path.c_str());
+            shard_segs[s].path.clear();
+        }
+        shard_segs[s].chunks.clear();
+        shard_segs[s].chunks.shrink_to_fit();
+    });
+    shard_segs.clear();
+
+    // ---- Serial deterministic merge, shard-major — identical to
+    // the in-memory clusterer's, so spill schedules, thread counts,
+    // and SIMD tiers can never reach the result.
+    GreedyState merged(params_);
+    for (size_t s = 0; s < shards; ++s) {
+        ShardResult &local = results[s];
+        for (size_t c = 0; c < local.repIds.size(); ++c)
+            merged.consumeGroup(local.repIds[c], local.reps.view(c),
+                                std::move(local.members[c]));
+        local = ShardResult();
+    }
+    return merged.finalize(n);
+}
+
+Clustering
+clusterReadsStreaming(const std::vector<Strand> &reads,
+                      const ClusterParams &params)
+{
+    StreamingClusterer engine(params);
+    for (const Strand &read : reads)
+        engine.add(read);
+    return engine.finish();
+}
+
+} // namespace dnastore

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Streaming, bounded-memory read clustering.
+ *
+ * clusterReads assumes the whole read soup fits in RAM as a
+ * std::vector<Strand>; at tens of millions of reads that is the
+ * pipeline's asymptotic wall. StreamingClusterer ingests reads one at
+ * a time, keeps them 2-bit packed in CRC-32-checksummed segments, and
+ * spills to disk whenever the configured memory budget is exceeded —
+ * so a 10M+ read soup clusters within a fixed buffer budget on a
+ * laptop.
+ *
+ * Three passes, mirroring the in-memory sharded clusterer exactly:
+ *
+ *  1. Ingest: each read is packed into an append-only log segment
+ *     (record = global id, content minimizer, packed bases). The log
+ *     buffers in memory and spills chunk-by-chunk past the budget.
+ *  2. Shuffle: once the read count is known, the shard count is
+ *     resolved (content-only) and the log is streamed into per-shard
+ *     segments by minimizer. Records stay in global-id order within
+ *     each shard because the log is consumed in ingest order.
+ *  3. Cluster: each shard segment is streamed through the greedy
+ *     pass (shards fan out over the thread pool), keeping only
+ *     representatives and member lists; the serial deterministic
+ *     merge and canonical finalize are shared with clusterReads.
+ *
+ * Determinism contract: the clustering is bit-identical to
+ * clusterReads on the same soup and ClusterParams, for every memory
+ * budget (spill or no spill), thread count, and SIMD tier. Corrupt
+ * or truncated spill segments raise SpillError — never a wrong
+ * clustering (every chunk's CRC is verified before any record in it
+ * is parsed).
+ */
+
+#ifndef DNASTORE_CLUSTER_STREAM_HH
+#define DNASTORE_CLUSTER_STREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/clusterer.hh"
+#include "dna/packed_strand.hh"
+#include "util/byteio.hh"
+
+namespace dnastore {
+
+/**
+ * A spill segment failed integrity or I/O checks (bad magic, CRC
+ * mismatch, truncation, unwritable spill directory). The clustering
+ * in progress is abandoned; no partial result escapes.
+ */
+class SpillError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Observability counters for a streaming run. */
+struct StreamStats
+{
+    size_t reads = 0;         //!< Reads ingested.
+    size_t shards = 0;        //!< Shard count resolved at finish().
+    size_t peakBufferBytes = 0; //!< High-water mark of buffered segment bytes.
+    size_t spilledBytes = 0;  //!< Segment bytes written to disk.
+    size_t spillChunks = 0;   //!< CRC-framed chunks written to disk.
+
+    /**
+     * Base composition of the ingested soup, accumulated with the
+     * SIMD histogram4 kernel during ingest (indexes follow the 2-bit
+     * base codes A=0, C=1, G=2, T=3).
+     */
+    uint64_t baseCounts[4] = { 0, 0, 0, 0 };
+
+    /** Fraction of ingested bases that are G or C (0 when empty). */
+    double gcFraction() const;
+};
+
+namespace cluster_detail {
+
+/**
+ * Spill chunk framing, exposed for the corruption-sweep tests: a
+ * chunk is [magic u32][payload length u32][CRC-32 of payload u32]
+ * [payload], little-endian. Readers verify magic, a sane length, and
+ * the CRC before parsing a single record byte.
+ */
+constexpr uint32_t kSpillMagic = 0x4c505344; // "DSPL"
+
+/** Frame @p payload as one chunk appended to @p out. */
+void appendSpillChunk(std::vector<uint8_t> &out,
+                      const uint8_t *payload, size_t n);
+
+/**
+ * Parse every chunk in @p bytes, invoking @p record for each spill
+ * record (id, minimizer, length, packed words). Throws SpillError on
+ * any framing, CRC, or record-bounds violation.
+ */
+void parseSpillChunks(
+    const uint8_t *bytes, size_t n,
+    const std::function<void(uint64_t id, uint64_t minimizer,
+                             size_t len, const uint64_t *words)>
+        &record);
+
+} // namespace cluster_detail
+
+/**
+ * Out-of-core greedy clustering engine. Feed reads in global-id
+ * order with add(); finish() resolves shards, clusters, and returns
+ * the canonical Clustering. Single ingestion thread; finish() fans
+ * shard clustering over ClusterParams::numThreads.
+ *
+ * Spill segments live under ClusterParams::spillDir (system temp
+ * directory when empty), are named uniquely per engine instance, and
+ * are removed when the engine is destroyed — also on error paths.
+ */
+class StreamingClusterer
+{
+  public:
+    explicit StreamingClusterer(const ClusterParams &params);
+    ~StreamingClusterer();
+
+    StreamingClusterer(const StreamingClusterer &) = delete;
+    StreamingClusterer &operator=(const StreamingClusterer &) = delete;
+
+    /** Ingest the next read (global id = number of prior adds). */
+    void add(StrandView read);
+
+    /** Cluster everything ingested. Call exactly once. */
+    Clustering finish();
+
+    const StreamStats &stats() const { return stats_; }
+
+  private:
+    struct Segment;
+    struct ShardResult;
+
+    void appendRecord(Segment &seg, uint64_t id, uint64_t minimizer,
+                      StrandView read);
+    void sealChunk(Segment &seg);
+    void spillToDisk(Segment &seg);
+    void enforceBudget(std::vector<Segment> &segs);
+    void releaseSegment(Segment &seg);
+    void forEachRecord(
+        Segment &seg,
+        const std::function<void(uint64_t id, uint64_t minimizer,
+                                 size_t len, const uint64_t *words)>
+            &record);
+
+    ClusterParams params_;
+    std::string spillDir_;
+    uint64_t instanceTag_;
+    size_t bufferedBytes_ = 0;
+    bool finished_ = false;
+
+    std::unique_ptr<Segment> log_;
+    StreamStats stats_;
+    std::vector<uint64_t> packScratch_;
+};
+
+/**
+ * Convenience wrapper: stream @p reads through a StreamingClusterer.
+ * Bit-identical to clusterReads(reads, params) by construction;
+ * clusterReads itself routes here when params.memoryBudgetBytes is
+ * nonzero.
+ */
+Clustering clusterReadsStreaming(const std::vector<Strand> &reads,
+                                 const ClusterParams &params);
+
+} // namespace dnastore
+
+#endif // DNASTORE_CLUSTER_STREAM_HH

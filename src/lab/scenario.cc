@@ -175,6 +175,24 @@ buildScenarios()
         s.minSuccessRate = 0.90;
         all.push_back(s);
     }
+    {
+        // clustered-nominal again, but through the out-of-core
+        // streaming engine with a budget small enough that every
+        // trial spills to disk. The clustering — and therefore the
+        // success rate — is bit-identical to clustered-nominal's;
+        // what this scenario exercises is the spill/reload path under
+        // the full Monte-Carlo channel.
+        Scenario s = baseScenario(
+            "clustered-streaming",
+            "the clustered-nominal channel clustered through the "
+            "streaming engine with a 4 KiB memory budget, forcing "
+            "every trial to spill to disk and stream back");
+        s.coverageMean = 6.0;
+        s.clustered = true;
+        s.clusterParams.memoryBudgetBytes = 4096;
+        s.minSuccessRate = 0.90;
+        all.push_back(s);
+    }
 
     return all;
 }

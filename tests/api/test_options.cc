@@ -227,6 +227,9 @@ TEST(ClusterOptions, ParamsRoundTrip)
     params.maxDistanceFrac = 0.2;
     params.numThreads = 4;
     params.numShards = 2;
+    params.memoryBudgetBytes = 123456;
+    params.sketchBits = 20;
+    params.spillDir = "/var/tmp/spill";
     ClusterOptions opt = ClusterOptions::fromParams(params);
     EXPECT_TRUE(opt.validate().ok());
     EXPECT_EQ(opt.params().qgram, 8u);
@@ -234,4 +237,32 @@ TEST(ClusterOptions, ParamsRoundTrip)
     EXPECT_DOUBLE_EQ(opt.params().maxDistanceFrac, 0.2);
     EXPECT_EQ(opt.params().numThreads, 4u);
     EXPECT_EQ(opt.params().numShards, 2u);
+    EXPECT_EQ(opt.params().memoryBudgetBytes, 123456u);
+    EXPECT_EQ(opt.params().sketchBits, 20u);
+    EXPECT_EQ(opt.params().spillDir, "/var/tmp/spill");
+}
+
+TEST(ClusterOptions, RejectsSketchBitsBounds)
+{
+    // 0 is auto-sizing; explicit values must land in [10, 36].
+    EXPECT_TRUE(ClusterOptions().sketchBits(0).validate().ok());
+    EXPECT_TRUE(ClusterOptions().sketchBits(10).validate().ok());
+    EXPECT_TRUE(ClusterOptions().sketchBits(36).validate().ok());
+    expectInvalid(ClusterOptions().sketchBits(9).validate(),
+                  "cluster-sketch-bits");
+    expectInvalid(ClusterOptions().sketchBits(37).validate(),
+                  "cluster-sketch-bits");
+}
+
+TEST(ClusterOptions, StreamingKnobs)
+{
+    ClusterOptions opt;
+    opt.memoryBudgetMb(512).sketchBits(24).spillDir("/tmp/x");
+    EXPECT_TRUE(opt.validate().ok());
+    EXPECT_EQ(opt.params().memoryBudgetBytes, size_t(512) << 20);
+    EXPECT_EQ(opt.params().sketchBits, 24u);
+    EXPECT_EQ(opt.params().spillDir, "/tmp/x");
+    // 0 MiB reverts to the in-memory path.
+    opt.memoryBudgetMb(0);
+    EXPECT_EQ(opt.params().memoryBudgetBytes, 0u);
 }

@@ -335,6 +335,55 @@ TEST(Clusterer, EmptyInput)
     EXPECT_TRUE(clustering.clusterOf.empty());
 }
 
+/** The old all-pairs scorer, kept as the fuzz reference. */
+ClusterQuality
+referenceScore(const Clustering &clustering,
+               const std::vector<size_t> &truth)
+{
+    const auto &pred = clustering.clusterOf;
+    size_t same_pred = 0, same_truth = 0, same_both = 0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        for (size_t j = i + 1; j < pred.size(); ++j) {
+            bool p = pred[i] == pred[j];
+            bool t = truth[i] == truth[j];
+            same_pred += p;
+            same_truth += t;
+            same_both += p && t;
+        }
+    }
+    ClusterQuality q;
+    q.precision =
+        same_pred ? double(same_both) / double(same_pred) : 1.0;
+    q.recall =
+        same_truth ? double(same_both) / double(same_truth) : 1.0;
+    return q;
+}
+
+TEST(ScoreClusteringFuzz, MatchesAllPairsReference)
+{
+    // The sort-based contingency counter must agree with the O(n^2)
+    // pairwise loop exactly — same integer pair counts, so the
+    // resulting doubles are bit-equal, not merely close.
+    Rng rng(401);
+    for (int iter = 0; iter < fuzzIters(60); ++iter) {
+        size_t n = 1 + rng.nextBelow(120);
+        size_t pred_labels = 1 + rng.nextBelow(12);
+        size_t truth_labels = 1 + rng.nextBelow(12);
+        Clustering c;
+        std::vector<size_t> truth(n);
+        c.clusterOf.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            c.clusterOf[i] = rng.nextBelow(pred_labels);
+            truth[i] = rng.nextBelow(truth_labels);
+        }
+        ClusterQuality fast = scoreClustering(c, truth);
+        ClusterQuality slow = referenceScore(c, truth);
+        EXPECT_DOUBLE_EQ(fast.precision, slow.precision)
+            << "iter " << iter;
+        EXPECT_DOUBLE_EQ(fast.recall, slow.recall) << "iter " << iter;
+    }
+}
+
 TEST(ScoreClustering, PerfectAndDegenerate)
 {
     Clustering perfect;

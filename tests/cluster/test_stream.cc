@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include "channel/ids_channel.hh"
+#include "cluster/clusterer.hh"
+#include "cluster/gram_index.hh"
+#include "cluster/greedy.hh"
+#include "cluster/stream.hh"
+#include "fuzz_iters.hh"
+#include "util/byteio.hh"
+#include "util/rng.hh"
+
+namespace dnastore {
+namespace {
+
+Strand
+randomStrand(size_t len, Rng &rng)
+{
+    Strand s(len);
+    for (auto &b : s)
+        b = baseFromBits(unsigned(rng.nextBelow(4)));
+    return s;
+}
+
+/** A noisy interleaved soup with enough reads to shard. */
+std::vector<Strand>
+makeSoup(size_t n_strands, size_t copies, double error, uint64_t seed)
+{
+    Rng rng(seed);
+    IdsChannel channel(ErrorModel::uniform(error));
+    std::vector<Strand> originals;
+    for (size_t s = 0; s < n_strands; ++s)
+        originals.push_back(randomStrand(100 + rng.nextBelow(30), rng));
+    std::vector<Strand> reads;
+    for (size_t c = 0; c < copies; ++c)
+        for (size_t s = 0; s < n_strands; ++s)
+            reads.push_back(channel.transmit(originals[s], rng));
+    return reads;
+}
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/dnastream-test-XXXXXX";
+    const char *dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir ? dir : "/tmp";
+}
+
+size_t
+entryCount(const std::string &dir)
+{
+    DIR *d = opendir(dir.c_str());
+    if (d == nullptr)
+        return size_t(-1);
+    size_t n = 0;
+    while (struct dirent *e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name != "." && name != "..")
+            ++n;
+    }
+    closedir(d);
+    return n;
+}
+
+TEST(StreamingCluster, BitIdenticalToInMemoryAcrossBudgetsAndThreads)
+{
+    // The streaming engine's whole contract: for every memory budget
+    // (spilling or not), thread count, and shard schedule, the
+    // clustering is byte-identical to the in-memory path.
+    auto reads = makeSoup(60, 8, 0.07, 301);
+
+    for (size_t shards : { size_t(0), size_t(5), size_t(13) }) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        ClusterParams in_memory;
+        in_memory.numShards = shards;
+        Clustering base = clusterReads(reads, in_memory);
+
+        for (size_t budget : { size_t(1) << 30, size_t(4096) }) {
+            for (size_t threads : { size_t(1), size_t(4),
+                                    size_t(8) }) {
+                SCOPED_TRACE("budget " + std::to_string(budget) +
+                             " threads " + std::to_string(threads));
+                ClusterParams streaming = in_memory;
+                streaming.memoryBudgetBytes = budget;
+                streaming.numThreads = threads;
+                // Through the public entry point: a budget routes
+                // clusterReads into the streaming engine.
+                Clustering got = clusterReads(reads, streaming);
+                EXPECT_EQ(got.clusterOf, base.clusterOf);
+                EXPECT_EQ(got.members, base.members);
+            }
+        }
+    }
+}
+
+TEST(StreamingCluster, FuzzAgainstInMemory)
+{
+    // Randomized soups and parameters; every streaming run must
+    // reproduce the in-memory clustering exactly.
+    Rng rng(302);
+    for (int iter = 0; iter < fuzzIters(12); ++iter) {
+        auto reads = makeSoup(10 + rng.nextBelow(30),
+                              2 + rng.nextBelow(6),
+                              0.02 + 0.01 * double(rng.nextBelow(8)),
+                              400 + uint64_t(iter));
+        ClusterParams params;
+        params.numShards = rng.nextBelow(9);
+        Clustering base = clusterReads(reads, params);
+
+        ClusterParams streaming = params;
+        streaming.memoryBudgetBytes = 1 + rng.nextBelow(32768);
+        streaming.numThreads = 1 + rng.nextBelow(8);
+        Clustering got = clusterReads(reads, streaming);
+        EXPECT_EQ(got.clusterOf, base.clusterOf) << "iter " << iter;
+        EXPECT_EQ(got.members, base.members) << "iter " << iter;
+    }
+}
+
+TEST(StreamingCluster, SpillsUnderTinyBudgetAndCleansUp)
+{
+    auto reads = makeSoup(40, 6, 0.05, 303);
+    std::string dir = makeTempDir();
+
+    {
+        ClusterParams params;
+        params.memoryBudgetBytes = 4096;
+        params.spillDir = dir;
+        StreamingClusterer engine(params);
+        for (const auto &r : reads)
+            engine.add(r);
+        Clustering got = engine.finish();
+        EXPECT_EQ(got.clusterOf.size(), reads.size());
+
+        const StreamStats &stats = engine.stats();
+        EXPECT_EQ(stats.reads, reads.size());
+        EXPECT_GT(stats.spilledBytes, 0u);
+        EXPECT_GT(stats.spillChunks, 0u);
+        EXPECT_GE(stats.shards, 1u);
+        uint64_t bases = stats.baseCounts[0] + stats.baseCounts[1] +
+            stats.baseCounts[2] + stats.baseCounts[3];
+        uint64_t expected = 0;
+        for (const auto &r : reads)
+            expected += r.size();
+        EXPECT_EQ(bases, expected);
+        EXPECT_GE(stats.gcFraction(), 0.0);
+        EXPECT_LE(stats.gcFraction(), 1.0);
+    }
+    // Every spill segment is removed when the engine dies.
+    EXPECT_EQ(entryCount(dir), 0u);
+    rmdir(dir.c_str());
+}
+
+TEST(StreamingCluster, GenerousBudgetNeverTouchesDisk)
+{
+    auto reads = makeSoup(20, 4, 0.05, 304);
+    ClusterParams params;
+    params.memoryBudgetBytes = size_t(1) << 30;
+    params.spillDir = "/nonexistent/never-consulted";
+    StreamingClusterer engine(params);
+    for (const auto &r : reads)
+        engine.add(r);
+    engine.finish();
+    EXPECT_EQ(engine.stats().spilledBytes, 0u);
+    EXPECT_EQ(engine.stats().spillChunks, 0u);
+    EXPECT_GT(engine.stats().peakBufferBytes, 0u);
+}
+
+TEST(StreamingCluster, UnwritableSpillDirIsACleanError)
+{
+    ClusterParams params;
+    params.memoryBudgetBytes = 1; // spill on the first read
+    params.spillDir = "/nonexistent-dnastore-dir/spill";
+    StreamingClusterer engine(params);
+    Rng rng(305);
+    Strand read = randomStrand(120, rng);
+    EXPECT_THROW(engine.add(read), SpillError);
+}
+
+TEST(StreamingCluster, LifecycleMisuseThrows)
+{
+    StreamingClusterer engine(ClusterParams{});
+    Rng rng(306);
+    Strand read = randomStrand(50, rng);
+    engine.add(read);
+    engine.finish();
+    EXPECT_THROW(engine.add(read), std::logic_error);
+    EXPECT_THROW(engine.finish(), std::logic_error);
+}
+
+TEST(StreamingCluster, EmptyInput)
+{
+    StreamingClusterer engine(ClusterParams{});
+    Clustering got = engine.finish();
+    EXPECT_EQ(got.count(), 0u);
+    EXPECT_TRUE(got.clusterOf.empty());
+}
+
+// ---------------------------------------------------------------------
+// Spill chunk integrity: corruption must always surface as SpillError,
+// never as a silently different record stream.
+
+std::vector<uint8_t>
+sampleChunkBytes()
+{
+    ByteWriter payload;
+    Rng rng(307);
+    for (uint64_t id = 0; id < 5; ++id) {
+        size_t len = 40 + rng.nextBelow(60);
+        payload.u64(id);
+        payload.u64(rng.next());
+        payload.u32(uint32_t(len));
+        for (size_t w = 0; w < packedWordCount(len); ++w)
+            payload.u64(rng.next());
+    }
+    std::vector<uint8_t> chunk;
+    std::vector<uint8_t> raw = payload.take();
+    cluster_detail::appendSpillChunk(chunk, raw.data(), raw.size());
+    return chunk;
+}
+
+size_t
+countRecords(const std::vector<uint8_t> &bytes)
+{
+    size_t records = 0;
+    cluster_detail::parseSpillChunks(
+        bytes.data(), bytes.size(),
+        [&](uint64_t, uint64_t, size_t, const uint64_t *) {
+            ++records;
+        });
+    return records;
+}
+
+TEST(SpillChunks, RoundTripParsesEveryRecord)
+{
+    EXPECT_EQ(countRecords(sampleChunkBytes()), 5u);
+}
+
+TEST(SpillChunks, EveryByteFlipIsDetected)
+{
+    // Flip every bit of every byte — header, CRC, and payload alike.
+    // Magic/length flips fail framing; everything else fails the CRC.
+    const std::vector<uint8_t> clean = sampleChunkBytes();
+    for (size_t i = 0; i < clean.size(); ++i) {
+        for (uint8_t bit : { uint8_t(0x01), uint8_t(0x80) }) {
+            std::vector<uint8_t> corrupt = clean;
+            corrupt[i] ^= bit;
+            EXPECT_THROW(countRecords(corrupt), SpillError)
+                << "byte " << i << " bit " << int(bit);
+        }
+    }
+}
+
+TEST(SpillChunks, EveryTruncationIsDetected)
+{
+    const std::vector<uint8_t> clean = sampleChunkBytes();
+    // The empty prefix is a valid zero-chunk stream ...
+    EXPECT_EQ(countRecords({}), 0u);
+    // ... every other strict prefix must fail loudly.
+    for (size_t n = 1; n < clean.size(); ++n) {
+        std::vector<uint8_t> prefix(clean.begin(),
+                                    clean.begin() + long(n));
+        EXPECT_THROW(countRecords(prefix), SpillError) << "len " << n;
+    }
+}
+
+TEST(SpillChunks, TrailingGarbageIsDetected)
+{
+    std::vector<uint8_t> bytes = sampleChunkBytes();
+    bytes.push_back(0x5a);
+    EXPECT_THROW(countRecords(bytes), SpillError);
+}
+
+// ---------------------------------------------------------------------
+// Sketch calibration: the Bloom pre-filter must never produce false
+// negatives, and its measured false-positive rate must track the
+// analytic estimate.
+
+TEST(GramSketch, NoFalseNegativesAndCalibratedFpr)
+{
+    GramSketch sketch;
+    sketch.reset(16); // 65536 bits
+    const size_t keys = 4096;
+    Rng rng(308);
+    std::vector<uint32_t> inserted;
+    for (size_t i = 0; i < keys; ++i) {
+        uint32_t fp = GramIndex::fingerprint(rng.next());
+        sketch.insert(fp);
+        inserted.push_back(fp);
+    }
+    for (uint32_t fp : inserted)
+        EXPECT_TRUE(sketch.mayContain(fp));
+
+    const double estimate = sketch.estimatedFpr(keys);
+    EXPECT_GT(estimate, 0.0);
+    EXPECT_LT(estimate, 0.05);
+
+    size_t false_positives = 0;
+    const size_t probes = 200000;
+    for (size_t i = 0; i < probes; ++i) {
+        // Disjoint key space: probe values the insert loop (which
+        // drew full-width fingerprints) can collide with only by
+        // fingerprint accident, which the tolerance absorbs.
+        uint32_t fp = GramIndex::fingerprint(
+            (uint64_t(1) << 40) + i * 2654435761u);
+        if (sketch.mayContain(fp))
+            ++false_positives;
+    }
+    double measured = double(false_positives) / double(probes);
+    EXPECT_LT(measured, estimate * 2.5)
+        << "measured " << measured << " estimate " << estimate;
+}
+
+TEST(GramSketch, AutoSizingTargetsEightBitsPerKey)
+{
+    for (size_t keys : { size_t(1), size_t(100), size_t(5000),
+                         size_t(1000000) }) {
+        size_t log2bits = GramSketch::autoLog2Bits(keys);
+        EXPECT_GE(log2bits, 10u);
+        EXPECT_LE(log2bits, 36u);
+        EXPECT_GE(size_t(1) << log2bits, keys * 8)
+            << "keys " << keys;
+    }
+    GramSketch sketch;
+    EXPECT_THROW(sketch.reset(9), std::invalid_argument);
+    EXPECT_THROW(sketch.reset(37), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Shard resolution: content-only sizing at ~512 reads per shard, no
+// ceiling, explicit counts honored.
+
+TEST(ResolveShardCount, UncappedContentOnlySizing)
+{
+    ClusterParams params; // numShards = 0 (auto)
+    using cluster_detail::resolveShardCount;
+    EXPECT_EQ(resolveShardCount(params, 0), 1u);
+    EXPECT_EQ(resolveShardCount(params, 2047), 1u);
+    EXPECT_EQ(resolveShardCount(params, 2048), 4u);
+    EXPECT_EQ(resolveShardCount(params, 10000), 19u);
+    EXPECT_EQ(resolveShardCount(params, 32768), 64u);
+    // The old 64-shard ceiling is gone: big soups keep ~512
+    // reads/shard instead of serializing into giant greedy passes.
+    EXPECT_EQ(resolveShardCount(params, 100000), 195u);
+    EXPECT_EQ(resolveShardCount(params, 10000000), 19531u);
+
+    params.numShards = 7;
+    EXPECT_EQ(resolveShardCount(params, 100), 7u);
+    EXPECT_EQ(resolveShardCount(params, 3), 3u);
+    EXPECT_EQ(resolveShardCount(params, 0), 1u);
+}
+
+} // namespace
+} // namespace dnastore

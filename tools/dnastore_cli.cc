@@ -116,6 +116,9 @@ struct CliOptions
     bool cluster = false;
     size_t clusterQgram = 6;
     double clusterMaxDist = 0.25;
+    size_t clusterMemoryMb = 0;
+    size_t clusterSketchBits = 0;
+    std::string clusterSpillDir;
     bool clusterKnobsSet = false;
     // pack/unpack/--from-pool
     std::string fromPool; // empty = none
@@ -260,6 +263,17 @@ parseArgs(int argc, char **argv, int first)
             opt.clusterMaxDist = std::strtod(
                 next("--cluster-maxdist").c_str(), nullptr);
             opt.clusterKnobsSet = true;
+        } else if (arg == "--cluster-memory-mb") {
+            opt.clusterMemoryMb = std::strtoull(
+                next("--cluster-memory-mb").c_str(), nullptr, 10);
+            opt.clusterKnobsSet = true;
+        } else if (arg == "--cluster-sketch-bits") {
+            opt.clusterSketchBits = std::strtoull(
+                next("--cluster-sketch-bits").c_str(), nullptr, 10);
+            opt.clusterKnobsSet = true;
+        } else if (arg == "--cluster-spill-dir") {
+            opt.clusterSpillDir = next("--cluster-spill-dir");
+            opt.clusterKnobsSet = true;
         } else if (arg == "--age") {
             opt.ageEpochs = std::strtoull(next("--age").c_str(),
                                           nullptr, 10);
@@ -322,7 +336,10 @@ clusterOptionsFor(const CliOptions &opt)
     api::ClusterOptions cluster;
     cluster.qgram(opt.clusterQgram)
         .maxDistanceFrac(opt.clusterMaxDist)
-        .threads(opt.threads);
+        .threads(opt.threads)
+        .memoryBudgetMb(opt.clusterMemoryMb)
+        .sketchBits(opt.clusterSketchBits)
+        .spillDir(opt.clusterSpillDir);
     return cluster;
 }
 
@@ -864,10 +881,15 @@ usage()
         "                [--gamma-mean M --gamma-shape K]\n"
         "                [--cluster] [--cluster-qgram Q] "
         "[--cluster-maxdist F]\n"
+        "                [--cluster-memory-mb N] "
+        "[--cluster-sketch-bits B] [--cluster-spill-dir D]\n"
         "    (--threads 0 uses all hardware threads; --packed-pools\n"
         "     stores reads 2-bit packed; --cluster regroups reads\n"
         "     with the real clusterer before decoding; results are\n"
-        "     identical for every thread count and storage mode)\n"
+        "     identical for every thread count and storage mode;\n"
+        "     --cluster-memory-mb bounds read buffering through the\n"
+        "     streaming engine, spilling past the budget to the\n"
+        "     checksummed segments under --cluster-spill-dir)\n"
         "  dnastore sweep [--scenario NAME|all] [--trials N] "
         "[--threads T] [--seed S]\n"
         "                [--json FILE] [--csv FILE] [--timing] "
