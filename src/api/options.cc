@@ -1,5 +1,6 @@
 #include "api/options.hh"
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 
@@ -227,7 +228,19 @@ ChannelOptions::validate() const
             "a channel profile cannot be combined with "
             "error-rate/ins-rate/del-rate/sub-rate (set the profile's "
             "base model instead)");
+    // Non-finite gates come first: every ordered comparison below is
+    // false for NaN, so without them NaN rates/means sail through
+    // validation and poison the channel maths downstream.
     if (ratesSet_) {
+        if (!std::isfinite(insRate_))
+            return Status::invalidArgument(formatMessage(
+                "ins-rate must be finite (got %g)", insRate_));
+        if (!std::isfinite(delRate_))
+            return Status::invalidArgument(formatMessage(
+                "del-rate must be finite (got %g)", delRate_));
+        if (!std::isfinite(subRate_))
+            return Status::invalidArgument(formatMessage(
+                "sub-rate must be finite (got %g)", subRate_));
         if (insRate_ < 0.0)
             return Status::invalidArgument(formatMessage(
                 "ins-rate must be >= 0 (got %g)", insRate_));
@@ -237,12 +250,23 @@ ChannelOptions::validate() const
         if (subRate_ < 0.0)
             return Status::invalidArgument(formatMessage(
                 "sub-rate must be >= 0 (got %g)", subRate_));
-    } else if (!profileSet_ && (errorRate_ < 0.0 || errorRate_ > 1.0)) {
-        return Status::invalidArgument(formatMessage(
-            "error-rate must be in [0, 1] (got %g)", errorRate_));
+    } else if (!profileSet_) {
+        if (!std::isfinite(errorRate_))
+            return Status::invalidArgument(formatMessage(
+                "error-rate must be finite (got %g)", errorRate_));
+        if (errorRate_ < 0.0 || errorRate_ > 1.0)
+            return Status::invalidArgument(formatMessage(
+                "error-rate must be in [0, 1] (got %g)", errorRate_));
     }
 
     const ChannelProfile resolved = channelProfile();
+    if (!std::isfinite(resolved.base.insertion) ||
+        !std::isfinite(resolved.base.deletion) ||
+        !std::isfinite(resolved.base.substitution))
+        return Status::invalidArgument(formatMessage(
+            "error rates must be finite (ins=%g del=%g sub=%g)",
+            resolved.base.insertion, resolved.base.deletion,
+            resolved.base.substitution));
     if (!resolved.base.valid())
         return Status::invalidArgument(formatMessage(
             "invalid error rates (ins=%g del=%g sub=%g): each must be "
@@ -261,6 +285,13 @@ ChannelOptions::validate() const
         return Status::invalidArgument(
             "invalid dropout profile (rate outside [0,1] or "
             "burstLen == 0)");
+    if (!std::isfinite(resolved.aging.strandLossRate) ||
+        !std::isfinite(resolved.aging.substitutionRate))
+        return Status::invalidArgument(formatMessage(
+            "aging rates must be finite (strand-loss %g / "
+            "substitution %g)",
+            resolved.aging.strandLossRate,
+            resolved.aging.substitutionRate));
     if (!resolved.aging.valid())
         return Status::invalidArgument(formatMessage(
             "invalid aging profile (strand-loss %g / substitution %g "
@@ -273,6 +304,12 @@ ChannelOptions::validate() const
         return Status::invalidArgument("coverage must be >= 1");
     const bool gamma = gammaMean_ != 0.0 || gammaShape_ != 0.0;
     if (gamma) {
+        if (!std::isfinite(gammaMean_))
+            return Status::invalidArgument(formatMessage(
+                "gamma-mean must be finite (got %g)", gammaMean_));
+        if (!std::isfinite(gammaShape_))
+            return Status::invalidArgument(formatMessage(
+                "gamma-shape must be finite (got %g)", gammaShape_));
         if (gammaShape_ <= 0.0)
             return Status::invalidArgument(formatMessage(
                 "gamma-shape must be > 0 (got %g)", gammaShape_));
@@ -412,6 +449,10 @@ ClusterOptions::validate() const
     if (params_.signatureSize < 1)
         return Status::invalidArgument(
             "cluster signatureSize must be >= 1");
+    if (!std::isfinite(params_.maxDistanceFrac))
+        return Status::invalidArgument(formatMessage(
+            "cluster-maxdist must be finite (got %g)",
+            params_.maxDistanceFrac));
     if (!(params_.maxDistanceFrac > 0.0) || params_.maxDistanceFrac > 1.0)
         return Status::invalidArgument(formatMessage(
             "cluster-maxdist must be in (0, 1] (got %g)",

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -86,6 +87,22 @@ mapHealth(const UnitHealth &health)
         out.perCodeword.push_back({ cw.ok, cw.errorsCorrected,
                                     cw.erasuresCorrected, cw.margin });
     return out;
+}
+
+/**
+ * ScrubOptions is a plain struct (no builder), so the non-finite gate
+ * lives at the two consumption points: a NaN minAgreement would make
+ * every `agreement < minAgreement` comparison false and silently turn
+ * the policy into a no-op.
+ */
+Status
+checkScrubOptions(const ScrubOptions &options)
+{
+    if (!std::isfinite(options.minAgreement))
+        return Status::invalidArgument(formatMessage(
+            "scrub min-agreement must be finite (got %g)",
+            options.minAgreement));
+    return Status();
 }
 
 ScrubPolicy
@@ -664,6 +681,8 @@ Store::scrub(const ScrubOptions &options)
         return Status::failedPrecondition(
             "the store was opened read-only; scrub() is not "
             "available");
+    if (Status bad = checkScrubOptions(options); !bad.ok())
+        return bad;
     Status status = rep_->ensureSynthesized();
     if (!status.ok())
         return status;
@@ -964,6 +983,8 @@ Store::submit(const ScrubJob &job)
     if (rep_->readOnly)
         return readyFuture<ScrubReport>(Status::failedPrecondition(
             "the store was opened read-only; scrub is not available"));
+    if (Status bad = checkScrubOptions(job.options); !bad.ok())
+        return readyFuture<ScrubReport>(std::move(bad));
     Status status = rep_->ensureSynthesized();
     if (!status.ok())
         return readyFuture<ScrubReport>(std::move(status));

@@ -1,0 +1,51 @@
+#include "api/wire.hh"
+
+namespace dnastore {
+namespace api {
+
+uint32_t
+statusCodeToWire(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:                 return 0;
+      case StatusCode::InvalidArgument:    return 1;
+      case StatusCode::NotFound:           return 2;
+      case StatusCode::AlreadyExists:      return 3;
+      case StatusCode::CapacityExceeded:   return 4;
+      case StatusCode::FailedPrecondition: return 5;
+      case StatusCode::DataLoss:           return 6;
+      case StatusCode::Unavailable:        return 7;
+      case StatusCode::Internal:           return 8;
+    }
+    return 8; // Unreachable; a corrupted enum reads as Internal.
+}
+
+StatusCode
+statusCodeFromWire(uint32_t wire, bool *known)
+{
+    if (known != nullptr)
+        *known = wire <= 8;
+    switch (wire) {
+      case 0: return StatusCode::Ok;
+      case 1: return StatusCode::InvalidArgument;
+      case 2: return StatusCode::NotFound;
+      case 3: return StatusCode::AlreadyExists;
+      case 4: return StatusCode::CapacityExceeded;
+      case 5: return StatusCode::FailedPrecondition;
+      case 6: return StatusCode::DataLoss;
+      case 7: return StatusCode::Unavailable;
+      default: return StatusCode::Internal;
+    }
+}
+
+Status
+statusFromWire(uint32_t wire, const std::string &message)
+{
+    StatusCode code = statusCodeFromWire(wire);
+    if (code == StatusCode::Ok)
+        return Status();
+    return Status(code, message);
+}
+
+} // namespace api
+} // namespace dnastore

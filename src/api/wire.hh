@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Stable wire encoding of the `api::Status` taxonomy.
+ *
+ * The `dnastored` daemon extends the façade's no-throw contract
+ * across a socket: every response frame carries one of these u32
+ * codes, so a remote caller can switch on the same taxonomy a local
+ * caller gets from Status::code(). The numeric values are a wire
+ * contract — pinned here, independent of the StatusCode enumerator
+ * order — and may never be renumbered, only appended to.
+ *
+ * Codes the local taxonomy maps onto the wire:
+ *
+ *   0  OK                   5  FAILED_PRECONDITION
+ *   1  INVALID_ARGUMENT     6  DATA_LOSS
+ *   2  NOT_FOUND            7  UNAVAILABLE
+ *   3  ALREADY_EXISTS       8  INTERNAL
+ *   4  CAPACITY_EXCEEDED
+ *
+ * An unknown incoming code (a future server's new status) decodes to
+ * StatusCode::Internal rather than failing the frame, so old clients
+ * degrade to "something went wrong over there" instead of a protocol
+ * error.
+ */
+
+#ifndef DNASTORE_API_WIRE_HH
+#define DNASTORE_API_WIRE_HH
+
+#include <cstdint>
+
+#include "api/status.hh"
+
+namespace dnastore {
+namespace api {
+
+/** The pinned wire value of @p code. */
+uint32_t statusCodeToWire(StatusCode code);
+
+/**
+ * The StatusCode a wire value names. Unknown values (a newer peer's
+ * codes) map to StatusCode::Internal; @p known — when non-null —
+ * reports whether the value was recognized.
+ */
+StatusCode statusCodeFromWire(uint32_t wire, bool *known = nullptr);
+
+/** Rebuild a Status from its wire code + message fields. */
+Status statusFromWire(uint32_t wire, const std::string &message);
+
+} // namespace api
+} // namespace dnastore
+
+#endif // DNASTORE_API_WIRE_HH

@@ -1,0 +1,62 @@
+#include "util/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace dnastore {
+
+bool
+parseU64(const std::string &text, uint64_t *out, std::string *err)
+{
+    auto fail = [&](const char *why) {
+        if (err != nullptr)
+            *err = why;
+        return false;
+    };
+    if (text.empty())
+        return fail("empty value");
+    if (text[0] == '-')
+        return fail("must be non-negative");
+    // strtoull itself skips whitespace and accepts '+', '0x', and
+    // locale oddities; requiring every character to be a decimal
+    // digit keeps the accepted language exactly [0-9]+.
+    for (char c : text)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return fail("not a decimal integer");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE)
+        return fail("out of range for a 64-bit value");
+    if (end != text.c_str() + text.size())
+        return fail("not a decimal integer");
+    *out = v;
+    return true;
+}
+
+bool
+parseF64(const std::string &text, double *out, std::string *err)
+{
+    auto fail = [&](const char *why) {
+        if (err != nullptr)
+            *err = why;
+        return false;
+    };
+    if (text.empty())
+        return fail("empty value");
+    if (std::isspace(static_cast<unsigned char>(text[0])))
+        return fail("not a number");
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || end == text.c_str())
+        return fail("not a number");
+    if (errno == ERANGE && std::isinf(v))
+        return fail("magnitude out of range for a double");
+    *out = v;
+    return true;
+}
+
+} // namespace dnastore

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Strict numeric parsing for untrusted text (CLI flags, wire fields).
+ *
+ * The bare `strtoull(s, nullptr, 10)` idiom accepts anything with a
+ * digit prefix — "4x" parses as 4, "foo" as 0, "-3" wraps to a huge
+ * unsigned — so a typo'd flag silently becomes a very different run.
+ * These helpers reject anything that is not the full, in-range
+ * decimal spelling of the value:
+ *
+ *  - empty strings and lone signs;
+ *  - leading whitespace and trailing junk ("4x", "1.5.2", "12 ");
+ *  - negative input to the unsigned parser (including "-0");
+ *  - out-of-range magnitudes (ERANGE in either direction for u64,
+ *    overflow to +/-inf for f64 — denormal underflow is accepted);
+ *  - "nan"/"inf" spellings in parseF64 are *syntactically* accepted
+ *    (the option builders reject non-finite values with their own
+ *    message), but the error string names them for callers that
+ *    want to refuse earlier.
+ *
+ * On failure: false is returned, *out is untouched, and *err (when
+ * non-null) holds a short reason without the offending text — the
+ * caller owns quoting it, so messages compose as
+ * "--seed: <reason> (got 'foo')".
+ */
+
+#ifndef DNASTORE_UTIL_PARSE_HH
+#define DNASTORE_UTIL_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dnastore {
+
+/** Strict unsigned decimal: digits only, full width, in range. */
+bool parseU64(const std::string &text, uint64_t *out,
+              std::string *err = nullptr);
+
+/** Strict floating point: full-width strtod parse, no overflow. */
+bool parseF64(const std::string &text, double *out,
+              std::string *err = nullptr);
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_PARSE_HH

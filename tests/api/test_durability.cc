@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
 
 #include "api/api.hh"
 
@@ -150,6 +151,31 @@ TEST(StoreScrub, HealthyPoolIsANoop)
     EXPECT_EQ(report->repaired, 0u);
     EXPECT_EQ(report->readsRewritten, 0u);
     EXPECT_GT(report->clustersScanned, 0u);
+}
+
+// ScrubOptions is a plain struct with no builder, so the non-finite
+// gate lives at the Store boundary: NaN min-agreement compares false
+// against every threshold and would silently scrub nothing.
+TEST(StoreScrub, RejectsNonFiniteMinAgreement)
+{
+    Store store = openPlain();
+    ASSERT_TRUE(store.put("a.bin", patternBytes(600, 9)).ok());
+
+    ScrubOptions policy;
+    policy.minAgreement = std::numeric_limits<double>::quiet_NaN();
+    Result<ScrubReport> report = store.scrub(policy);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(report.status().message().find("min-agreement"),
+              std::string::npos)
+        << report.status().message();
+
+    // The async job path rejects identically.
+    ScrubJob job;
+    job.options = policy;
+    Result<ScrubReport> async = store.submit(job).get();
+    ASSERT_FALSE(async.ok());
+    EXPECT_EQ(async.status().code(), StatusCode::InvalidArgument);
 }
 
 TEST(StoreScrub, RepairsAgedPoolBackToExact)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "api/options.hh"
 
 using namespace dnastore;
@@ -265,4 +267,72 @@ TEST(ClusterOptions, StreamingKnobs)
     // 0 MiB reverts to the in-memory path.
     opt.memoryBudgetMb(0);
     EXPECT_EQ(opt.params().memoryBudgetBytes, 0u);
+}
+
+// ------------------------------------------------ non-finite regressions
+// NaN passes every ordered comparison (NaN < 0 and NaN > 1 are both
+// false), so each double-valued knob needs an explicit finiteness
+// gate — a NaN error rate used to sail through validate() and poison
+// the channel model downstream.
+
+TEST(ChannelOptions, RejectsNonFiniteErrorRate)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    expectInvalid(ChannelOptions().errorRate(nan).validate(),
+                  "error-rate must be finite");
+    expectInvalid(ChannelOptions().errorRate(inf).validate(),
+                  "error-rate must be finite");
+    expectInvalid(ChannelOptions().errorRate(-inf).validate(),
+                  "error-rate must be finite");
+}
+
+TEST(ChannelOptions, RejectsNonFinitePerTypeRates)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    expectInvalid(ChannelOptions().rates(nan, 0.0, 0.0).validate(),
+                  "ins-rate must be finite");
+    expectInvalid(ChannelOptions().rates(0.0, nan, 0.0).validate(),
+                  "del-rate must be finite");
+    expectInvalid(ChannelOptions().rates(0.0, 0.0, nan).validate(),
+                  "sub-rate must be finite");
+    expectInvalid(ChannelOptions().rates(inf, 0.0, 0.0).validate(),
+                  "ins-rate must be finite");
+}
+
+TEST(ChannelOptions, RejectsNonFiniteGamma)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    expectInvalid(ChannelOptions().gammaCoverage(nan, 2.0).validate(),
+                  "gamma-mean must be finite");
+    expectInvalid(ChannelOptions().gammaCoverage(8.0, nan).validate(),
+                  "gamma-shape must be finite");
+    expectInvalid(ChannelOptions().gammaCoverage(inf, 2.0).validate(),
+                  "gamma-mean must be finite");
+}
+
+TEST(ChannelOptions, RejectsNonFiniteAgingRates)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    AgingProfile aging;
+    aging.strandLossRate = nan;
+    aging.substitutionRate = 0.01;
+    expectInvalid(ChannelOptions().aging(aging).validate(),
+                  "aging rates must be finite");
+    aging.strandLossRate = 0.1;
+    aging.substitutionRate = nan;
+    expectInvalid(ChannelOptions().aging(aging).validate(),
+                  "aging rates must be finite");
+}
+
+TEST(ClusterOptions, RejectsNonFiniteMaxDistance)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    expectInvalid(ClusterOptions().maxDistanceFrac(nan).validate(),
+                  "cluster-maxdist must be finite");
+    expectInvalid(ClusterOptions().maxDistanceFrac(inf).validate(),
+                  "cluster-maxdist must be finite");
 }

@@ -1,0 +1,119 @@
+/**
+ * Strict numeric parsing (util/parse.hh): the accepted language is
+ * exactly the full-width decimal spelling — the bare-strtoull idiom
+ * this replaced accepted "4x" as 4, "foo" as 0, and "-3" as a huge
+ * unsigned, so a typo'd CLI flag silently became a different run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/parse.hh"
+
+using namespace dnastore;
+
+TEST(ParseU64, AcceptsPlainDecimals)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(parseU64("0", &v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseU64("42", &v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parseU64("007", &v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_TRUE(parseU64("18446744073709551615", &v));
+    EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsJunkWithoutTouchingOut)
+{
+    uint64_t v = 1234;
+    std::string why;
+    EXPECT_FALSE(parseU64("", &v, &why));
+    EXPECT_FALSE(parseU64("foo", &v, &why));
+    EXPECT_FALSE(parseU64("4x", &v, &why));
+    EXPECT_FALSE(parseU64("1.5", &v, &why));
+    EXPECT_FALSE(parseU64(" 12", &v, &why));
+    EXPECT_FALSE(parseU64("12 ", &v, &why));
+    EXPECT_FALSE(parseU64("+12", &v, &why));
+    EXPECT_FALSE(parseU64("0x10", &v, &why));
+    EXPECT_EQ(v, 1234u) << "failure must not touch *out";
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(ParseU64, RejectsNegatives)
+{
+    uint64_t v = 0;
+    std::string why;
+    EXPECT_FALSE(parseU64("-3", &v, &why));
+    EXPECT_NE(why.find("non-negative"), std::string::npos);
+    EXPECT_FALSE(parseU64("-0", &v, &why));
+    EXPECT_FALSE(parseU64("-", &v, &why));
+}
+
+TEST(ParseU64, RejectsOverflow)
+{
+    uint64_t v = 0;
+    std::string why;
+    // UINT64_MAX + 1.
+    EXPECT_FALSE(parseU64("18446744073709551616", &v, &why));
+    EXPECT_NE(why.find("out of range"), std::string::npos);
+    EXPECT_FALSE(parseU64("99999999999999999999999999", &v, &why));
+}
+
+TEST(ParseF64, AcceptsFullWidthNumbers)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseF64("0", &v));
+    EXPECT_EQ(v, 0.0);
+    EXPECT_TRUE(parseF64("0.05", &v));
+    EXPECT_DOUBLE_EQ(v, 0.05);
+    EXPECT_TRUE(parseF64("-1.5", &v));
+    EXPECT_DOUBLE_EQ(v, -1.5);
+    EXPECT_TRUE(parseF64("1e-3", &v));
+    EXPECT_DOUBLE_EQ(v, 1e-3);
+    EXPECT_TRUE(parseF64(".5", &v));
+    EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(ParseF64, RejectsJunkWithoutTouchingOut)
+{
+    double v = 7.5;
+    std::string why;
+    EXPECT_FALSE(parseF64("", &v, &why));
+    EXPECT_FALSE(parseF64("abc", &v, &why));
+    EXPECT_FALSE(parseF64("0.05abc", &v, &why));
+    EXPECT_FALSE(parseF64("1.5.2", &v, &why));
+    EXPECT_FALSE(parseF64(" 1.0", &v, &why));
+    EXPECT_FALSE(parseF64("1.0 ", &v, &why));
+    EXPECT_FALSE(parseF64(".", &v, &why));
+    EXPECT_DOUBLE_EQ(v, 7.5) << "failure must not touch *out";
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(ParseF64, RejectsOverflowAcceptsUnderflow)
+{
+    double v = 0.0;
+    std::string why;
+    EXPECT_FALSE(parseF64("1e999", &v, &why));
+    EXPECT_NE(why.find("out of range"), std::string::npos);
+    EXPECT_FALSE(parseF64("-1e999", &v, &why));
+    // Denormal underflow is a representable (tiny) value, not junk.
+    EXPECT_TRUE(parseF64("1e-999", &v));
+    EXPECT_GE(v, 0.0);
+}
+
+TEST(ParseF64, NanAndInfSpellingsParseButOptionsRejectThem)
+{
+    // Syntactically accepted (strtod's language); the option builders
+    // are the layer that refuses non-finite values with their own
+    // message (see ChannelOptions non-finite regressions).
+    double v = 0.0;
+    EXPECT_TRUE(parseF64("nan", &v));
+    EXPECT_TRUE(std::isnan(v));
+    EXPECT_TRUE(parseF64("inf", &v));
+    EXPECT_TRUE(std::isinf(v));
+}

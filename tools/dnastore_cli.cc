@@ -53,6 +53,18 @@
  *            produce byte-identical repaired files.
  *   simulate/sweep also accept --from-pool FILE to run against a
  *            previously packed store instead of fresh inputs.
+ *   serve    --root DIR [--port P] [--port-file FILE] [--quota BYTES]
+ *            Run `dnastored`: a concurrent multi-tenant storage
+ *            daemon on localhost TCP (daemon/server.hh). Each tenant
+ *            namespace is backed by its own `<root>/<tenant>.dnapool`
+ *            with an optional byte quota. SIGTERM/SIGINT drain
+ *            gracefully: in-flight requests finish, dirty pools save
+ *            atomically.
+ *   client   <op> [ARG] --connect PORT [--tenant T]
+ *            Talk to a running dnastored: ping, put, get, list,
+ *            health, scrub, trial, save. Statuses (and their
+ *            messages) cross the wire unchanged, so errors and exit
+ *            codes match the equivalent local subcommand.
  *   --version
  *            Print the library version and exit.
  *
@@ -71,7 +83,10 @@
  *      reliability bound)
  */
 
+#include <unistd.h>
+
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -80,9 +95,12 @@
 #include <vector>
 
 #include "api/api.hh"
+#include "daemon/client.hh"
+#include "daemon/server.hh"
 #include "lab/report.hh"
 #include "lab/scenario.hh"
 #include "lab/sweep.hh"
+#include "util/parse.hh"
 
 using namespace dnastore;
 
@@ -140,6 +158,14 @@ struct CliOptions
     std::string csvPath;    // empty = no CSV
     bool timing = false;
     bool list = false;
+    // serve/client (dnastored)
+    uint64_t port = 0;        // 0 = ephemeral
+    std::string root;         // serve: tenant pool directory
+    uint64_t quotaBytes = 0;  // 0 = no quota
+    std::string portFile;     // serve: write the bound port here
+    uint64_t connectPort = 0; // client: server port
+    std::string tenant = "default";
+    std::string objName;      // client put: override object name
     bool ok = true;
 };
 
@@ -179,6 +205,37 @@ parseArgs(int argc, char **argv, int first)
             }
             return argv[++i];
         };
+        // Strict numeric flag values (util/parse.hh): "--seed foo"
+        // and "--threads 4x" are hard usage errors naming the text,
+        // never a silent 0 or a silent truncation to 4.
+        auto nextU64 = [&](const char *flag, uint64_t *out) {
+            std::string raw = next(flag);
+            if (!opt.ok)
+                return;
+            std::string why;
+            if (!parseU64(raw, out, &why)) {
+                std::fprintf(stderr, "%s: %s (got '%s')\n", flag,
+                             why.c_str(), raw.c_str());
+                opt.ok = false;
+            }
+        };
+        auto nextSize = [&](const char *flag, size_t *out) {
+            uint64_t v = 0;
+            nextU64(flag, &v);
+            if (opt.ok)
+                *out = size_t(v);
+        };
+        auto nextF64 = [&](const char *flag, double *out) {
+            std::string raw = next(flag);
+            if (!opt.ok)
+                return;
+            std::string why;
+            if (!parseF64(raw, out, &why)) {
+                std::fprintf(stderr, "%s: %s (got '%s')\n", flag,
+                             why.c_str(), raw.c_str());
+                opt.ok = false;
+            }
+        };
         if (arg == "--out") {
             opt.out = next("--out");
             opt.outSet = true;
@@ -197,45 +254,36 @@ parseArgs(int argc, char **argv, int first)
                 opt.ok = false;
             }
         } else if (arg == "--error-rate") {
-            opt.errorRate = std::strtod(next("--error-rate").c_str(),
-                                        nullptr);
+            nextF64("--error-rate", &opt.errorRate);
             opt.errorRateSet = true;
         } else if (arg == "--ins-rate" || arg == "--del-rate" ||
                    arg == "--sub-rate") {
-            double rate = std::strtod(next(arg.c_str()).c_str(),
-                                      nullptr);
-            (arg == "--ins-rate"
-                 ? opt.insRate
-                 : arg == "--del-rate" ? opt.delRate : opt.subRate) =
-                rate;
+            double *rate = arg == "--ins-rate"
+                ? &opt.insRate
+                : arg == "--del-rate" ? &opt.delRate : &opt.subRate;
+            nextF64(arg.c_str(), rate);
             opt.ratesSet = true;
         } else if (arg == "--gamma-mean") {
-            opt.gammaMean = std::strtod(next("--gamma-mean").c_str(),
-                                        nullptr);
+            nextF64("--gamma-mean", &opt.gammaMean);
             opt.gammaSet = true;
         } else if (arg == "--gamma-shape") {
-            opt.gammaShape = std::strtod(next("--gamma-shape").c_str(),
-                                         nullptr);
+            nextF64("--gamma-shape", &opt.gammaShape);
             opt.gammaSet = true;
         } else if (arg == "--scenario") {
             opt.scenario = next("--scenario");
         } else if (arg == "--trials") {
-            std::string raw = next("--trials");
-            opt.trials = std::strtoull(raw.c_str(), nullptr, 10);
-            // strtoull wraps negatives to huge counts; bound the
-            // value so typos fail fast instead of running for days
-            // (10M trials is already a multi-hour soak).
+            nextSize("--trials", &opt.trials);
+            // Bound the count so typos fail fast instead of running
+            // for days (10M trials is already a multi-hour soak).
             const size_t max_trials = 10000000;
-            if (raw.find('-') != std::string::npos ||
-                opt.trials > max_trials) {
+            if (opt.ok && opt.trials > max_trials) {
                 std::fprintf(stderr,
-                             "--trials must be in [1, %zu] (got %s)\n",
-                             max_trials, raw.c_str());
+                             "--trials must be in [1, %zu] (got %zu)\n",
+                             max_trials, opt.trials);
                 opt.ok = false;
             }
         } else if (arg == "--seed") {
-            opt.seed = std::strtoull(next("--seed").c_str(),
-                                     nullptr, 10);
+            nextU64("--seed", &opt.seed);
         } else if (arg == "--json") {
             opt.jsonPath = next("--json");
         } else if (arg == "--csv") {
@@ -245,54 +293,71 @@ parseArgs(int argc, char **argv, int first)
         } else if (arg == "--list") {
             opt.list = true;
         } else if (arg == "--coverage") {
-            opt.coverage = std::strtoull(next("--coverage").c_str(),
-                                         nullptr, 10);
+            nextSize("--coverage", &opt.coverage);
             opt.coverageSet = true;
         } else if (arg == "--threads") {
-            opt.threads = std::strtoull(next("--threads").c_str(),
-                                        nullptr, 10);
+            nextSize("--threads", &opt.threads);
         } else if (arg == "--packed-pools") {
             opt.packedPools = true;
         } else if (arg == "--cluster") {
             opt.cluster = true;
         } else if (arg == "--cluster-qgram") {
-            opt.clusterQgram = std::strtoull(
-                next("--cluster-qgram").c_str(), nullptr, 10);
+            nextSize("--cluster-qgram", &opt.clusterQgram);
             opt.clusterKnobsSet = true;
         } else if (arg == "--cluster-maxdist") {
-            opt.clusterMaxDist = std::strtod(
-                next("--cluster-maxdist").c_str(), nullptr);
+            nextF64("--cluster-maxdist", &opt.clusterMaxDist);
             opt.clusterKnobsSet = true;
         } else if (arg == "--cluster-memory-mb") {
-            opt.clusterMemoryMb = std::strtoull(
-                next("--cluster-memory-mb").c_str(), nullptr, 10);
+            nextSize("--cluster-memory-mb", &opt.clusterMemoryMb);
             opt.clusterKnobsSet = true;
         } else if (arg == "--cluster-sketch-bits") {
-            opt.clusterSketchBits = std::strtoull(
-                next("--cluster-sketch-bits").c_str(), nullptr, 10);
+            nextSize("--cluster-sketch-bits", &opt.clusterSketchBits);
             opt.clusterKnobsSet = true;
         } else if (arg == "--cluster-spill-dir") {
             opt.clusterSpillDir = next("--cluster-spill-dir");
             opt.clusterKnobsSet = true;
         } else if (arg == "--age") {
-            opt.ageEpochs = std::strtoull(next("--age").c_str(),
-                                          nullptr, 10);
+            nextSize("--age", &opt.ageEpochs);
         } else if (arg == "--age-loss") {
-            opt.ageLoss = std::strtod(next("--age-loss").c_str(),
-                                      nullptr);
+            nextF64("--age-loss", &opt.ageLoss);
             opt.agingSet = true;
         } else if (arg == "--age-sub") {
-            opt.ageSub = std::strtod(next("--age-sub").c_str(),
-                                     nullptr);
+            nextF64("--age-sub", &opt.ageSub);
             opt.agingSet = true;
         } else if (arg == "--min-reads") {
-            opt.scrubMinReads = std::strtoull(
-                next("--min-reads").c_str(), nullptr, 10);
+            nextSize("--min-reads", &opt.scrubMinReads);
         } else if (arg == "--min-agreement") {
-            opt.scrubMinAgreement = std::strtod(
-                next("--min-agreement").c_str(), nullptr);
+            nextF64("--min-agreement", &opt.scrubMinAgreement);
         } else if (arg == "--repair-all") {
             opt.scrubRepairAll = true;
+        } else if (arg == "--port") {
+            nextU64("--port", &opt.port);
+            if (opt.ok && opt.port > 65535) {
+                std::fprintf(stderr,
+                             "--port must be in [0, 65535] (got %llu)\n",
+                             static_cast<unsigned long long>(opt.port));
+                opt.ok = false;
+            }
+        } else if (arg == "--root") {
+            opt.root = next("--root");
+        } else if (arg == "--quota") {
+            nextU64("--quota", &opt.quotaBytes);
+        } else if (arg == "--port-file") {
+            opt.portFile = next("--port-file");
+        } else if (arg == "--connect") {
+            nextU64("--connect", &opt.connectPort);
+            if (opt.ok &&
+                (opt.connectPort == 0 || opt.connectPort > 65535)) {
+                std::fprintf(
+                    stderr,
+                    "--connect must be in [1, 65535] (got %llu)\n",
+                    static_cast<unsigned long long>(opt.connectPort));
+                opt.ok = false;
+            }
+        } else if (arg == "--tenant") {
+            opt.tenant = next("--tenant");
+        } else if (arg == "--name") {
+            opt.objName = next("--name");
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             opt.ok = false;
@@ -865,6 +930,218 @@ cmdScrub(const CliOptions &opt)
     return kExitOk;
 }
 
+/** SIGTERM/SIGINT request graceful drain; the serve loop polls it. */
+volatile std::sig_atomic_t g_stopRequested = 0;
+
+void
+handleStopSignal(int)
+{
+    g_stopRequested = 1;
+}
+
+int
+cmdServe(const CliOptions &opt)
+{
+    if (!opt.inputs.empty()) {
+        std::fprintf(stderr, "serve takes no positional arguments\n");
+        return kExitUsage;
+    }
+    if (opt.root.empty()) {
+        std::fprintf(stderr,
+                     "serve needs --root DIR (tenant pool directory)\n");
+        return kExitUsage;
+    }
+    daemon::ServerOptions server_opt;
+    server_opt.port = uint16_t(opt.port);
+    server_opt.tenants.root = opt.root;
+    server_opt.tenants.quotaBytes = opt.quotaBytes;
+    server_opt.tenants.threads = opt.threads;
+    server_opt.tenants.packedReadPools = opt.packedPools;
+    if (opt.errorRateSet)
+        server_opt.tenants.errorRate = opt.errorRate;
+    if (opt.coverageSet)
+        server_opt.tenants.coverage = opt.coverage;
+    server_opt.tenants.unitSeed = opt.seed;
+
+    daemon::Server server(server_opt);
+    api::Status status = server.start();
+    if (!status.ok()) {
+        printStatus(status);
+        return kExitRuntime;
+    }
+    std::printf("listening on 127.0.0.1:%u\n", unsigned(server.port()));
+    std::fflush(stdout);
+    if (!opt.portFile.empty()) {
+        // tmp + rename so a reader never sees a half-written port.
+        const std::string tmp = opt.portFile + ".tmp";
+        std::ofstream f(tmp);
+        f << server.port() << "\n";
+        f.close();
+        if (!f || std::rename(tmp.c_str(), opt.portFile.c_str()) != 0) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.portFile.c_str());
+            server.drain();
+            return kExitRuntime;
+        }
+    }
+
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+    while (g_stopRequested == 0)
+        ::usleep(100 * 1000);
+
+    std::fprintf(stderr, "draining: finishing in-flight requests and "
+                         "saving dirty pools\n");
+    api::Status drained = server.drain();
+    if (!drained.ok()) {
+        printStatus(drained);
+        return kExitRuntime;
+    }
+    std::fprintf(stderr, "drained cleanly (%llu requests served)\n",
+                 static_cast<unsigned long long>(
+                     server.requestsServed()));
+    return kExitOk;
+}
+
+int
+cmdClient(const CliOptions &opt)
+{
+    if (opt.inputs.empty()) {
+        std::fprintf(stderr,
+                     "client needs an operation: ping | put | get | "
+                     "list | health | scrub | trial | save\n");
+        return kExitUsage;
+    }
+    if (opt.connectPort == 0) {
+        std::fprintf(stderr, "client needs --connect PORT\n");
+        return kExitUsage;
+    }
+    daemon::Client client;
+    api::Status status = client.connect(uint16_t(opt.connectPort));
+    if (!status.ok()) {
+        printStatus(status);
+        return kExitRuntime;
+    }
+    const std::string &op = opt.inputs[0];
+    if (op == "ping") {
+        status = client.ping();
+        if (!status.ok()) {
+            printStatus(status);
+            return statusExit(status);
+        }
+        std::printf("pong\n");
+        return kExitOk;
+    }
+    if (op == "put") {
+        if (opt.inputs.size() != 2) {
+            std::fprintf(stderr, "client put needs one file\n");
+            return kExitUsage;
+        }
+        bool read_ok = true;
+        std::vector<uint8_t> data = readFile(opt.inputs[1], &read_ok);
+        if (!read_ok)
+            return kExitRuntime;
+        const std::string name = opt.objName.empty()
+            ? baseName(opt.inputs[1])
+            : opt.objName;
+        const size_t bytes = data.size();
+        status = client.put(opt.tenant, name, data);
+        if (!status.ok()) {
+            printStatus(status);
+            return statusExit(status);
+        }
+        std::printf("stored %s (%zu bytes) in tenant %s\n",
+                    name.c_str(), bytes, opt.tenant.c_str());
+        return kExitOk;
+    }
+    if (op == "get") {
+        if (opt.inputs.size() != 2) {
+            std::fprintf(stderr, "client get needs one object name\n");
+            return kExitUsage;
+        }
+        api::Result<std::vector<uint8_t>> data =
+            client.get(opt.tenant, opt.inputs[1]);
+        if (!data.ok()) {
+            printStatus(data.status());
+            return statusExit(data.status());
+        }
+        if (opt.outSet) {
+            std::ofstream out(opt.out, std::ios::binary);
+            out.write(reinterpret_cast<const char *>(data->data()),
+                      std::streamsize(data->size()));
+            out.flush();
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             opt.out.c_str());
+                return kExitRuntime;
+            }
+            std::fprintf(stderr, "wrote %s (%zu bytes)\n",
+                         opt.out.c_str(), data->size());
+        } else {
+            std::fwrite(data->data(), 1, data->size(), stdout);
+        }
+        return kExitOk;
+    }
+    if (op == "list") {
+        api::Result<std::vector<api::ObjectInfo>> listing =
+            client.list(opt.tenant);
+        if (!listing.ok()) {
+            printStatus(listing.status());
+            return statusExit(listing.status());
+        }
+        for (const api::ObjectInfo &info : *listing)
+            std::printf("%s\t%zu\n", info.name.c_str(), info.bytes);
+        return kExitOk;
+    }
+    if (op == "health") {
+        api::Result<std::string> json = client.health(opt.tenant);
+        if (!json.ok()) {
+            printStatus(json.status());
+            return statusExit(json.status());
+        }
+        return emitJson(*json, opt.jsonPath);
+    }
+    if (op == "scrub") {
+        api::ScrubOptions scrub_opt;
+        scrub_opt.minReads = opt.scrubMinReads;
+        scrub_opt.minAgreement = opt.scrubMinAgreement;
+        scrub_opt.repairAll = opt.scrubRepairAll;
+        api::Result<std::string> json =
+            client.scrub(opt.tenant, scrub_opt);
+        if (!json.ok()) {
+            printStatus(json.status());
+            return statusExit(json.status());
+        }
+        return emitJson(*json, opt.jsonPath);
+    }
+    if (op == "trial") {
+        api::Result<std::vector<uint8_t>> flags = client.trial(
+            opt.tenant, uint32_t(opt.trials), opt.seed);
+        if (!flags.ok()) {
+            printStatus(flags.status());
+            return statusExit(flags.status());
+        }
+        size_t successes = 0;
+        for (uint8_t f : *flags)
+            successes += f != 0 ? 1 : 0;
+        std::printf("%zu/%zu trials exact\n", successes,
+                    flags->size());
+        return successes == flags->size() ? kExitOk : kExitThreshold;
+    }
+    if (op == "save") {
+        status = client.save(opt.tenant);
+        if (!status.ok()) {
+            printStatus(status);
+            return statusExit(status);
+        }
+        std::printf("saved tenant %s\n", opt.tenant.c_str());
+        return kExitOk;
+    }
+    std::fprintf(stderr, "unknown client operation '%s'\n",
+                 op.c_str());
+    return kExitUsage;
+}
+
 void
 usage()
 {
@@ -934,6 +1211,24 @@ usage()
         "     epochs of decay with per-epoch strand-loss/substitution\n"
         "     rates, so one invocation exercises the full\n"
         "     age-then-repair cycle)\n"
+        "  dnastore serve --root DIR [--port P] [--port-file FILE]\n"
+        "                [--quota BYTES] [--threads T] "
+        "[--packed-pools]\n"
+        "                [--error-rate P] [--coverage N] [--seed S]\n"
+        "    (run dnastored: a concurrent multi-tenant storage\n"
+        "     daemon on 127.0.0.1; each tenant is its own\n"
+        "     <root>/<tenant>.dnapool with an optional byte quota;\n"
+        "     --port 0 picks an ephemeral port, printed on stdout\n"
+        "     and written to --port-file; SIGTERM/SIGINT drain:\n"
+        "     in-flight requests finish and dirty pools are saved\n"
+        "     atomically before exit)\n"
+        "  dnastore client <op> [ARG] --connect PORT "
+        "[--tenant T] [flags]\n"
+        "    ops: ping | put FILE [--name N] | get NAME [--out F]\n"
+        "         | list | health [--json F] | scrub [scrub flags]\n"
+        "         | trial [--trials N --seed S] | save\n"
+        "    (talk to a running dnastored; statuses cross the wire\n"
+        "     unchanged, so exit codes match the local subcommands)\n"
         "  dnastore --version\n"
         "\n"
         "exit codes:\n"
@@ -982,6 +1277,10 @@ main(int argc, char **argv)
             return cmdHealth(opt);
         if (cmd == "scrub")
             return cmdScrub(opt);
+        if (cmd == "serve")
+            return cmdServe(opt);
+        if (cmd == "client")
+            return cmdClient(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return kExitRuntime;
