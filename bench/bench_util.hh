@@ -16,15 +16,29 @@
 #include <cstring>
 #include <string>
 
+#include "util/parse.hh"
+
 namespace dnastore::bench {
 
-/** Parse `--name value` integer flags from argv, with a default. */
+/**
+ * Parse `--name value` integer flags from argv, with a default.
+ * Non-numeric values are a hard usage error: a bare strtoull would
+ * read "--trials 1O0" as 1 and silently bench the wrong workload.
+ */
 inline size_t
 flagValue(int argc, char **argv, const char *name, size_t def)
 {
     for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], name) == 0)
-            return size_t(std::strtoull(argv[i + 1], nullptr, 10));
+        if (std::strcmp(argv[i], name) == 0) {
+            uint64_t value = 0;
+            std::string err;
+            if (!parseU64(argv[i + 1], &value, &err)) {
+                std::fprintf(stderr, "%s: %s (got '%s')\n", name,
+                             err.c_str(), argv[i + 1]);
+                std::exit(2);
+            }
+            return size_t(value);
+        }
     }
     return def;
 }
@@ -40,8 +54,11 @@ inline size_t
 threadsFlag(int argc, char **argv)
 {
     size_t def = 0;
-    if (const char *env = std::getenv("DNASTORE_THREADS"))
-        def = size_t(std::strtoull(env, nullptr, 10));
+    if (const char *env = std::getenv("DNASTORE_THREADS")) {
+        uint64_t value = 0;
+        if (parseU64(env, &value))
+            def = size_t(value);
+    }
     return flagValue(argc, argv, "--threads", def);
 }
 

@@ -25,6 +25,7 @@
 #include "api/api.hh"
 #include "daemon/client.hh"
 #include "daemon/server.hh"
+#include "util/parse.hh"
 
 using namespace dnastore;
 using namespace dnastore::daemon;
@@ -106,14 +107,18 @@ opHealth(Client &client, int c)
 int
 main(int argc, char **argv)
 {
-    const int clients = argc > 1 ? std::atoi(argv[1]) : 8;
-    const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
-    if (clients < 1 || seconds <= 0) {
+    uint64_t clientsArg = 8;
+    double seconds = 2.0;
+    const bool argsOk =
+        (argc <= 1 || parseU64(argv[1], &clientsArg)) &&
+        (argc <= 2 || parseF64(argv[2], &seconds));
+    if (!argsOk || clientsArg < 1 || seconds <= 0) {
         std::fprintf(stderr,
                      "usage: %s [clients >= 1] [seconds > 0]\n",
                      argv[0]);
         return 2;
     }
+    const int clients = int(clientsArg);
 
     char rootTemplate[] = "/tmp/dnastored_bench_XXXXXX";
     const char *root = ::mkdtemp(rootTemplate);

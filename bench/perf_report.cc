@@ -34,6 +34,7 @@
 #include "ecc/rs.hh"
 #include "pipeline/bundle.hh"
 #include "pipeline/simulator.hh"
+#include "util/parse.hh"
 #include "util/rng.hh"
 
 #if defined(__has_include)
@@ -692,7 +693,15 @@ perfReportMain(int argc, char **argv)
             opt.out = argv[++i];
         } else if (std::strcmp(argv[i], "--min-time-ms") == 0 &&
                    i + 1 < argc) {
-            opt.minTimeMs = std::strtod(argv[++i], nullptr);
+            ++i;
+            if (!parseF64(argv[i], &opt.minTimeMs) ||
+                opt.minTimeMs <= 0) {
+                std::fprintf(stderr,
+                             "--min-time-ms: not a positive number "
+                             "(got '%s')\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             opt.quick = true;
         } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {

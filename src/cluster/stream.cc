@@ -10,6 +10,7 @@
 
 #include "cluster/greedy.hh"
 #include "util/crc32.hh"
+#include "util/errno_text.hh"
 #include "util/parallel.hh"
 #include "util/simd.hh"
 
@@ -216,7 +217,7 @@ StreamingClusterer::spillToDisk(Segment &seg)
         seg.file = std::fopen(seg.path.c_str(), "w+b");
         if (seg.file == nullptr)
             throw SpillError("cannot create spill segment " +
-                             seg.path + ": " + std::strerror(errno));
+                             seg.path + ": " + errnoText(errno));
     }
     if (std::fwrite(seg.chunks.data(), 1, seg.chunks.size(),
                     seg.file) != seg.chunks.size())
@@ -375,10 +376,19 @@ StreamingClusterer::finish()
     });
     releaseSegment(*log_);
 
+    // Seal every shard's open chunk here, while still single-threaded:
+    // sealChunk accounts into bufferedBytes_, which the concurrent
+    // shard workers below must never touch. After this loop the
+    // sealChunk call inside forEachRecord is a no-op for every shard,
+    // so the workers read purely per-shard state.
+    for (auto &seg : shard_segs)
+        sealChunk(seg);
+
     // ---- Cluster each shard independently (the parallel part),
     // keeping only what the merge needs: representative ids +
     // strands and member lists. Shard segments are released the
-    // moment their greedy pass ends.
+    // moment their greedy pass ends; they deliberately skip
+    // releaseSegment, which would also write shared accounting.
     std::vector<ShardResult> results(shards);
     parallelFor(shards, params_.numThreads, [&](size_t s) {
         GreedyState state(params_);

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "util/byteio.hh"
+#include "util/errno_text.hh"
 
 namespace dnastore {
 namespace daemon {
@@ -55,7 +56,7 @@ Client::connect(uint16_t port)
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0)
         return api::Status::unavailable(api::formatMessage(
-            "socket() failed: %s", std::strerror(errno)));
+            "socket() failed: %s", errnoText(errno).c_str()));
     struct sockaddr_in addr;
     std::memset(&addr, 0, sizeof addr);
     addr.sin_family = AF_INET;
@@ -65,7 +66,7 @@ Client::connect(uint16_t port)
                   sizeof addr) < 0) {
         api::Status status = api::Status::unavailable(
             api::formatMessage("connect(127.0.0.1:%u) failed: %s",
-                               unsigned(port), std::strerror(errno)));
+                               unsigned(port), errnoText(errno).c_str()));
         close();
         return status;
     }
@@ -79,7 +80,7 @@ Client::sendRaw(const std::vector<uint8_t> &bytes)
         return api::Status::failedPrecondition("client not connected");
     if (!writeAll(fd_, bytes.data(), bytes.size()))
         return api::Status::unavailable(api::formatMessage(
-            "write failed: %s", std::strerror(errno)));
+            "write failed: %s", errnoText(errno).c_str()));
     return api::Status();
 }
 
@@ -115,7 +116,7 @@ Client::readResponse()
             if (errno == EINTR)
                 continue;
             return api::Status::unavailable(api::formatMessage(
-                "read failed: %s", std::strerror(errno)));
+                "read failed: %s", errnoText(errno).c_str()));
         }
         readBuf_.insert(readBuf_.end(), chunk, chunk + n);
     }

@@ -12,6 +12,7 @@
 
 #include "api/wire.hh"
 #include "util/byteio.hh"
+#include "util/errno_text.hh"
 
 namespace dnastore {
 namespace daemon {
@@ -102,7 +103,7 @@ Server::start()
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listenFd_ < 0)
         return api::Status::unavailable(api::formatMessage(
-            "socket() failed: %s", std::strerror(errno)));
+            "socket() failed: %s", errnoText(errno).c_str()));
     int one = 1;
     ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
                  sizeof one);
@@ -117,7 +118,7 @@ Server::start()
         api::Status status = api::Status::unavailable(
             api::formatMessage("bind(127.0.0.1:%u) failed: %s",
                                unsigned(options_.port),
-                               std::strerror(errno)));
+                               errnoText(errno).c_str()));
         ::close(listenFd_);
         listenFd_ = -1;
         return status;
@@ -125,7 +126,7 @@ Server::start()
     if (::listen(listenFd_, 64) < 0) {
         api::Status status = api::Status::unavailable(
             api::formatMessage("listen() failed: %s",
-                               std::strerror(errno)));
+                               errnoText(errno).c_str()));
         ::close(listenFd_);
         listenFd_ = -1;
         return status;

@@ -138,10 +138,11 @@ FileBundle::proportionalOrder(const std::vector<size_t> &bit_sizes)
         uint32_t file;
     };
     auto later = [](const Entry &a, const Entry &b) {
-        unsigned __int128 lhs =
-            (unsigned __int128)a.numerator * b.size;
-        unsigned __int128 rhs =
-            (unsigned __int128)b.numerator * a.size;
+        // __extension__: 128-bit cross-multiplication is exact for
+        // any u64 operands; -Wpedantic objects to the GNU type only.
+        __extension__ typedef unsigned __int128 u128;
+        const u128 lhs = u128(a.numerator) * b.size;
+        const u128 rhs = u128(b.numerator) * a.size;
         if (lhs != rhs)
             return lhs > rhs;
         return a.file > b.file;

@@ -1,0 +1,41 @@
+#include "util/errno_text.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dnastore {
+
+namespace {
+
+// strerror_r has two flavors: XSI returns int (0 on success, the
+// message in the buffer), GNU returns char* (which may point at the
+// buffer or at a static string). Overload resolution picks the right
+// unpacking for whichever this libc provides.
+[[maybe_unused]] const char *
+unpackStrerror(int rc, const char *buf)
+{
+    return rc == 0 ? buf : nullptr;
+}
+
+[[maybe_unused]] const char *
+unpackStrerror(const char *res, const char *)
+{
+    return res;
+}
+
+} // namespace
+
+std::string
+errnoText(int err)
+{
+    char buf[256];
+    buf[0] = '\0';
+    const char *msg = unpackStrerror(strerror_r(err, buf, sizeof buf), buf);
+    if (msg != nullptr && msg[0] != '\0')
+        return msg;
+    char fallback[32];
+    std::snprintf(fallback, sizeof fallback, "error %d", err);
+    return fallback;
+}
+
+} // namespace dnastore

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Thread-safe errno formatting.
+ *
+ * `std::strerror` returns a pointer into internal (possibly shared)
+ * storage and is not required to be thread-safe — the daemon calls
+ * into error formatting from per-connection reader threads, exactly
+ * where a racing strerror could hand back a torn message (flagged by
+ * clang-tidy's concurrency-mt-unsafe). errnoText wraps strerror_r
+ * (either glibc flavor) over a caller-stack buffer instead.
+ */
+
+#ifndef DNASTORE_UTIL_ERRNO_TEXT_HH
+#define DNASTORE_UTIL_ERRNO_TEXT_HH
+
+#include <string>
+
+namespace dnastore {
+
+/** The strerror message for @p err, safe from any thread. */
+std::string errnoText(int err);
+
+} // namespace dnastore
+
+#endif // DNASTORE_UTIL_ERRNO_TEXT_HH

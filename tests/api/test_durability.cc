@@ -234,8 +234,9 @@ TEST(StoreMemo, AgingInvalidatesTheRetrieveAllMemo)
 
     // A stale memo would still answer exact=true here.
     Result<Retrieval> second = store.retrieveAll();
-    if (second.ok())
+    if (second.ok()) {
         EXPECT_FALSE(second->exact);
+    }
     // (A decode so degraded the directory fails to parse surfaces as
     // an error Status instead — also proof the memo was dropped.)
 }

@@ -157,8 +157,9 @@ TEST(Dropout, BurstsEraseConsecutiveRuns)
             // Every maximal zero-run is made of whole bursts (merged
             // runs only grow), except a burst truncated by the end of
             // the vector — excluded by the i < size() branch here.
-            if (run > 0)
+            if (run > 0) {
                 EXPECT_GE(run, burst) << "at " << i;
+            }
             run = 0;
         }
     }

@@ -125,6 +125,40 @@ TEST(StreamingCluster, FuzzAgainstInMemory)
     }
 }
 
+TEST(StreamingCluster, ParallelShardFinishHasNoSharedSealing)
+{
+    // Regression: sealChunk() accounts into the engine-wide
+    // bufferedBytes_ counter, and forEachRecord() seals its segment's
+    // open chunk before replaying it. finish() used to reach that
+    // seal concurrently from every shard worker — a data race on the
+    // counter, caught by ThreadSanitizer. Open chunks must be sealed
+    // serially before the parallel phase. This pins the racy shape:
+    // many shards whose buffers are still open entering a maximally
+    // threaded finish (generous budget, so nothing spilled or sealed
+    // early), repeated a few rounds, bit-identical to the in-memory
+    // clustering throughout. Run under TSan this fails on any
+    // reintroduction of shared sealing.
+    auto reads = makeSoup(80, 6, 0.06, 309);
+
+    ClusterParams in_memory;
+    in_memory.numShards = 16;
+    Clustering base = clusterReads(reads, in_memory);
+
+    for (int round = 0; round < 4; ++round) {
+        ClusterParams streaming = in_memory;
+        streaming.memoryBudgetBytes = size_t(1) << 30;
+        streaming.numThreads = 8;
+        StreamingClusterer engine(streaming);
+        for (const auto &r : reads)
+            engine.add(r);
+        Clustering got = engine.finish();
+        EXPECT_EQ(got.clusterOf, base.clusterOf) << "round " << round;
+        EXPECT_EQ(got.members, base.members) << "round " << round;
+        EXPECT_EQ(engine.stats().spilledBytes, 0u);
+        EXPECT_EQ(engine.stats().shards, 16u);
+    }
+}
+
 TEST(StreamingCluster, SpillsUnderTinyBudgetAndCleansUp)
 {
     auto reads = makeSoup(40, 6, 0.05, 303);

@@ -71,10 +71,12 @@ TEST(Frame, RoundTripsEveryOp)
         ASSERT_TRUE(decodeRequest(payload, &decoded, &error)) << error;
         EXPECT_EQ(decoded.op, request.op);
         EXPECT_EQ(decoded.tenant, request.tenant);
-        if (request.op == Op::Put || request.op == Op::Get)
+        if (request.op == Op::Put || request.op == Op::Get) {
             EXPECT_EQ(decoded.name, request.name);
-        if (request.op == Op::Put)
+        }
+        if (request.op == Op::Put) {
             EXPECT_EQ(decoded.data, request.data);
+        }
         if (request.op == Op::Scrub) {
             EXPECT_EQ(decoded.minReads, request.minReads);
             EXPECT_EQ(decoded.minAgreement, request.minAgreement);

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Standalone driver for the fuzz harnesses when libFuzzer is not
+ * linked (any non-Clang toolchain). Three modes:
+ *
+ *   fuzz_x                 replay the built-in seeds, then a bounded
+ *                          deterministic mutation sweep (FUZZ_ITERS
+ *                          in the environment scales it; default
+ *                          25000 — same knob as the other fuzz
+ *                          suites). This is the ctest smoke mode.
+ *   fuzz_x FILE...         replay crash artifacts / corpus files.
+ *   fuzz_x --write-seeds D write the seed corpus into directory D
+ *                          (one file per seed) for a real libFuzzer
+ *                          run's -seed_inputs corpus.
+ *
+ * The mutation sweep is xorshift-driven from a fixed seed, so a
+ * failure reproduces bit-identically on any host.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_common.hh"
+
+namespace {
+
+uint64_t
+xorshift(uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+/** Apply 1-4 structural mutations (flip, truncate, insert, swap). */
+std::vector<uint8_t>
+mutate(std::vector<uint8_t> bytes, uint64_t &rng)
+{
+    const size_t rounds = 1 + xorshift(rng) % 4;
+    for (size_t i = 0; i < rounds; ++i) {
+        switch (xorshift(rng) % 4) {
+          case 0: // flip one byte
+            if (!bytes.empty())
+                bytes[xorshift(rng) % bytes.size()] ^=
+                    uint8_t(1u << (xorshift(rng) % 8));
+            break;
+          case 1: // truncate
+            if (!bytes.empty())
+                bytes.resize(xorshift(rng) % bytes.size());
+            break;
+          case 2: { // insert a small run
+            const size_t at = bytes.empty() ? 0 : xorshift(rng) % bytes.size();
+            const size_t len = 1 + xorshift(rng) % 8;
+            std::vector<uint8_t> run(len);
+            for (auto &b : run)
+                b = uint8_t(xorshift(rng));
+            bytes.insert(bytes.begin() + long(at), run.begin(), run.end());
+            break;
+          }
+          default: // swap two bytes
+            if (bytes.size() >= 2) {
+                const size_t a = xorshift(rng) % bytes.size();
+                const size_t b = xorshift(rng) % bytes.size();
+                std::swap(bytes[a], bytes[b]);
+            }
+            break;
+        }
+    }
+    return bytes;
+}
+
+int
+replayFiles(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", argv[i]);
+            return 1;
+        }
+        std::vector<uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+        std::printf("replayed %s (%zu bytes)\n", argv[i], bytes.size());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::string(argv[1]) == "--write-seeds") {
+        if (argc != 3) {
+            std::fprintf(stderr, "usage: %s --write-seeds DIR\n", argv[0]);
+            return 2;
+        }
+        return dnastoreWriteSeedFiles(argv[2]);
+    }
+    if (argc > 1)
+        return replayFiles(argc, argv);
+
+    const auto seeds = dnastoreFuzzSeeds();
+    for (const auto &seed : seeds)
+        LLVMFuzzerTestOneInput(seed.data(), seed.size());
+
+    size_t iters = 25000;
+    if (const char *env = std::getenv("FUZZ_ITERS")) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0')
+            iters = size_t(parsed);
+    }
+    uint64_t rng = 0x9E3779B97F4A7C15ull;
+    for (size_t i = 0; i < iters; ++i) {
+        const auto &base = seeds[xorshift(rng) % seeds.size()];
+        const std::vector<uint8_t> mutated = mutate(base, rng);
+        LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+    }
+    std::printf("replayed %zu seeds + %zu deterministic mutations: clean\n",
+                seeds.size(), iters);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared shape of the dnastore fuzz harnesses.
+ *
+ * Each harness TU defines the libFuzzer entry point
+ * LLVMFuzzerTestOneInput plus dnastoreFuzzSeeds(), the built-in seed
+ * corpus (valid inputs produced by the real serializers, so
+ * mutations start from deep in the parser's accept set). Built with
+ * -DDNASTORE_LIBFUZZER=ON (Clang) the entry point links against
+ * libFuzzer; otherwise tests/fuzz/driver.cc supplies a main() that
+ * replays the seeds and a bounded deterministic mutation sweep.
+ *
+ * Harness contract: LLVMFuzzerTestOneInput must tolerate ANY byte
+ * string without crashing, and additionally asserts (via abort())
+ * parser invariants — e.g. re-serializing a successful parse must
+ * parse again — so structural bugs surface even without sanitizer
+ * reports.
+ */
+
+#ifndef DNASTORE_TESTS_FUZZ_COMMON_HH
+#define DNASTORE_TESTS_FUZZ_COMMON_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data, size_t size);
+
+/** The harness's built-in seed corpus (valid, serializer-produced). */
+std::vector<std::vector<uint8_t>> dnastoreFuzzSeeds();
+
+/**
+ * Write the seed corpus into @p dir (one `seed_NNN` file each).
+ * Used by the standalone driver's --write-seeds mode and, under
+ * libFuzzer, by LLVMFuzzerInitialize when DNASTORE_FUZZ_SEED_DIR is
+ * set — so a CI corpus directory starts from the serializers' accept
+ * set instead of empty.
+ */
+inline int
+dnastoreWriteSeedFiles(const std::string &dir)
+{
+    const auto seeds = dnastoreFuzzSeeds();
+    for (size_t i = 0; i < seeds.size(); ++i) {
+        char name[32];
+        std::snprintf(name, sizeof name, "/seed_%03u", unsigned(i));
+        const std::string path = dir + name;
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        out.write(reinterpret_cast<const char *>(seeds[i].data()),
+                  std::streamsize(seeds[i].size()));
+    }
+    std::fprintf(stderr, "wrote %u seeds to %s\n", unsigned(seeds.size()),
+                 dir.c_str());
+    return 0;
+}
+
+#ifdef DNASTORE_LIBFUZZER
+#include <cstdlib>
+extern "C" int
+LLVMFuzzerInitialize(int *, char ***)
+{
+    if (const char *dir = std::getenv("DNASTORE_FUZZ_SEED_DIR"))
+        dnastoreWriteSeedFiles(dir);
+    return 0;
+}
+#endif
+
+#endif // DNASTORE_TESTS_FUZZ_COMMON_HH

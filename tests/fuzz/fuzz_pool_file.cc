@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fuzz harness for the `.dnapool` loader (api/pool_file.cc), the
+ * parser that faces untrusted on-disk bytes.
+ *
+ * Checked invariants, beyond "never crash on arbitrary bytes":
+ *
+ *  - parsePoolFile and poolFileSections agree that a byte string is
+ *    at least skeleton-walkable (sections never crashes either way);
+ *  - a successful parse re-serializes, and the re-serialized bytes
+ *    parse again (the format has no parse-only states);
+ *  - the re-parse preserves the geometry and object count (cheap
+ *    field-level round-trip check; the full equality matrix lives in
+ *    tests/api/test_pool_file.cc).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/pool_file.hh"
+#include "fuzz/fuzz_common.hh"
+
+using namespace dnastore;
+using namespace dnastore::api;
+
+namespace {
+
+void
+check(bool cond, const char *what)
+{
+    if (!cond) {
+        std::fprintf(stderr, "fuzz_pool_file invariant violated: %s\n", what);
+        std::abort();
+    }
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    std::vector<uint8_t> bytes(data, data + size);
+
+    // The skeleton walker must tolerate anything the parser does.
+    (void)poolFileSections(bytes);
+
+    Result<PoolFileContents> parsed = parsePoolFile(bytes);
+    if (!parsed.ok())
+        return 0;
+
+    // Round trip: what parsed must serialize, and what it serializes
+    // must parse (bit-rot-free, since serializePoolFile recomputes
+    // every CRC).
+    std::vector<uint8_t> again = serializePoolFile(*parsed);
+    Result<PoolFileContents> reparsed = parsePoolFile(again);
+    check(reparsed.ok(), "re-serialized parse result failed to parse");
+    check(reparsed->config.rows == parsed->config.rows &&
+              reparsed->config.symbolBits == parsed->config.symbolBits &&
+              reparsed->config.paritySymbols == parsed->config.paritySymbols,
+          "geometry changed across a serialize/parse round trip");
+    check(reparsed->manifest.fileCount() == parsed->manifest.fileCount(),
+          "manifest object count changed across a round trip");
+    check(reparsed->strands == parsed->strands,
+          "unit strands changed across a round trip");
+    check(reparsed->hasPools == parsed->hasPools &&
+              reparsed->pools == parsed->pools,
+          "pools changed across a round trip");
+    return 0;
+}
+
+std::vector<std::vector<uint8_t>>
+dnastoreFuzzSeeds()
+{
+    std::vector<std::vector<uint8_t>> seeds;
+
+    PoolFileContents c;
+    c.config = StorageConfig::tinyTest();
+    c.config.primerKey = 7;
+    c.scheme = LayoutScheme::DnaMapper;
+    c.unitSeed = 0xDEADBEEFCAFEF00Dull;
+    c.manifest.add("a.bin", { 1, 2, 3, 4 });
+    c.manifest.add("b.bin", { 250, 251 });
+    c.payloadBits = 1234;
+    c.strands = { strandFromString("ACGTACGTA"), strandFromString("TTTT"),
+                  strandFromString("GCGCGCG") };
+
+    // Pool-less file (pools regenerate from the unit seed on open).
+    seeds.push_back(serializePoolFile(c));
+
+    // Ragged pools (the v2 per-cluster-count path).
+    c.hasPools = true;
+    c.poolMaxCoverage = 2;
+    c.pools = {
+        { strandFromString("ACGTACGT"), strandFromString("ACGTACG") },
+        { strandFromString("TTT") },
+        { strandFromString("GCGC"), strandFromString("GCGCG") },
+    };
+    seeds.push_back(serializePoolFile(c));
+
+    // Degenerate but well-formed skeletons the mutator can grow from.
+    seeds.push_back({});
+    std::vector<uint8_t> header_only = seeds[0];
+    header_only.resize(20);
+    seeds.push_back(std::move(header_only));
+    return seeds;
+}
